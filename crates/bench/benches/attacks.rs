@@ -1,0 +1,25 @@
+//! Criterion benchmarks over the attack trials themselves — the cost of
+//! one covert-channel bit under each PoC (the quantity behind Figure 11's
+//! bit-rate axis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use si_core::attacks::{Attack, AttackKind};
+use si_cpu::MachineConfig;
+use si_schemes::SchemeKind;
+
+fn bench_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_trials");
+    group.sample_size(10);
+    for (name, kind, scheme) in [
+        ("dcache_npeu_dom", AttackKind::NpeuVdVd, SchemeKind::DomSpectre),
+        ("icache_irs_dom", AttackKind::IrsICache, SchemeKind::DomSpectre),
+        ("spectre_v1_baseline", AttackKind::SpectreV1, SchemeKind::Unprotected),
+    ] {
+        let attack = Attack::new(kind, scheme, MachineConfig::default());
+        group.bench_function(name, |b| b.iter(|| attack.run_trial(1)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trials);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion microbenchmarks over the replacement-policy family — the
+//! per-access cost of the QLRU machinery the receiver decodes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use si_cache::{CacheConfig, PolicyKind, SetAssocCache};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replacement");
+    for (name, policy) in [
+        ("lru", PolicyKind::Lru),
+        ("qlru_h11_m1_r0_u0", PolicyKind::qlru_h11_m1_r0_u0()),
+        ("srrip", PolicyKind::Srrip),
+        ("tree_plru", PolicyKind::TreePlru),
+    ] {
+        group.bench_function(format!("{name}/mixed_access_1k"), |b| {
+            b.iter(|| {
+                let mut cache = SetAssocCache::new("bench", CacheConfig::new(64, 16, policy));
+                for i in 0..1000u64 {
+                    cache.access(i * 17 % 2048);
+                }
+                cache.occupancy()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

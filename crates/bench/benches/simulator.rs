@@ -1,0 +1,51 @@
+//! Criterion benchmarks over the simulator substrate: raw pipeline
+//! throughput and the workload kernels under representative schemes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use si_cpu::{Machine, MachineConfig};
+use si_isa::{Assembler, R1, R2, R3};
+use si_schemes::SchemeKind;
+use si_workloads::WorkloadKind;
+
+fn bench_pipeline_throughput(c: &mut Criterion) {
+    let mut asm = Assembler::new(0);
+    asm.mov_imm(R1, 0);
+    asm.mov_imm(R2, 2000);
+    let top = asm.here("top");
+    asm.add_imm(R1, R1, 1);
+    asm.mul(R3, R1, R1);
+    asm.branch_ltu(R1, R2, top);
+    asm.halt();
+    let program = asm.assemble().unwrap();
+    c.bench_function("pipeline/alu_loop_2k_iters", |b| {
+        b.iter_batched(
+            || {
+                let mut m = Machine::new(MachineConfig::default());
+                m.load_program(0, &program);
+                m
+            },
+            |mut m| m.run_core_to_halt(0, 1_000_000).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.sample_size(10);
+    for kind in [
+        WorkloadKind::PointerChase,
+        WorkloadKind::Stream,
+        WorkloadKind::BranchySort,
+    ] {
+        for scheme in [SchemeKind::Unprotected, SchemeKind::DomSpectre] {
+            group.bench_function(format!("{}/{}", kind.label(), scheme.label()), |b| {
+                b.iter(|| si_workloads::run(kind, 24, scheme, &MachineConfig::default()).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_throughput, bench_workloads);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation of the §5.4 advanced defense: each rule alone and both
+//! together — does the configuration still block `G^D_NPEU`, and what does
+//! it cost on a representative workload? (A design-choice study DESIGN.md
+//! calls out; not a paper figure.)
+
+use si_bench::env_param;
+use si_core::attacks::{Attack, AttackKind};
+use si_cpu::MachineConfig;
+use si_schemes::SchemeKind;
+use si_workloads::WorkloadKind;
+
+fn main() {
+    let scale = env_param("SI_SCALE", 48);
+    let machine = MachineConfig::default();
+    println!("Advanced-defense ablation (§5.4 rules), mixed scale={scale}\n");
+    println!(
+        "{:<24} {:>14} {:>12} {:>12}",
+        "configuration", "NPEU channel", "cycles", "slowdown"
+    );
+    let base = si_workloads::run(
+        WorkloadKind::Mixed,
+        scale,
+        SchemeKind::Unprotected,
+        &machine,
+    )
+    .expect("baseline runs");
+    for scheme in [
+        SchemeKind::DomSpectre, // rule-less invisible speculation for contrast
+        SchemeKind::AdvancedHoldOnly,
+        SchemeKind::AdvancedAgeOnly,
+        SchemeKind::Advanced,
+    ] {
+        let attack = Attack::new(AttackKind::NpeuVdVd, scheme, machine.clone());
+        let d0 = attack.run_trial(0).decoded;
+        let d1 = attack.run_trial(1).decoded;
+        let channel = if d0 == Some(0) && d1 == Some(1) {
+            "LEAKS"
+        } else {
+            "blocked"
+        };
+        let (cycles, slow) = match si_workloads::run(WorkloadKind::Mixed, scale, scheme, &machine)
+        {
+            Ok(m) => (
+                m.cycles.to_string(),
+                format!("{:.2}x", m.cycles as f64 / base.cycles as f64),
+            ),
+            Err(e) => (format!("({e})"), "-".to_owned()),
+        };
+        println!(
+            "{:<24} {:>14} {:>12} {:>12}",
+            scheme.label(),
+            channel,
+            cycles,
+            slow
+        );
+    }
+    println!(
+        "\nExpected: DoM alone leaks; strict age priority kills the port-contention\n\
+         channel; resource holding alone narrows but may not close it; both rules\n\
+         together block it at the highest cost (§5.4's takeaway on complexity)."
+    );
+}

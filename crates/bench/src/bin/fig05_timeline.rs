@@ -1,0 +1,35 @@
+//! Regenerates **Figure 5**: the `G^I_RS` timeline — reservation-station
+//! congestion back-throttles the frontend, so the target line is fetched
+//! only when the transmitter hits.
+
+use si_bench::{episode_window, format_event};
+use si_core::attacks::AttackKind;
+use si_core::experiments::traced_trial;
+use si_cpu::MachineConfig;
+use si_schemes::SchemeKind;
+
+fn main() {
+    let machine = MachineConfig::default();
+    for (secret, label) in [
+        (0u64, "secret == 0 (transmitter hits -> ADDs drain, frontend reaches the target)"),
+        (1u64, "secret == 1 (transmitter misses -> RS fills, decode queue fills, fetch stops)"),
+    ] {
+        println!("=== Figure 5 timeline, {label} ===");
+        let trace = traced_trial(AttackKind::IrsICache, SchemeKind::DomSpectre, &machine, secret);
+        let (base, events) = episode_window(&trace, 400, 40);
+        let mut stall_count = 0usize;
+        for (cycle, e) in &events {
+            if matches!(e, si_cpu::TraceEvent::FetchStall { reason: si_cpu::StallReason::QueueFull }) {
+                stall_count += 1;
+                if stall_count > 3 {
+                    continue; // summarize the stall run below
+                }
+            }
+            if let Some(line) = format_event(*cycle, base, e) {
+                println!("{line}");
+            }
+        }
+        println!("      ({stall_count} decode-queue-full fetch-stall cycles in this window)");
+        println!();
+    }
+}

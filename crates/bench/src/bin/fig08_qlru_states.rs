@@ -1,0 +1,115 @@
+//! Regenerates **Figure 8**: QLRU replacement-state evolution in the
+//! monitored LLC set across the receiver protocol — after prime, after the
+//! victim's ordered accesses (both orders), and after the probe.
+//!
+//! Also exercises the paper's literal EVS1/EVS2 protocol (§4.2.2) and
+//! reports what it distinguishes; the paper's step 5 decode rule contains
+//! a typo (both branches identical), and under strict
+//! `QLRU_H11_M1_R0_U0` semantics the corrected rule is the one the
+//! `OrderReceiver` uses (see EXPERIMENTS.md).
+
+use si_cache::line_of;
+use si_core::{AttackLayout, Decoded, OrderReceiver};
+use si_cpu::{AgentOp, Machine, MachineConfig};
+
+fn show(m: &Machine, layout: &AttackLayout, phase: &str) {
+    let view = m.llc_set_view(layout.monitored_set);
+    let name = |line: u64| -> String {
+        if line == line_of(layout.a_addr) {
+            "A".to_owned()
+        } else if line == line_of(layout.b_addr) {
+            "B".to_owned()
+        } else if let Some(i) = layout.evset.iter().position(|e| line_of(*e) == line) {
+            format!("EV{i}")
+        } else {
+            format!("?{line:x}")
+        }
+    };
+    let cells: Vec<String> = view
+        .iter()
+        .map(|w| match w.line {
+            Some(l) => format!("{}({})", name(l), w.meta),
+            None => "-".to_owned(),
+        })
+        .collect();
+    println!("{phase:<28} [{}]", cells.join(" "));
+}
+
+fn main() {
+    println!("Figure 8 — QLRU_H11_M1_R0_U0 state of the monitored set (line(age) per way)\n");
+    for (order, label) in [(true, "victim access order A-B"), (false, "victim access order B-A")] {
+        let mut m = Machine::new(MachineConfig::default());
+        let layout = AttackLayout::plan(&m.config().hierarchy.llc);
+        let rx = OrderReceiver::from_layout(&layout, 1);
+        println!("--- {label} ---");
+        rx.prime(&mut m);
+        show(&m, &layout, "(a) after prime");
+        let (first, second) = if order {
+            (layout.a_addr, layout.b_addr)
+        } else {
+            (layout.b_addr, layout.a_addr)
+        };
+        m.run_op(AgentOp::Access { core: 0, addr: first });
+        m.run_op(AgentOp::Access { core: 0, addr: second });
+        show(&m, &layout, "(b) after victim accesses");
+        let decoded = rx.probe(&mut m);
+        show(&m, &layout, "(c) after probe");
+        println!("decoded: {decoded:?}\n");
+        assert_eq!(
+            decoded,
+            if order { Decoded::VictimFirst } else { Decoded::ReferenceFirst }
+        );
+    }
+
+    // The paper's literal protocol: prime = access EVS1 many times + A;
+    // probe = access EVS2 (a second eviction set), then time A and B.
+    println!("--- paper-literal EVS1/EVS2 protocol ---");
+    for (order, label) in [(true, "A-B"), (false, "B-A")] {
+        let mut m = Machine::new(MachineConfig::default());
+        let layout = AttackLayout::plan(&m.config().hierarchy.llc);
+        let ways = m.config().hierarchy.llc.ways;
+        let evs1 = &layout.evset; // ways-1 lines
+        let evs2: Vec<u64> = si_cache::evset::conflicting_addrs(
+            &m.config().hierarchy.llc.clone(),
+            layout.a_addr,
+            ways - 1,
+            &layout.ordered_set_addrs(),
+        );
+        for addr in [layout.a_addr, layout.b_addr] {
+            m.run_op(AgentOp::Flush(addr));
+        }
+        // "Access EVS1 many times + Access A"
+        for round in 0..3 {
+            for ev in evs1 {
+                m.run_op(AgentOp::Access { core: 1, addr: *ev });
+            }
+            m.run_op(AgentOp::ClearPrivate(1));
+            let _ = round;
+        }
+        m.run_op(AgentOp::Access { core: 1, addr: layout.a_addr });
+        let (first, second) = if order {
+            (layout.a_addr, layout.b_addr)
+        } else {
+            (layout.b_addr, layout.a_addr)
+        };
+        m.run_op(AgentOp::Access { core: 0, addr: first });
+        m.run_op(AgentOp::Access { core: 0, addr: second });
+        for ev in &evs2 {
+            m.run_op(AgentOp::Access { core: 1, addr: *ev });
+        }
+        m.run_op(AgentOp::ClearPrivate(1));
+        let a = m.run_op(AgentOp::TimedAccess { core: 1, addr: layout.a_addr }).unwrap();
+        let b = m.run_op(AgentOp::TimedAccess { core: 1, addr: layout.b_addr }).unwrap();
+        println!(
+            "victim {label}: probe sees A {:?} / B {:?}",
+            a.level, b.level
+        );
+    }
+    println!(
+        "\nDecode rule (correcting the paper's step-5 typo, which prints the same\n\
+         expectation for both branches): after the probe, A *miss* decodes the\n\
+         A-B order and A *hit* decodes B-A. Both the OrderReceiver protocol and\n\
+         the literal EVS1/EVS2 protocol distinguish the orders through exactly\n\
+         that residency difference under QLRU_H11_M1_R0_U0."
+    );
+}

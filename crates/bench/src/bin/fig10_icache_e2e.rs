@@ -1,0 +1,33 @@
+//! Regenerates **Figure 10**: the end-to-end I-Cache attack — RS
+//! congestion back-throttles fetch; the shared "function" line's presence
+//! in the LLC afterwards reveals the transmitter's hit/miss, i.e. the
+//! secret, to a Flush+Reload receiver on another core.
+
+use si_core::attacks::{Attack, AttackKind};
+use si_cpu::MachineConfig;
+use si_schemes::SchemeKind;
+
+fn main() {
+    println!("Figure 10 — end-to-end I-Cache PoC (G^I_RS + Flush+Reload)\n");
+    let attack = Attack::new(AttackKind::IrsICache, SchemeKind::DomSpectre, MachineConfig::default());
+    println!("steps: 1) attacker flushes the shared function line");
+    println!("       2) victim mis-speculates; transmitter load hit/miss gates the ADD wall");
+    println!("       3) RS full -> dispatch stalls -> decode queue fills -> fetch stops");
+    println!("       4) attacker reloads the function line: fast => fetched => secret=0\n");
+    let mut correct = 0;
+    let trials = 8;
+    for t in 0..trials {
+        let secret = (t % 2) as u64;
+        let r = attack.run_trial(secret);
+        let ok = r.decoded == Some(secret);
+        correct += usize::from(ok);
+        println!(
+            "trial {t}: secret={secret} decoded={:?} cycles={} {}",
+            r.decoded,
+            r.cycles,
+            if ok { "OK" } else { "MISS" }
+        );
+    }
+    println!("\n{correct}/{trials} bits leaked via the I-cache under DoM");
+    assert_eq!(correct, trials, "noise-free trials must decode exactly");
+}

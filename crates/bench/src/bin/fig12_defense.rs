@@ -1,0 +1,50 @@
+//! Regenerates **Figure 12**: normalized execution time of the §5.2 basic
+//! fence defense (Spectre and Futuristic models) over the unprotected
+//! baseline, per workload.
+//!
+//! The paper reports geometric-mean slowdowns of 1.58x (Spectre) and
+//! 5.38x (Futuristic) on SPEC CPU2017/gem5; the reproduced *shape* —
+//! Futuristic >> Spectre > 1, worst on memory-bound/branchy kernels — is
+//! the comparison target (EXPERIMENTS.md records the measured numbers).
+
+use si_bench::{bar, env_param};
+use si_cpu::MachineConfig;
+use si_schemes::SchemeKind;
+use si_workloads::{slowdown, WorkloadKind};
+
+fn main() {
+    let scale = env_param("SI_SCALE", 64);
+    let machine = MachineConfig::default();
+    let schemes = [SchemeKind::FenceSpectre, SchemeKind::FenceFuturistic];
+    println!("Figure 12 — basic-defense slowdown (normalized execution time, scale={scale})\n");
+    println!("{:<10} {:>10} {:>14} {:>16}  ", "workload", "base cyc", "fence-spectre", "fence-futuristic");
+    let mut geo = [0.0f64; 2];
+    let mut rows = 0usize;
+    for kind in WorkloadKind::all() {
+        match slowdown(kind, scale, &schemes, &machine) {
+            Ok(row) => {
+                let s = row.entries[0].2;
+                let f = row.entries[1].2;
+                geo[0] += s.ln();
+                geo[1] += f.ln();
+                rows += 1;
+                println!(
+                    "{:<10} {:>10} {:>13.2}x {:>15.2}x  |{}",
+                    kind.label(),
+                    row.baseline_cycles,
+                    s,
+                    f,
+                    bar(f, 0.25, 48)
+                );
+            }
+            Err(e) => println!("{:<10} failed: {e}", kind.label()),
+        }
+    }
+    if rows > 0 {
+        println!(
+            "\ngeomean: fence-spectre {:.2}x, fence-futuristic {:.2}x (paper: 1.58x / 5.38x on SPEC2017)",
+            (geo[0] / rows as f64).exp(),
+            (geo[1] / rows as f64).exp()
+        );
+    }
+}

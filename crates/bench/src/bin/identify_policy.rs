@@ -1,0 +1,32 @@
+//! The attack's step zero (§4.2.2): identify the LLC replacement policy by
+//! black-box probing, as the paper did with nanoBench/CacheQuery on its
+//! Kaby Lake target. Runs the probe battery against this machine's LLC
+//! geometry and reports every candidate policy consistent with the
+//! observed eviction behaviour.
+
+use si_cache::infer::{eviction_order, fingerprint, hit_refreshes, identify};
+use si_cache::{CacheConfig, PolicyKind};
+use si_cpu::MachineConfig;
+
+fn main() {
+    let llc = MachineConfig::default().hierarchy.llc;
+    // Probe a small-set instance of the same policy (CacheQuery likewise
+    // probes individual sets).
+    let probe_cfg = CacheConfig::new(4, llc.ways, llc.policy);
+    println!("probing a {}-way set of the machine's LLC policy...\n", llc.ways);
+    println!("eviction order after plain fill: {:?}", eviction_order(probe_cfg));
+    println!("hit-protection by position:      {:?}", hit_refreshes(probe_cfg));
+    let observed = fingerprint(probe_cfg);
+    println!("\nfingerprint: {} eviction sequences collected", observed.len());
+    let matches = identify(&observed, 4, llc.ways);
+    println!("candidates consistent with the observations:");
+    for m in &matches {
+        println!("  - {m:?}");
+    }
+    assert!(
+        matches.contains(&PolicyKind::qlru_h11_m1_r0_u0()),
+        "the machine's LLC must identify as QLRU_H11_M1_R0_U0 (paper §4.2.2)"
+    );
+    println!("\n=> QLRU_H11_M1_R0_U0, matching the paper's identification of its");
+    println!("   Kaby Lake target. The order receiver's decode rule builds on this.");
+}

@@ -1,0 +1,331 @@
+//! A single set-associative cache.
+
+use crate::replacement::SetPolicy;
+use crate::{CacheConfig, CacheStats};
+
+/// Outcome of an access or fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// A valid line displaced by this operation, if any.
+    pub evicted: Option<u64>,
+}
+
+/// Diagnostic view of one way: the resident line and its replacement
+/// metadata byte (QLRU age, LRU rank, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WayView {
+    /// Resident line address, or `None` if the way is empty.
+    pub line: Option<u64>,
+    /// Replacement metadata (see [`SetPolicy::state`]).
+    pub meta: u8,
+}
+
+#[derive(Debug)]
+struct CacheSet {
+    lines: Vec<Option<u64>>,
+    policy: Box<dyn SetPolicy>,
+}
+
+/// A set-associative cache of line addresses with a pluggable replacement
+/// policy.
+///
+/// The cache stores no data — the simulator's memory is the backing store —
+/// only presence and replacement state, which is all the attacks observe.
+///
+/// # Example
+///
+/// ```
+/// use si_cache::{CacheConfig, PolicyKind, SetAssocCache};
+///
+/// let mut c = SetAssocCache::new("L1D", CacheConfig::new(16, 2, PolicyKind::Lru));
+/// let miss = c.access(7);
+/// assert!(!miss.hit);
+/// assert!(c.access(7).hit);
+/// assert!(c.probe(7));
+/// c.invalidate(7);
+/// assert!(!c.probe(7));
+/// ```
+#[derive(Debug)]
+pub struct SetAssocCache {
+    name: String,
+    config: CacheConfig,
+    sets: Vec<CacheSet>,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    pub fn new(name: &str, config: CacheConfig) -> SetAssocCache {
+        let sets = (0..config.sets)
+            .map(|i| CacheSet {
+                lines: vec![None; config.ways],
+                policy: config.policy.build(config.ways, i),
+            })
+            .collect();
+        SetAssocCache {
+            name: name.to_owned(),
+            config,
+            sets,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_and_way(&self, line: u64) -> (usize, Option<usize>) {
+        let set = self.config.set_of(line);
+        let way = self.sets[set]
+            .lines
+            .iter()
+            .position(|l| *l == Some(line));
+        (set, way)
+    }
+
+    /// Checks presence without touching any state (a *tag probe*).
+    pub fn probe(&self, line: u64) -> bool {
+        self.set_and_way(line).1.is_some()
+    }
+
+    /// Accesses `line`: on a hit, updates replacement state; on a miss,
+    /// fills the line (possibly evicting). Returns the outcome.
+    pub fn access(&mut self, line: u64) -> AccessOutcome {
+        let (set, way) = self.set_and_way(line);
+        match way {
+            Some(w) => {
+                self.stats.hits += 1;
+                self.sets[set].policy.on_hit(w);
+                AccessOutcome {
+                    hit: true,
+                    evicted: None,
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                let evicted = self.fill_into(set, line);
+                AccessOutcome {
+                    hit: false,
+                    evicted,
+                }
+            }
+        }
+    }
+
+    /// Updates replacement state iff the line is present (a *touch*); does
+    /// not fill on miss. Returns whether the line was present.
+    ///
+    /// This is the deferred replacement update Delay-on-Miss applies when a
+    /// speculative L1 hit becomes safe (§2.2).
+    pub fn touch(&mut self, line: u64) -> bool {
+        let (set, way) = self.set_and_way(line);
+        match way {
+            Some(w) => {
+                self.sets[set].policy.on_hit(w);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fills `line` if absent (without counting a hit or miss); returns any
+    /// displaced line. Used for fill paths where the access was already
+    /// accounted at another level.
+    pub fn fill(&mut self, line: u64) -> Option<u64> {
+        let (set, way) = self.set_and_way(line);
+        if way.is_some() {
+            return None;
+        }
+        self.fill_into(set, line)
+    }
+
+    fn fill_into(&mut self, set: usize, line: u64) -> Option<u64> {
+        let s = &mut self.sets[set];
+        // Leftmost empty way first (QLRU R0 placement; harmless elsewhere).
+        if let Some(w) = s.lines.iter().position(|l| l.is_none()) {
+            s.lines[w] = Some(line);
+            s.policy.on_insert(w);
+            return None;
+        }
+        let victim = s.policy.choose_victim();
+        debug_assert!(victim < s.lines.len(), "policy returned way out of range");
+        let evicted = s.lines[victim];
+        s.policy.on_invalidate(victim);
+        s.lines[victim] = Some(line);
+        s.policy.on_insert(victim);
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        evicted
+    }
+
+    /// Removes `line` if present; returns whether it was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let (set, way) = self.set_and_way(line);
+        match way {
+            Some(w) => {
+                self.sets[set].lines[w] = None;
+                self.sets[set].policy.on_invalidate(w);
+                self.stats.invalidations += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.lines.iter().filter(|l| l.is_some()).count())
+            .sum()
+    }
+
+    /// Diagnostic view of a set: each way's line and replacement metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    pub fn set_view(&self, set: usize) -> Vec<WayView> {
+        let s = &self.sets[set];
+        let meta = s.policy.state();
+        s.lines
+            .iter()
+            .zip(meta)
+            .map(|(line, meta)| WayView { line: *line, meta })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::PolicyKind;
+
+    fn small() -> SetAssocCache {
+        SetAssocCache::new("t", CacheConfig::new(4, 2, PolicyKind::Lru))
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0).hit);
+        assert!(c.access(0).hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn conflict_evicts_lru_line() {
+        let mut c = small();
+        // lines 0, 4, 8 all map to set 0 (4 sets)
+        c.access(0);
+        c.access(4);
+        c.access(0); // 4 is now LRU
+        let out = c.access(8);
+        assert_eq!(out.evicted, Some(4));
+        assert!(c.probe(0));
+        assert!(!c.probe(4));
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = small();
+        c.access(0);
+        c.access(4);
+        // Probing 0 must NOT refresh it...
+        assert!(c.probe(0));
+        // ...so filling a third conflicting line evicts 0 (the LRU way).
+        let out = c.access(8);
+        assert_eq!(out.evicted, Some(0));
+    }
+
+    #[test]
+    fn touch_refreshes_only_present_lines() {
+        let mut c = small();
+        c.access(0);
+        c.access(4);
+        assert!(c.touch(0)); // refresh 0 -> 4 becomes LRU
+        assert!(!c.touch(12));
+        let out = c.access(8);
+        assert_eq!(out.evicted, Some(4));
+    }
+
+    #[test]
+    fn fill_is_idempotent_for_present_lines() {
+        let mut c = small();
+        c.access(0);
+        assert_eq!(c.fill(0), None);
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_and_counts() {
+        let mut c = small();
+        c.access(0);
+        assert!(c.invalidate(0));
+        assert!(!c.invalidate(0));
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut c = small();
+        for line in 0..100 {
+            c.access(line);
+            assert!(c.occupancy() <= 8);
+        }
+        assert_eq!(c.occupancy(), 8);
+    }
+
+    #[test]
+    fn set_view_exposes_lines_and_meta() {
+        let mut c = SetAssocCache::new(
+            "q",
+            CacheConfig::new(2, 4, PolicyKind::qlru_h11_m1_r0_u0()),
+        );
+        c.access(0); // set 0
+        c.access(2); // set 0
+        let view = c.set_view(0);
+        assert_eq!(view.len(), 4);
+        assert_eq!(view[0].line, Some(0));
+        assert_eq!(view[0].meta, 1); // QLRU insert age
+        assert_eq!(view[1].line, Some(2));
+        assert_eq!(view[2].line, None);
+    }
+
+    #[test]
+    fn empty_ways_fill_leftmost_first() {
+        let mut c = SetAssocCache::new(
+            "q",
+            CacheConfig::new(1, 4, PolicyKind::qlru_h11_m1_r0_u0()),
+        );
+        for line in [10, 20, 30] {
+            c.access(line);
+        }
+        let view = c.set_view(0);
+        assert_eq!(view[0].line, Some(10));
+        assert_eq!(view[1].line, Some(20));
+        assert_eq!(view[2].line, Some(30));
+        assert_eq!(view[3].line, None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Cache and hierarchy configuration.
+
+use crate::replacement::PolicyKind;
+
+/// Geometry and policy of a single cache.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets (must be non-zero).
+    pub sets: usize,
+    /// Associativity (ways per set, must be non-zero).
+    pub ways: usize,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize, policy: PolicyKind) -> CacheConfig {
+        assert!(sets > 0, "cache needs at least one set");
+        assert!(ways > 0, "cache needs at least one way");
+        CacheConfig { sets, ways, policy }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * crate::LINE_BYTES as usize
+    }
+
+    /// The set a line address maps to.
+    pub fn set_of(&self, line: u64) -> usize {
+        (line % self.sets as u64) as usize
+    }
+}
+
+/// Access latencies, in core cycles, for each level of the hierarchy.
+///
+/// Loosely calibrated to the paper's Kaby Lake target (§4.1): a fast L1, a
+/// private L2, a shared LLC an order of magnitude slower than L1, and DRAM
+/// several times slower again. Absolute values are configurable; the
+/// attacks only need the *gaps* to be resolvable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LatencyConfig {
+    /// L1 (I or D) hit latency.
+    pub l1: u64,
+    /// Private L2 hit latency.
+    pub l2: u64,
+    /// Shared LLC hit latency.
+    pub llc: u64,
+    /// Main-memory latency.
+    pub dram: u64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> LatencyConfig {
+        LatencyConfig {
+            l1: 4,
+            l2: 12,
+            llc: 40,
+            dram: 150,
+        }
+    }
+}
+
+/// Full hierarchy configuration: per-core private caches plus the shared
+/// LLC.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HierarchyConfig {
+    /// Number of cores (each gets private L1I, L1D, and L2).
+    pub cores: usize,
+    /// Private L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Private L1 data cache.
+    pub l1d: CacheConfig,
+    /// Private unified L2.
+    pub l2: CacheConfig,
+    /// Shared inclusive last-level cache.
+    pub llc: CacheConfig,
+    /// Level latencies.
+    pub latency: LatencyConfig,
+}
+
+impl HierarchyConfig {
+    /// The default experimental machine: 2 cores; 32 KB 8-way L1s (LRU);
+    /// 128 KB 8-way L2 (LRU); 1 MB 16-way shared LLC running
+    /// `QLRU_H11_M1_R0_U0`, mirroring the paper's Kaby Lake target shape at
+    /// simulation-friendly scale.
+    pub fn kaby_lake_like(cores: usize) -> HierarchyConfig {
+        HierarchyConfig {
+            cores,
+            l1i: CacheConfig::new(64, 8, PolicyKind::Lru),
+            l1d: CacheConfig::new(64, 8, PolicyKind::Lru),
+            l2: CacheConfig::new(256, 8, PolicyKind::Lru),
+            llc: CacheConfig::new(1024, 16, PolicyKind::qlru_h11_m1_r0_u0()),
+            latency: LatencyConfig::default(),
+        }
+    }
+
+    /// Validates structural invariants (at least one core, LLC at least as
+    /// associative as needed for inclusion to be workable).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("hierarchy needs at least one core".into());
+        }
+        if self.llc.capacity_bytes() < self.l2.capacity_bytes() {
+            return Err("inclusive LLC should not be smaller than one L2".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig::kaby_lake_like(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_math() {
+        let c = CacheConfig::new(64, 8, PolicyKind::Lru);
+        assert_eq!(c.capacity_bytes(), 64 * 8 * 64); // 32 KB
+    }
+
+    #[test]
+    fn set_mapping_is_modulo() {
+        let c = CacheConfig::new(64, 8, PolicyKind::Lru);
+        assert_eq!(c.set_of(0), 0);
+        assert_eq!(c.set_of(64), 0);
+        assert_eq!(c.set_of(65), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_sets_rejected() {
+        CacheConfig::new(0, 8, PolicyKind::Lru);
+    }
+
+    #[test]
+    fn default_hierarchy_validates() {
+        HierarchyConfig::default().validate().unwrap();
+        HierarchyConfig::kaby_lake_like(4).validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_hierarchy_rejected() {
+        let no_cores = HierarchyConfig {
+            cores: 0,
+            ..HierarchyConfig::default()
+        };
+        assert!(no_cores.validate().is_err());
+        let tiny_llc = HierarchyConfig {
+            llc: CacheConfig::new(16, 2, PolicyKind::Lru),
+            ..HierarchyConfig::default()
+        };
+        assert!(tiny_llc.validate().is_err());
+    }
+}

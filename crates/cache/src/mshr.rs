@@ -1,0 +1,266 @@
+//! Miss-status-holding registers.
+//!
+//! The L1 D-Cache MSHR file is the contended structure of the paper's
+//! `G^D_MSHR` interference gadget (§3.2.2, Figure 4): a mis-speculated
+//! gadget that misses on M *distinct* lines exhausts all M MSHRs and stalls
+//! an unprotected victim load; a gadget whose M loads share one line
+//! coalesces into a single MSHR and leaves the victim unimpeded.
+//!
+//! Entries are allocated in **issue order** — the paper notes no invisible
+//! speculation design changes the standard allocation policy, which is
+//! precisely what the gadget exploits.
+
+use std::fmt;
+
+/// Identifies an allocated MSHR within its [`MshrFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MshrId(usize);
+
+#[derive(Debug, Clone)]
+struct Entry {
+    line: u64,
+    ready_at: u64,
+    /// Opaque tokens for the requests coalesced onto this miss (the LSU
+    /// stores ROB indices here).
+    targets: Vec<u64>,
+}
+
+/// A file of miss-status-holding registers with coalescing.
+///
+/// # Example
+///
+/// ```
+/// use si_cache::MshrFile;
+///
+/// let mut mshrs = MshrFile::new(2);
+/// let a = mshrs.allocate(10, 100, 1).expect("free entry");
+/// let b = mshrs.allocate(11, 120, 2).expect("free entry");
+/// assert_ne!(a, b);
+/// assert!(mshrs.allocate(12, 130, 3).is_none()); // full
+/// assert!(mshrs.lookup(10).is_some());            // but coalescing works
+/// let done = mshrs.drain_ready(125);
+/// assert_eq!(done.len(), 2);
+/// assert!(mshrs.allocate(12, 130, 3).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: Vec<Option<Entry>>,
+    high_water: usize,
+}
+
+/// A completed miss returned by [`MshrFile::drain_ready`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedMiss {
+    /// The line whose miss completed.
+    pub line: u64,
+    /// Cycle at which the fill became available.
+    pub ready_at: u64,
+    /// The coalesced request tokens.
+    pub targets: Vec<u64>,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        MshrFile {
+            capacity,
+            entries: vec![None; capacity],
+            high_water: 0,
+        }
+    }
+
+    /// Number of entries currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether every entry is occupied.
+    pub fn is_full(&self) -> bool {
+        self.in_flight() == self.capacity
+    }
+
+    /// Maximum simultaneous occupancy observed (diagnostic).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Finds the in-flight entry for `line`, if any.
+    pub fn lookup(&self, line: u64) -> Option<MshrId> {
+        self.entries
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.line == line))
+            .map(MshrId)
+    }
+
+    /// Allocates a fresh entry for a miss on `line` completing at
+    /// `ready_at`, registering `token` as its first target. Returns `None`
+    /// if the file is full (the structural hazard the gadget creates).
+    ///
+    /// Callers must [`lookup`](MshrFile::lookup) first and
+    /// [`coalesce`](MshrFile::coalesce) onto an existing entry rather than
+    /// allocating a duplicate; allocating a second entry for the same line
+    /// is a logic error and panics in debug builds.
+    pub fn allocate(&mut self, line: u64, ready_at: u64, token: u64) -> Option<MshrId> {
+        debug_assert!(
+            self.lookup(line).is_none(),
+            "duplicate MSHR allocation for line {line:#x}"
+        );
+        let slot = self.entries.iter().position(|e| e.is_none())?;
+        self.entries[slot] = Some(Entry {
+            line,
+            ready_at,
+            targets: vec![token],
+        });
+        self.high_water = self.high_water.max(self.in_flight());
+        Some(MshrId(slot))
+    }
+
+    /// Adds `token` to an existing entry (a coalesced secondary miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a live entry.
+    pub fn coalesce(&mut self, id: MshrId, token: u64) {
+        self.entries[id.0]
+            .as_mut()
+            .expect("coalesce onto a live MSHR")
+            .targets
+            .push(token);
+    }
+
+    /// Completion cycle of a live entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not name a live entry.
+    pub fn ready_at(&self, id: MshrId) -> u64 {
+        self.entries[id.0].as_ref().expect("live MSHR").ready_at
+    }
+
+    /// Releases every entry whose fill is ready at `now`, returning them.
+    pub fn drain_ready(&mut self, now: u64) -> Vec<CompletedMiss> {
+        let mut done = Vec::new();
+        for e in &mut self.entries {
+            if e.as_ref().is_some_and(|e| e.ready_at <= now) {
+                let entry = e.take().expect("checked above");
+                done.push(CompletedMiss {
+                    line: entry.line,
+                    ready_at: entry.ready_at,
+                    targets: entry.targets,
+                });
+            }
+        }
+        done
+    }
+
+    /// Removes a target token from all entries (e.g. when the requesting
+    /// load is squashed); entries themselves stay allocated until the fill
+    /// returns, as in real hardware.
+    pub fn remove_target(&mut self, token: u64) {
+        for e in self.entries.iter_mut().flatten() {
+            e.targets.retain(|t| *t != token);
+        }
+    }
+
+    /// Clears the file (used between experiment trials).
+    pub fn reset(&mut self) {
+        self.entries = vec![None; self.capacity];
+        self.high_water = 0;
+    }
+}
+
+impl fmt::Display for MshrFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MSHRs {}/{} in flight", self.in_flight(), self.capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustion_blocks_allocation() {
+        let mut m = MshrFile::new(4);
+        for (i, line) in [10u64, 20, 30, 40].iter().enumerate() {
+            assert!(m.allocate(*line, 100, i as u64).is_some());
+        }
+        assert!(m.is_full());
+        assert!(m.allocate(50, 100, 9).is_none());
+    }
+
+    #[test]
+    fn coalescing_shares_an_entry() {
+        let mut m = MshrFile::new(1);
+        let id = m.allocate(10, 100, 1).unwrap();
+        assert!(m.is_full());
+        // A second miss to the same line coalesces instead of allocating.
+        let found = m.lookup(10).unwrap();
+        assert_eq!(found, id);
+        m.coalesce(found, 2);
+        let done = m.drain_ready(100);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].targets, vec![1, 2]);
+    }
+
+    #[test]
+    fn drain_respects_ready_time() {
+        let mut m = MshrFile::new(2);
+        m.allocate(10, 100, 1).unwrap();
+        m.allocate(20, 200, 2).unwrap();
+        assert!(m.drain_ready(50).is_empty());
+        let first = m.drain_ready(150);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].line, 10);
+        let second = m.drain_ready(250);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].line, 20);
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn squashed_targets_are_removed_but_entry_persists() {
+        let mut m = MshrFile::new(1);
+        m.allocate(10, 100, 7).unwrap();
+        m.remove_target(7);
+        assert!(m.is_full(), "entry persists until the fill returns");
+        let done = m.drain_ready(100);
+        assert!(done[0].targets.is_empty());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut m = MshrFile::new(4);
+        m.allocate(10, 10, 0).unwrap();
+        m.allocate(20, 10, 0).unwrap();
+        m.drain_ready(10);
+        m.allocate(30, 20, 0).unwrap();
+        assert_eq!(m.high_water(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = MshrFile::new(2);
+        m.allocate(10, 10, 0).unwrap();
+        m.reset();
+        assert_eq!(m.in_flight(), 0);
+        assert_eq!(m.high_water(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        MshrFile::new(0);
+    }
+}

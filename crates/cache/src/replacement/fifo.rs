@@ -1,0 +1,86 @@
+//! First-in-first-out replacement.
+
+use super::SetPolicy;
+
+/// FIFO: evicts the way *filled* longest ago; hits do not refresh.
+///
+/// Included as a policy whose state is insensitive to hit order — a useful
+/// negative control for the §3.3 non-commutativity assumption (two hits in
+/// either order leave identical FIFO state).
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    inserted: Vec<u64>,
+    clock: u64,
+}
+
+impl Fifo {
+    /// Creates FIFO state for a set with `ways` ways.
+    pub fn new(ways: usize) -> Fifo {
+        Fifo {
+            inserted: vec![0; ways],
+            clock: 0,
+        }
+    }
+}
+
+impl SetPolicy for Fifo {
+    fn on_insert(&mut self, way: usize) {
+        self.clock += 1;
+        self.inserted[way] = self.clock;
+    }
+
+    fn on_hit(&mut self, _way: usize) {}
+
+    fn choose_victim(&mut self) -> usize {
+        self.inserted
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| **s)
+            .map(|(w, _)| w)
+            .expect("set has at least one way")
+    }
+
+    fn on_invalidate(&mut self, way: usize) {
+        self.inserted[way] = 0;
+    }
+
+    fn state(&self) -> Vec<u8> {
+        let mut order: Vec<usize> = (0..self.inserted.len()).collect();
+        order.sort_by_key(|w| std::cmp::Reverse(self.inserted[*w]));
+        let mut rank = vec![0u8; self.inserted.len()];
+        for (r, w) in order.into_iter().enumerate() {
+            rank[w] = r as u8;
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_insertion_order_ignoring_hits() {
+        let mut f = Fifo::new(3);
+        f.on_insert(0);
+        f.on_insert(1);
+        f.on_insert(2);
+        f.on_hit(0); // does not refresh
+        assert_eq!(f.choose_victim(), 0);
+    }
+
+    #[test]
+    fn hit_order_leaves_identical_state() {
+        let mut ab = Fifo::new(2);
+        ab.on_insert(0);
+        ab.on_insert(1);
+        ab.on_hit(0);
+        ab.on_hit(1);
+        let mut ba = Fifo::new(2);
+        ba.on_insert(0);
+        ba.on_insert(1);
+        ba.on_hit(1);
+        ba.on_hit(0);
+        assert_eq!(ab.state(), ba.state());
+    }
+}

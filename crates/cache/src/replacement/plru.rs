@@ -1,0 +1,141 @@
+//! Tree pseudo-LRU replacement.
+
+use super::SetPolicy;
+
+/// Tree-PLRU: a binary tree of direction bits over the ways.
+///
+/// On a hit or insert, the bits along the path to the way are pointed
+/// *away* from it; the victim is found by following the bits from the
+/// root. Associativity must be a power of two.
+#[derive(Debug, Clone)]
+pub struct Plru {
+    ways: usize,
+    /// Heap-layout tree bits: node 1 is the root, node `i` has children
+    /// `2i` and `2i+1`. `false` points left, `true` points right.
+    bits: Vec<bool>,
+}
+
+impl Plru {
+    /// Creates tree-PLRU state for a set with `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is not a power of two or is smaller than 2.
+    pub fn new(ways: usize) -> Plru {
+        assert!(ways.is_power_of_two() && ways >= 2, "tree-PLRU needs a power-of-two associativity >= 2");
+        Plru {
+            ways,
+            bits: vec![false; ways],
+        }
+    }
+
+    fn point_away(&mut self, way: usize) {
+        let leaves = self.ways;
+        let mut node = 1usize;
+        let mut lo = 0usize;
+        let mut width = leaves;
+        while width > 1 {
+            width /= 2;
+            let go_right = way >= lo + width;
+            // Point the bit away from the accessed half.
+            self.bits[node] = !go_right;
+            node = node * 2 + usize::from(go_right);
+            if go_right {
+                lo += width;
+            }
+        }
+    }
+}
+
+impl SetPolicy for Plru {
+    fn on_insert(&mut self, way: usize) {
+        self.point_away(way);
+    }
+
+    fn on_hit(&mut self, way: usize) {
+        self.point_away(way);
+    }
+
+    fn choose_victim(&mut self) -> usize {
+        let mut node = 1usize;
+        let mut lo = 0usize;
+        let mut width = self.ways;
+        while width > 1 {
+            width /= 2;
+            let go_right = self.bits[node];
+            node = node * 2 + usize::from(go_right);
+            if go_right {
+                lo += width;
+            }
+        }
+        lo
+    }
+
+    fn on_invalidate(&mut self, _way: usize) {}
+
+    fn state(&self) -> Vec<u8> {
+        // Report, per way, whether the tree currently points toward it
+        // (1 = candidate path).
+        let victim = {
+            let mut node = 1usize;
+            let mut lo = 0usize;
+            let mut width = self.ways;
+            while width > 1 {
+                width /= 2;
+                let go_right = self.bits[node];
+                node = node * 2 + usize::from(go_right);
+                if go_right {
+                    lo += width;
+                }
+            }
+            lo
+        };
+        (0..self.ways).map(|w| u8::from(w == victim)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_is_never_most_recent() {
+        let mut p = Plru::new(8);
+        for w in 0..8 {
+            p.on_insert(w);
+        }
+        for w in 0..8 {
+            p.on_hit(w);
+            assert_ne!(p.choose_victim(), w, "victim must not be the MRU way");
+        }
+    }
+
+    #[test]
+    fn round_robin_fill_cycles() {
+        let mut p = Plru::new(4);
+        for w in 0..4 {
+            p.on_insert(w);
+        }
+        // Touch 0 then 2: tree should steer victims into {1,3}.
+        p.on_hit(0);
+        p.on_hit(2);
+        let v = p.choose_victim();
+        assert!(v == 1 || v == 3, "victim {v} should be an untouched way");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        Plru::new(6);
+    }
+
+    #[test]
+    fn state_flags_exactly_one_candidate() {
+        let mut p = Plru::new(8);
+        for w in 0..8 {
+            p.on_insert(w);
+        }
+        let s = p.state();
+        assert_eq!(s.iter().filter(|b| **b == 1).count(), 1);
+    }
+}

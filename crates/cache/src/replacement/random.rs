@@ -1,0 +1,84 @@
+//! Deterministic pseudo-random replacement.
+
+use super::SetPolicy;
+
+/// Pseudo-random replacement driven by a per-set xorshift generator.
+///
+/// Deterministic for a given set index, so simulations remain reproducible.
+/// CleanupSpec (§6, related work) pairs rollback with *randomized*
+/// replacement to blunt replacement-state leakage — this policy is what the
+/// CleanupSpec configuration plugs into the L1.
+#[derive(Debug, Clone)]
+pub struct Random {
+    ways: usize,
+    state: u64,
+}
+
+impl Random {
+    /// Creates random-replacement state for a set; `seed` is normally the
+    /// set index so distinct sets draw distinct sequences.
+    pub fn new(ways: usize, seed: u64) -> Random {
+        Random {
+            ways,
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+impl SetPolicy for Random {
+    fn on_insert(&mut self, _way: usize) {}
+
+    fn on_hit(&mut self, _way: usize) {}
+
+    fn choose_victim(&mut self) -> usize {
+        (self.next() % self.ways as u64) as usize
+    }
+
+    fn on_invalidate(&mut self, _way: usize) {}
+
+    fn state(&self) -> Vec<u8> {
+        vec![0; self.ways]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victims_are_in_range_and_vary() {
+        let mut r = Random::new(8, 3);
+        let picks: Vec<usize> = (0..64).map(|_| r.choose_victim()).collect();
+        assert!(picks.iter().all(|w| *w < 8));
+        let first = picks[0];
+        assert!(picks.iter().any(|w| *w != first), "should not be constant");
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Random::new(8, 5);
+        let mut b = Random::new(8, 5);
+        for _ in 0..32 {
+            assert_eq!(a.choose_victim(), b.choose_victim());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Random::new(16, 1);
+        let mut b = Random::new(16, 2);
+        let sa: Vec<usize> = (0..32).map(|_| a.choose_victim()).collect();
+        let sb: Vec<usize> = (0..32).map(|_| b.choose_victim()).collect();
+        assert_ne!(sa, sb);
+    }
+}

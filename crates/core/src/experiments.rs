@@ -1,0 +1,129 @@
+//! Experiment helpers shared by the figure-regeneration binaries.
+
+use si_cpu::{MachineConfig, TraceEvent};
+use si_schemes::SchemeKind;
+
+use crate::attacks::{Attack, AttackKind};
+
+/// Samples for Figure 7: the interference target's completion time with
+/// and without the gadget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterferenceSamples {
+    /// Target latency samples with the gadget active (secret = 1).
+    pub with_gadget: Vec<u64>,
+    /// Target latency samples without interference (secret = 0).
+    pub baseline: Vec<u64>,
+}
+
+impl InterferenceSamples {
+    /// Mean of the gadget-active samples.
+    pub fn mean_with(&self) -> f64 {
+        mean(&self.with_gadget)
+    }
+
+    /// Mean of the baseline samples.
+    pub fn mean_baseline(&self) -> f64 {
+        mean(&self.baseline)
+    }
+
+    /// The mean interference delay (the paper reports ~80 cycles of
+    /// separation on its hardware; the simulator's separation depends on
+    /// the configured gadget depth).
+    pub fn separation(&self) -> f64 {
+        self.mean_with() - self.mean_baseline()
+    }
+}
+
+fn mean(v: &[u64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<u64>() as f64 / v.len() as f64
+}
+
+/// Runs the Figure 7 experiment: `trials` samples per condition of the
+/// `G^D_NPEU` target's completion time under DoM, with DRAM jitter
+/// supplying the measurement noise that gives the histogram its width.
+pub fn fig07_interference_samples(
+    machine: &MachineConfig,
+    scheme: SchemeKind,
+    trials: usize,
+    jitter: u64,
+) -> InterferenceSamples {
+    let mut cfg = machine.clone();
+    cfg.noise.dram_jitter = jitter;
+    cfg.noise.background_period = 0;
+    let attack = Attack::new(AttackKind::NpeuVdVd, scheme, cfg);
+    let sample = |secret: u64| -> Vec<u64> {
+        (0..trials)
+            .filter_map(|t| attack.sample_event_offset(secret, 0x51_000 + t as u64))
+            .collect()
+    };
+    InterferenceSamples {
+        with_gadget: sample(1),
+        baseline: sample(0),
+    }
+}
+
+/// Buckets samples into a text histogram: `(bucket_start, count)` rows.
+pub fn histogram(samples: &[u64], bucket: u64) -> Vec<(u64, usize)> {
+    assert!(bucket > 0);
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let lo = samples.iter().min().copied().unwrap_or(0) / bucket * bucket;
+    let hi = samples.iter().max().copied().unwrap_or(0) / bucket * bucket;
+    let mut rows = Vec::new();
+    let mut start = lo;
+    while start <= hi {
+        let count = samples
+            .iter()
+            .filter(|s| **s >= start && **s < start + bucket)
+            .count();
+        rows.push((start, count));
+        start += bucket;
+    }
+    rows
+}
+
+/// Runs one attack trial with pipeline tracing enabled and returns the
+/// victim core's trace — the raw material for the timeline figures
+/// (Figures 3, 4, 5, 10).
+pub fn traced_trial(
+    kind: AttackKind,
+    scheme: SchemeKind,
+    machine: &MachineConfig,
+    secret: u64,
+) -> Vec<(u64, TraceEvent)> {
+    let mut cfg = machine.clone();
+    cfg.noise.dram_jitter = 0;
+    cfg.noise.background_period = 0;
+    let attack = Attack::new(kind, scheme, cfg);
+    attack.run_traced(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_the_range() {
+        let rows = histogram(&[10, 12, 19, 30], 10);
+        assert_eq!(rows, vec![(10, 3), (20, 0), (30, 1)]);
+    }
+
+    #[test]
+    fn histogram_handles_empty_input() {
+        assert!(histogram(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn interference_sample_stats() {
+        let s = InterferenceSamples {
+            with_gadget: vec![150, 160],
+            baseline: vec![100, 110],
+        };
+        assert!((s.mean_with() - 155.0).abs() < 1e-9);
+        assert!((s.separation() - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,203 @@
+//! Memory layout for the attack programs.
+//!
+//! Every attack depends on precise placement: the monitored LLC set must
+//! contain exactly the victim line, the reference line, and the eviction
+//! set; the transmitter lines must not alias them; victim-local data (the
+//! spin flags, index array, branch bound) must not conflict in the L1
+//! either. [`AttackLayout`] computes and checks all of it against the
+//! machine's cache geometry.
+
+use si_cache::{evset, line_of, CacheConfig, LINE_BYTES};
+
+/// All addresses an attack program and its receiver use.
+///
+/// Constructed by [`AttackLayout::plan`], which asserts the separation
+/// invariants (see that method's panics).
+#[derive(Debug, Clone)]
+pub struct AttackLayout {
+    /// Entry point of victim code.
+    pub code_base: u64,
+    /// Index array driving the victim loop (`idx[k]` is the iteration's
+    /// `i`).
+    pub idx_base: u64,
+    /// Rendezvous: victim stores 1 here when ready.
+    pub signal_addr: u64,
+    /// Rendezvous: victim spins until this is non-zero.
+    pub wait_addr: u64,
+    /// The branch bound `N` (flushed before the attack iteration so the
+    /// branch resolves slowly).
+    pub n_addr: u64,
+    /// Base of `TargetArray` (in-bounds accesses during training).
+    pub target_array: u64,
+    /// The out-of-bounds index used in the attack iteration.
+    pub attack_index: u64,
+    /// Address of the secret (`target_array + attack_index * 8`).
+    pub secret_addr: u64,
+    /// Transmitter array `S`: the gadget loads `S + secret*64`.
+    pub s_base: u64,
+    /// The monitored **victim** line `A` (ordered access #1).
+    pub a_addr: u64,
+    /// The **reference** line `B` (ordered access #2), same LLC set as `A`.
+    pub b_addr: u64,
+    /// Eviction-set line base addresses (LLC-associativity − 1 of them,
+    /// same LLC set as `A`/`B`).
+    pub evset: Vec<u64>,
+    /// The I-cache target line (the "shared function" of §4.3).
+    pub target_fn: u64,
+    /// Code address of the correct-path join block for the
+    /// instruction-side (VD-VI / VI-AD) variants; its line maps to the
+    /// monitored set so the post-squash fetch is the ordered access.
+    pub vi_addr: u64,
+    /// Alternative placement for the delayed load `A` used by the
+    /// instruction-side variants (off the monitored set, so only the
+    /// fetch and the reference occupy it).
+    pub a_off_addr: u64,
+    /// The LLC set index shared by `A`, `B`, and the eviction set.
+    pub monitored_set: usize,
+}
+
+impl AttackLayout {
+    /// Plans a layout against the given LLC geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the computed addresses violate the separation invariants
+    /// (monitored-set aliasing, L1-set collisions among hot victim data) —
+    /// which cannot happen for the geometries this crate supports and
+    /// would indicate a config/geometry mismatch.
+    pub fn plan(llc: &CacheConfig) -> AttackLayout {
+        let sets = llc.sets as u64;
+        // The monitored set: anything not aliased by the fixed data below.
+        let monitored_set = (sets * 3 / 4) as usize;
+        let a_line = monitored_set as u64; // lowest line in that set
+        let b_line = a_line + sets;
+        let vi_line = a_line + 4 * sets;
+        let code_base = 0x0001_0000;
+        // Fixed data is staggered by one line each so hot victim lines
+        // spread over distinct L1 sets (they would otherwise all be 64
+        // KB-aligned and collide in L1 set 0).
+        let layout = AttackLayout {
+            code_base,
+            idx_base: 0x0010_0000,
+            signal_addr: 0x0011_0040,
+            wait_addr: 0x0011_0080,
+            n_addr: 0x0012_00c0,
+            target_array: 0x0013_0100,
+            attack_index: 0x2000,
+            secret_addr: 0x0013_0100 + 0x2000 * 8,
+            s_base: 0x0016_0140,
+            a_addr: a_line * LINE_BYTES,
+            b_addr: b_line * LINE_BYTES,
+            evset: evset::conflicting_lines(llc, a_line, llc.ways - 1, &[b_line, vi_line])
+                .into_iter()
+                .map(|l| l * LINE_BYTES)
+                .collect(),
+            target_fn: 0x0008_0180,
+            vi_addr: vi_line * LINE_BYTES,
+            a_off_addr: (a_line - 1) * LINE_BYTES,
+            monitored_set,
+        };
+        layout.check(llc);
+        layout
+    }
+
+    fn check(&self, llc: &CacheConfig) {
+        // 1. A, B, and the eviction set share the monitored LLC set.
+        for addr in self.ordered_set_addrs() {
+            assert_eq!(
+                llc.set_of(line_of(addr)),
+                self.monitored_set,
+                "0x{addr:x} must map to the monitored set"
+            );
+        }
+        // 2. No fixed datum aliases the monitored set.
+        for addr in self.fixed_data() {
+            assert_ne!(
+                llc.set_of(line_of(addr)),
+                self.monitored_set,
+                "0x{addr:x} must not alias the monitored set"
+            );
+        }
+        // 3. The instruction-side join line deliberately maps to the
+        // monitored set (and to nothing the other variants monitor).
+        assert_eq!(llc.set_of(line_of(self.vi_addr)), self.monitored_set);
+        assert!(!self.ordered_set_addrs().contains(&self.vi_addr));
+        // 3. Hot victim lines are pairwise distinct cache lines.
+        let mut lines: Vec<u64> = self.fixed_data().iter().map(|a| line_of(*a)).collect();
+        lines.sort_unstable();
+        let before = lines.len();
+        lines.dedup();
+        assert_eq!(before, lines.len(), "hot victim data must not share lines");
+    }
+
+    /// A, B, and the eviction set (the monitored-set occupants).
+    pub fn ordered_set_addrs(&self) -> Vec<u64> {
+        let mut v = vec![self.a_addr, self.b_addr];
+        v.extend(self.evset.iter().copied());
+        v
+    }
+
+    /// The fixed victim data addresses (hot lines that must stay out of
+    /// the monitored set).
+    pub fn fixed_data(&self) -> Vec<u64> {
+        vec![
+            self.idx_base,
+            self.signal_addr,
+            self.wait_addr,
+            self.n_addr,
+            self.target_array,
+            self.secret_addr,
+            self.s_base,
+            self.s_base + 64,
+            self.target_fn,
+            self.a_off_addr,
+        ]
+    }
+
+    /// The transmitter line for a given secret bit.
+    pub fn s_addr(&self, secret: u64) -> u64 {
+        self.s_base + secret * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_cache::PolicyKind;
+
+    fn llc() -> CacheConfig {
+        CacheConfig::new(1024, 16, PolicyKind::qlru_h11_m1_r0_u0())
+    }
+
+    #[test]
+    fn plan_satisfies_all_invariants() {
+        let l = AttackLayout::plan(&llc());
+        assert_eq!(l.evset.len(), 15);
+        assert_eq!(l.secret_addr, l.target_array + l.attack_index * 8);
+    }
+
+    #[test]
+    fn monitored_set_contains_exactly_the_ordered_lines() {
+        let cfg = llc();
+        let l = AttackLayout::plan(&cfg);
+        let addrs = l.ordered_set_addrs();
+        assert_eq!(addrs.len(), cfg.ways + 1); // A + B + (ways-1) EVs
+        let mut lines: Vec<u64> = addrs.iter().map(|a| line_of(*a)).collect();
+        lines.sort_unstable();
+        lines.dedup();
+        assert_eq!(lines.len(), cfg.ways + 1, "all distinct lines");
+    }
+
+    #[test]
+    fn transmitter_lines_differ_per_secret() {
+        let l = AttackLayout::plan(&llc());
+        assert_ne!(line_of(l.s_addr(0)), line_of(l.s_addr(1)));
+    }
+
+    #[test]
+    fn plan_works_for_smaller_llcs() {
+        let small = CacheConfig::new(256, 8, PolicyKind::qlru_h11_m1_r0_u0());
+        let l = AttackLayout::plan(&small);
+        assert_eq!(l.evset.len(), 7);
+    }
+}

@@ -1,0 +1,114 @@
+//! **Speculative interference attacks** — the primary contribution of
+//! Behnia et al. (ASPLOS 2021), reproduced end to end on the workspace's
+//! cycle-level simulator.
+//!
+//! The attack framework (§3.2.1) decomposes into:
+//!
+//! * an **interference gadget** — mis-speculated instructions whose
+//!   resource usage depends on a transiently accessed secret
+//!   ([`victims`] builds the three gadgets of §3.2.2: `G^D_NPEU`,
+//!   `G^D_MSHR`, `G^I_RS`);
+//! * an **interference target** — older, bound-to-retire work (or the
+//!   frontend) whose timing the gadget perturbs;
+//! * a conversion from *timing* to *persistent cache state* by reordering
+//!   the delayed access against a fixed-time **reference** access (§3.3);
+//! * a **receiver** that decodes the order from LLC replacement state
+//!   ([`receiver::OrderReceiver`], §4.2.2) or a line's presence
+//!   ([`receiver::FlushReload`], §4.3).
+//!
+//! [`attacks::Attack`] wires these into runnable cross-core trials;
+//! [`matrix`] sweeps them into Table 1; [`channel`] evaluates them as
+//! covert channels (Figure 11); [`security`] implements the §5.1
+//! ideal-invisible-speculation checker.
+//!
+//! # Example — one D-Cache interference trial against Delay-on-Miss
+//!
+//! ```no_run
+//! use si_core::attacks::{Attack, AttackKind};
+//! use si_cpu::MachineConfig;
+//! use si_schemes::SchemeKind;
+//!
+//! let attack = Attack::new(
+//!     AttackKind::NpeuVdVd,
+//!     SchemeKind::DomSpectre,
+//!     MachineConfig::default(),
+//! );
+//! assert_eq!(attack.run_trial(1).decoded, Some(1));
+//! assert_eq!(attack.run_trial(0).decoded, Some(0));
+//! ```
+
+pub mod attacks;
+pub mod channel;
+pub mod experiments;
+mod layout;
+pub mod matrix;
+pub mod occupancy;
+pub mod receiver;
+pub mod rendezvous;
+pub mod security;
+pub mod victims;
+
+pub use attacks::{Attack, AttackKind, TrialResult, ATTACKER_CORE, VICTIM_CORE};
+pub use layout::AttackLayout;
+pub use receiver::{Decoded, FlushReload, OrderReceiver};
+pub use security::{check_ideal_invisibility, llc_pattern, CheckOutcome, PatternMode};
+
+#[cfg(test)]
+mod attack_tests {
+    use super::attacks::{Attack, AttackKind};
+    use si_cpu::MachineConfig;
+    use si_schemes::SchemeKind;
+
+    fn quiet() -> MachineConfig {
+        MachineConfig::default()
+    }
+
+    #[test]
+    fn spectre_v1_leaks_on_unprotected_baseline() {
+        let attack = Attack::new(AttackKind::SpectreV1, SchemeKind::Unprotected, quiet());
+        assert_eq!(attack.run_trial(0).decoded, Some(0));
+        assert_eq!(attack.run_trial(1).decoded, Some(1));
+    }
+
+    #[test]
+    fn spectre_v1_is_blocked_by_delay_on_miss() {
+        let attack = Attack::new(AttackKind::SpectreV1, SchemeKind::DomSpectre, quiet());
+        assert_eq!(attack.run_trial(1).decoded, None);
+    }
+
+    #[test]
+    fn npeu_interference_breaks_delay_on_miss() {
+        let attack = Attack::new(AttackKind::NpeuVdVd, SchemeKind::DomSpectre, quiet());
+        assert_eq!(attack.run_trial(0).decoded, Some(0), "no-gadget order A-B");
+        assert_eq!(attack.run_trial(1).decoded, Some(1), "gadget reorders to B-A");
+    }
+
+    #[test]
+    fn irs_interference_breaks_delay_on_miss_via_icache() {
+        let attack = Attack::new(AttackKind::IrsICache, SchemeKind::DomSpectre, quiet());
+        assert_eq!(attack.run_trial(0).decoded, Some(0), "hit: target fetched");
+        assert_eq!(attack.run_trial(1).decoded, Some(1), "miss: frontend throttled");
+    }
+
+    #[test]
+    fn mshr_interference_breaks_invisispec() {
+        let attack = Attack::new(
+            AttackKind::MshrVdAd,
+            SchemeKind::InvisiSpecSpectre,
+            quiet(),
+        );
+        assert_eq!(attack.run_trial(0).decoded, Some(0));
+        assert_eq!(attack.run_trial(1).decoded, Some(1));
+    }
+
+    #[test]
+    fn fence_defense_blocks_npeu_interference() {
+        let attack = Attack::new(AttackKind::NpeuVdVd, SchemeKind::FenceSpectre, quiet());
+        let d0 = attack.run_trial(0).decoded;
+        let d1 = attack.run_trial(1).decoded;
+        assert!(
+            !(d0 == Some(0) && d1 == Some(1)),
+            "fence defense must not leak: got {d0:?}/{d1:?}"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Victim/attacker rendezvous.
+//!
+//! The paper's PoCs interleave attacker phases (mistrain, prime) with
+//! victim episodes (§4.2.3 steps 2–5). In the simulator the victim runs a
+//! training loop and one attack iteration inside a single program; the
+//! attacker must act *between* iterations. The rendezvous gives it a
+//! deterministic hook:
+//!
+//! * the victim stores 1 to its **signal** address and spins on its
+//!   **wait** address;
+//! * the harness steps the machine until the signal appears in memory,
+//!   runs the attacker's agent ops for that round, then *releases* the
+//!   victim — writes 1 to the wait address and flushes its line so the
+//!   spinning load misses its stale cached copy and observes the release;
+//! * the victim consumes the release (zeroing both flags) and runs one
+//!   episode.
+
+use si_cpu::{AgentOp, Machine, Timeout};
+
+use crate::AttackLayout;
+
+/// Runs `rounds` rendezvous rounds against the victim on `victim_core`,
+/// invoking `on_round(machine, round)` while the victim is parked, then
+/// runs the victim to completion.
+///
+/// Returns the cycle at which each round was released (the episode start
+/// reference used to schedule fixed-time attacker accesses).
+///
+/// # Errors
+///
+/// Returns [`Timeout`] if the victim fails to signal or halt within
+/// `max_cycles` total.
+pub fn run_rounds(
+    m: &mut Machine,
+    victim_core: usize,
+    layout: &AttackLayout,
+    rounds: usize,
+    mut on_round: impl FnMut(&mut Machine, usize),
+    max_cycles: u64,
+) -> Result<Vec<u64>, Timeout> {
+    let deadline = m.cycle() + max_cycles;
+    let mut release_cycles = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        // Wait for the victim to park.
+        while m.memory().read_u64(layout.signal_addr) != 1 {
+            if m.cycle() >= deadline || m.core(victim_core).halted() {
+                return Err(Timeout {
+                    cycles: m.cycle(),
+                });
+            }
+            m.step();
+        }
+        on_round(m, round);
+        // Release: write the flag and flush its line so the spin load
+        // re-reads memory.
+        m.memory_mut().write_u64(layout.wait_addr, 1);
+        m.run_op(AgentOp::Flush(layout.wait_addr));
+        release_cycles.push(m.cycle());
+        // Wait until the victim consumes the release (signal cleared).
+        while m.memory().read_u64(layout.signal_addr) != 0 {
+            if m.cycle() >= deadline || m.core(victim_core).halted() {
+                return Err(Timeout {
+                    cycles: m.cycle(),
+                });
+            }
+            m.step();
+        }
+    }
+    // Let the final episode run to completion.
+    while !m.core(victim_core).halted() {
+        if m.cycle() >= deadline {
+            return Err(Timeout {
+                cycles: m.cycle(),
+            });
+        }
+        m.step();
+    }
+    Ok(release_cycles)
+}

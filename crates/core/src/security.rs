@@ -1,0 +1,229 @@
+//! The ideal-invisible-speculation checker (§5.1).
+//!
+//! The paper's security definition: for any execution `E`, the visible L2
+//! access pattern must satisfy `C(E) = C(NoSpec(E))`, where `NoSpec(E)` is
+//! the execution that would have occurred with no mis-speculations and the
+//! pattern is the *order-without-timing* sequence of visible LLC accesses.
+//!
+//! The checker runs the same program (and the same deterministic attacker
+//! driver) twice — once normally, once on a non-speculating frontend
+//! ([`si_cpu::CoreConfig::no_speculation`]) — and compares the logs.
+//!
+//! Two comparison modes reflect the nuance discussed in DESIGN.md: the
+//! fence defense equalizes the **data-side** pattern but not wrong-path
+//! instruction fetches (which can no longer be secret-dependent, since no
+//! transmitter ever issues); [`PatternMode::DataAndInstr`] therefore flags
+//! even the fence defense, while [`PatternMode::DataOnly`] is the
+//! property §5.2 actually achieves.
+
+use si_cache::{LlcEvent, LlcEventKind};
+use si_cpu::{Machine, MachineConfig, Timeout};
+use si_isa::Program;
+use si_schemes::SchemeKind;
+
+/// Which LLC traffic enters the compared pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternMode {
+    /// Data reads and writes only (the property the §5.2 defense achieves).
+    DataOnly,
+    /// Data plus instruction fetches (strict §5.1).
+    DataAndInstr,
+}
+
+/// One element of a `C(E)` pattern.
+pub type PatternItem = (u64, LlcEventKind);
+
+/// Projects an LLC log onto the §5.1 pattern (ordering kept, timing
+/// dropped), restricted to the given core's traffic.
+pub fn llc_pattern(events: &[LlcEvent], mode: PatternMode, core: usize) -> Vec<PatternItem> {
+    events
+        .iter()
+        .filter(|e| e.core == core)
+        .filter(|e| match mode {
+            PatternMode::DataAndInstr => true,
+            PatternMode::DataOnly => {
+                matches!(e.kind, LlcEventKind::DataRead | LlcEventKind::Write)
+            }
+        })
+        .map(|e| (e.line, e.kind))
+        .collect()
+}
+
+/// Outcome of one ideal-invisibility check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Whether `C(E) = C(NoSpec(E))` held.
+    pub holds: bool,
+    /// The speculative execution's pattern.
+    pub spec_pattern: Vec<PatternItem>,
+    /// The `NoSpec` execution's pattern.
+    pub nospec_pattern: Vec<PatternItem>,
+}
+
+impl CheckOutcome {
+    /// Index of the first divergence, if any.
+    pub fn first_divergence(&self) -> Option<usize> {
+        if self.holds {
+            return None;
+        }
+        Some(
+            self.spec_pattern
+                .iter()
+                .zip(&self.nospec_pattern)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| self.spec_pattern.len().min(self.nospec_pattern.len())),
+        )
+    }
+}
+
+/// Checks `C(E) = C(NoSpec(E))` for a program run to halt on core 0 under
+/// `scheme`, with `driver` supplying any deterministic attacker actions
+/// (for plain programs pass [`run_to_halt`]).
+///
+/// # Errors
+///
+/// Propagates the driver's [`Timeout`].
+pub fn check_ideal_invisibility(
+    program: &Program,
+    scheme: SchemeKind,
+    config: &MachineConfig,
+    mode: PatternMode,
+    driver: impl Fn(&mut Machine) -> Result<(), Timeout>,
+) -> Result<CheckOutcome, Timeout> {
+    let spec_pattern = collect_pattern(program, scheme, config, false, &driver, mode)?;
+    let nospec_pattern = collect_pattern(program, scheme, config, true, &driver, mode)?;
+    Ok(CheckOutcome {
+        holds: spec_pattern == nospec_pattern,
+        spec_pattern,
+        nospec_pattern,
+    })
+}
+
+/// Runs one execution and returns its pattern.
+fn collect_pattern(
+    program: &Program,
+    scheme: SchemeKind,
+    config: &MachineConfig,
+    no_speculation: bool,
+    driver: &impl Fn(&mut Machine) -> Result<(), Timeout>,
+    mode: PatternMode,
+) -> Result<Vec<PatternItem>, Timeout> {
+    let mut cfg = config.clone();
+    cfg.core.no_speculation = no_speculation;
+    cfg.noise.dram_jitter = 0;
+    cfg.noise.background_period = 0;
+    let mut m = Machine::new(cfg);
+    m.load_program_with_scheme(0, program, scheme.build());
+    driver(&mut m)?;
+    Ok(llc_pattern(&m.take_llc_log(), mode, 0))
+}
+
+/// The default driver: run core 0 to halt within a generous budget.
+pub fn run_to_halt(m: &mut Machine) -> Result<(), Timeout> {
+    m.run_core_to_halt(0, 2_000_000).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_isa::{Assembler, R1, R2};
+
+    /// A program whose transient path loads a line the correct path never
+    /// touches — the minimal speculative leak. The loop body loads
+    /// `0x9000 + i*64`; the final evaluation (`i == 4`, not taken but
+    /// predicted taken after training) transiently loads the fifth,
+    /// never-architecturally-touched line. A multiply chain slows the
+    /// bound comparison so the transient window is wide enough for the
+    /// load to reach the cache.
+    fn leaky_program() -> Program {
+        use si_isa::{R4, R6, R7, R8, R9, R0};
+        let mut asm = Assembler::new(0);
+        asm.mov_imm(R1, 0);
+        asm.mov_imm(R2, 4);
+        asm.mov_imm(R4, 0x9000);
+        asm.mov_imm(R7, 6);
+        let top = asm.here("top");
+        let body = asm.label("body");
+        let end = asm.label("end");
+        // Slow copy of the bound: dependent multiplies, collapsed to 0,
+        // added back — the branch resolves ~30 cycles late.
+        asm.mul(R9, R2, R2);
+        for _ in 0..7 {
+            asm.mul(R9, R9, R9);
+        }
+        asm.and(R9, R9, R0);
+        asm.add(R9, R2, R9);
+        asm.branch_ltu(R1, R9, body);
+        asm.jump(end);
+        asm.bind(body);
+        asm.shl(R6, R1, R7);
+        asm.add(R6, R4, R6);
+        asm.load(R8, R6, 0);
+        asm.add_imm(R1, R1, 1);
+        asm.jump(top);
+        asm.bind(end);
+        asm.halt();
+        asm.assemble().unwrap()
+    }
+
+    #[test]
+    fn unprotected_straight_line_is_ideal() {
+        let mut asm = Assembler::new(0);
+        asm.mov_imm(R1, 0x5000);
+        asm.load(R2, R1, 0);
+        asm.load(R2, R1, 64);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let out = check_ideal_invisibility(
+            &p,
+            SchemeKind::Unprotected,
+            &MachineConfig::default(),
+            PatternMode::DataAndInstr,
+            run_to_halt,
+        )
+        .unwrap();
+        assert!(out.holds, "no branches, nothing to mis-speculate");
+        assert!(!out.spec_pattern.is_empty());
+    }
+
+    #[test]
+    fn fence_defense_is_data_side_ideal_on_branchy_code() {
+        let out = check_ideal_invisibility(
+            &leaky_program(),
+            SchemeKind::FenceFuturistic,
+            &MachineConfig::default(),
+            PatternMode::DataOnly,
+            run_to_halt,
+        )
+        .unwrap();
+        assert!(out.holds, "divergence at {:?}", out.first_divergence());
+    }
+
+    #[test]
+    fn dom_is_data_side_ideal_on_this_simple_program() {
+        // Without an interference gadget, DoM hides the transient load.
+        let out = check_ideal_invisibility(
+            &leaky_program(),
+            SchemeKind::DomSpectre,
+            &MachineConfig::default(),
+            PatternMode::DataOnly,
+            run_to_halt,
+        )
+        .unwrap();
+        assert!(out.holds);
+    }
+
+    #[test]
+    fn unprotected_violates_on_branchy_code() {
+        let out = check_ideal_invisibility(
+            &leaky_program(),
+            SchemeKind::Unprotected,
+            &MachineConfig::default(),
+            PatternMode::DataOnly,
+            run_to_halt,
+        )
+        .unwrap();
+        assert!(!out.holds, "the transient load must appear in C(E) only");
+        assert!(out.first_divergence().is_some());
+    }
+}

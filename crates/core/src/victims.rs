@@ -1,0 +1,444 @@
+//! Victim-program builders.
+//!
+//! Each victim follows the paper's PoC shape: a loop whose body is the
+//! *attack block* (Figures 3–6), driven by an index array `idx[k]` that is
+//! in-bounds for the training iterations (taking the branch and training
+//! the predictor, §4.1) and out-of-bounds for the final attack iteration.
+//! Every iteration begins with a rendezvous (see [`crate::rendezvous`]) so
+//! the attacker can prime between episodes.
+//!
+//! The register map is fixed across victims:
+//!
+//! ```text
+//! r1  k (loop counter)         r2  total iterations
+//! r3  i = idx[k]               r4  scratch
+//! r5  branch bound N           r6  secret (transient)
+//! r7  transmitter result       r8  z (shared chain seed)
+//! r9  A address (f chain)      r10 B address (g chain)
+//! r11 A value   r12 B value    r13 gadget sink
+//! r18 const 6   r19 const 3    r17 warm sink
+//! r20 idx base  r21 TargetArray base  r22 S base
+//! r23 N addr    r24 wait addr  r25 signal addr
+//! r26 const 1   r27 A base     r28 B base
+//! ```
+
+use si_isa::{Assembler, Instruction, Label, Program, R0, R1, R10, R11, R12, R13, R14, R15, R16,
+    R17, R18, R19, R2, R20, R21, R22, R23, R24, R25, R26, R27, R28, R3, R4, R5, R6, R7, R8, R9};
+
+use crate::AttackLayout;
+
+/// How the `G^D_NPEU` victim arranges its ordered accesses (§3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NpeuVariant {
+    /// Figure 6: the victim itself issues both `A` (delayed by the gadget)
+    /// and the reference load `B` (fixed time) — the VD-VD ordering.
+    VictimPair,
+    /// The victim issues only `A`; the attacker provides the reference
+    /// access from another core at a fixed cycle — the VD-AD ordering.
+    AttackerReference,
+    /// The branch condition depends on load `A`, so the gadget delays the
+    /// squash and thus the post-squash **instruction fetch** of the
+    /// correct-path line; the victim's `B` load is the fixed reference —
+    /// the VD-VI ordering.
+    InstrVsVictim,
+    /// As `InstrVsVictim` but the reference is an attacker access —
+    /// the VI-AD ordering.
+    InstrVsAttacker,
+}
+
+impl NpeuVariant {
+    /// Whether the victim emits the reference load `B`.
+    pub fn victim_loads_b(self) -> bool {
+        matches!(self, NpeuVariant::VictimPair | NpeuVariant::InstrVsVictim)
+    }
+
+    /// Whether the branch condition is made dependent on load `A`
+    /// (delaying the squash instead of the data access).
+    pub fn instruction_side(self) -> bool {
+        matches!(
+            self,
+            NpeuVariant::InstrVsVictim | NpeuVariant::InstrVsAttacker
+        )
+    }
+}
+
+/// Shared scaffold parameters.
+#[derive(Debug, Clone)]
+pub struct Scaffold {
+    /// Address plan.
+    pub layout: AttackLayout,
+    /// Training iterations before the attack iteration.
+    pub train_iters: usize,
+    /// `TargetArray[0]` — the "secret" the training iterations read
+    /// in-bounds, steering which transmitter line training warms.
+    pub train_value: u64,
+}
+
+impl Scaffold {
+    /// Total rendezvous rounds (training + the attack iteration).
+    pub fn rounds(&self) -> usize {
+        self.train_iters + 1
+    }
+}
+
+/// Depth of the `z` chain (dependent multiplies) for the NPEU victim.
+const NPEU_Z_MULS: usize = 7;
+/// Depth of the `f` chain (dependent square roots producing `A`'s address).
+const NPEU_F_SQRTS: usize = 4;
+/// Depth of the `g` chain (dependent multiplies producing `B`'s address);
+/// longer than `f` so that `A` wins without interference (Figure 6:
+/// "G > F cycles").
+const NPEU_G_MULS: usize = 20;
+/// Interference-gadget width (independent square roots on the transmitter
+/// value); must cover the `f` chain's stages.
+const NPEU_GADGET_SQRTS: usize = 6;
+/// Depth of the `z` chain for the MSHR victim (longer: the gadget's loads
+/// must win the MSHRs before `A`'s address resolves, Figure 4).
+const MSHR_Z_MULS: usize = 10;
+/// Number of gadget loads for the MSHR victim — matches the default MSHR
+/// count (`M` in Figure 4).
+pub const MSHR_GADGET_LOADS: usize = 8;
+
+fn emit_prologue(asm: &mut Assembler, s: &Scaffold) -> Label {
+    let l = &s.layout;
+    asm.mov_imm(R18, 6);
+    asm.mov_imm(R19, 3);
+    asm.mov_imm(R20, l.idx_base as i64);
+    asm.mov_imm(R21, l.target_array as i64);
+    asm.mov_imm(R22, l.s_base as i64);
+    asm.mov_imm(R23, l.n_addr as i64);
+    asm.mov_imm(R24, l.wait_addr as i64);
+    asm.mov_imm(R25, l.signal_addr as i64);
+    asm.mov_imm(R26, 1);
+    asm.mov_imm(R1, 0);
+    asm.mov_imm(R2, s.rounds() as i64);
+    // Warm the secret's line once (it is the victim's own hot data).
+    asm.mov_imm(R4, l.secret_addr as i64);
+    asm.load(R17, R4, 0);
+    let loop_top = asm.here("loop_top");
+    // Rendezvous: signal, spin on the release flag, consume it.
+    asm.store(R26, R25, 0);
+    let spin = asm.here("spin");
+    asm.load(R4, R24, 0);
+    asm.branch_eq(R4, R0, spin);
+    asm.store(R0, R24, 0);
+    asm.store(R0, R25, 0);
+    // Re-warm the secret line and drain all speculation before the episode.
+    asm.mov_imm(R4, l.secret_addr as i64);
+    asm.load(R17, R4, 0);
+    asm.fence();
+    // i = idx[k]
+    asm.shl(R4, R1, R19);
+    asm.add(R4, R20, R4);
+    asm.load(R3, R4, 0);
+    loop_top
+}
+
+fn emit_epilogue(asm: &mut Assembler, s: &Scaffold, loop_top: Label) {
+    emit_epilogue_opts(asm, s, loop_top, false)
+}
+
+/// As [`emit_epilogue`]; with `isolate_halt` the loop tail is padded so the
+/// back-branch is the last instruction of its cache line and `halt` starts
+/// the next line. The instruction-side variants need this: the final
+/// loop-exit mispredict redirects fetch to the halt, and if the halt
+/// shared the monitored join line, that refetch would refill the line the
+/// receiver just decoded (erasing the signal).
+fn emit_epilogue_opts(asm: &mut Assembler, s: &Scaffold, loop_top: Label, isolate_halt: bool) {
+    if isolate_halt {
+        // Pad so that (addi + branch) end exactly at a line boundary.
+        while !(asm.cursor() + 2 * si_isa::INSTR_BYTES).is_multiple_of(64) {
+            asm.nop();
+        }
+    }
+    asm.add_imm(R1, R1, 1);
+    asm.branch_ltu(R1, R2, loop_top);
+    if isolate_halt {
+        debug_assert_eq!(asm.cursor() % 64, 0, "halt starts a fresh line");
+    }
+    asm.halt();
+    // Data: training indices 0, attack index last.
+    let l = &s.layout;
+    for k in 0..s.train_iters {
+        asm.data_u64(l.idx_base + 8 * k as u64, 0);
+    }
+    asm.data_u64(l.idx_base + 8 * s.train_iters as u64, l.attack_index);
+    // Branch bound: any value above the in-bounds indices and below the
+    // attack index.
+    asm.data_u64(l.n_addr, 8);
+    // TargetArray[0] — the training "secret".
+    asm.data_u64(l.target_array, s.train_value);
+    // The real secret is planted by the harness at `secret_addr`.
+}
+
+/// Emits the secret access load (`secret = TargetArray[i]`) into `R6`.
+fn emit_access_load(asm: &mut Assembler) {
+    asm.shl(R4, R3, R19);
+    asm.add(R4, R21, R4);
+    asm.load(R6, R4, 0);
+}
+
+/// Emits the transmitter load (`x = S[secret * 64]`) into `R7`.
+fn emit_transmitter(asm: &mut Assembler) {
+    asm.shl(R7, R6, R18);
+    asm.add(R7, R22, R7);
+    asm.load(R7, R7, 0);
+}
+
+/// Builds the `G^D_NPEU` victim (Figures 3 & 6, §4.2): the interference
+/// target is the `f(z)`-addressed load `A`; the gadget is a chain of
+/// square roots dependent on the transmitter, contending for the
+/// non-pipelined port-0 unit.
+///
+/// For the instruction-side variants, `gadget_pad` no-ops are placed
+/// between the gadget and its jump back to the join block, so the
+/// speculative frontend saturates the ROB/decode queue and never fetches
+/// the monitored join line on the wrong path — only the post-squash
+/// correct-path fetch touches it. Pass at least twice the ROB size.
+pub fn npeu_victim(s: &Scaffold, variant: NpeuVariant) -> Program {
+    npeu_victim_padded(s, variant, 0)
+}
+
+/// [`npeu_victim`] with explicit wrong-path padding (see there).
+pub fn npeu_victim_padded(s: &Scaffold, variant: NpeuVariant, gadget_pad: usize) -> Program {
+    let l = &s.layout;
+    let mut asm = Assembler::new(l.code_base);
+    let a_target = if variant.instruction_side() {
+        // The monitored line is the post-squash fetch; A lives off-set.
+        l.a_off_addr
+    } else {
+        l.a_addr
+    };
+    asm.mov_imm(R27, a_target as i64);
+    asm.mov_imm(R28, l.b_addr as i64);
+    let loop_top = emit_prologue(&mut asm, s);
+    let gadget = asm.label("gadget");
+    let join = asm.label("join");
+    // z = ... (takes Z cycles): dependent multiply chain.
+    asm.mov_imm(R8, 3);
+    for _ in 0..NPEU_Z_MULS {
+        asm.mul(R8, R8, R8);
+    }
+    // A = f(z): dependent square-root chain on the non-pipelined unit.
+    asm.sqrt(R9, R8);
+    for _ in 1..NPEU_F_SQRTS {
+        asm.sqrt(R9, R9);
+    }
+    // Collapse the chain value to 0 while keeping the dependence, then
+    // form A's address.
+    asm.and(R9, R9, R0);
+    asm.add(R9, R27, R9);
+    asm.load(R11, R9, 0); // y = load(A) — the victim access V
+    if variant.victim_loads_b() {
+        // B = g(z): longer dependent multiply chain on a different port.
+        asm.mul(R10, R8, R8);
+        for _ in 1..NPEU_G_MULS {
+            asm.mul(R10, R10, R8);
+        }
+        asm.and(R10, R10, R0);
+        asm.add(R10, R28, R10);
+        asm.load(R12, R10, 0); // z = load(B) — the reference access R
+    }
+    // Branch bound.
+    asm.load(R5, R23, 0);
+    if variant.instruction_side() {
+        // Make the branch condition depend on load A, so the gadget's
+        // delay of A delays the squash (VD-VI / VI-AD, §3.3.1).
+        asm.and(R4, R11, R0);
+        asm.add(R5, R5, R4);
+    }
+    asm.branch_ltu(R3, R5, gadget); // if (i < N): trained taken
+    asm.jump(join);
+    asm.bind(gadget);
+    emit_access_load(&mut asm);
+    emit_transmitter(&mut asm);
+    // f'(x): independent square roots, all fed by the transmitter — the
+    // explicit interference on port 0.
+    for _ in 0..NPEU_GADGET_SQRTS {
+        asm.emit(Instruction::sqrt(R13, R7));
+    }
+    // Wrong-path wall: keep the speculative frontend away from the join
+    // line until the squash (instruction-side variants only).
+    asm.emit_n(Instruction::nop(), gadget_pad);
+    asm.jump(join);
+    if variant.instruction_side() {
+        // The correct-path join block sits on the monitored I-line.
+        asm.org(l.vi_addr);
+    }
+    asm.bind(join);
+    emit_epilogue_opts(&mut asm, s, loop_top, variant.instruction_side());
+    asm.assemble().expect("victim assembles")
+}
+
+/// Builds the `G^D_MSHR` victim (Figure 4, §3.2.2): the gadget issues
+/// [`MSHR_GADGET_LOADS`] loads whose addresses are `secret`-strided —
+/// distinct lines (exhausting every MSHR) when the secret is 1, one shared
+/// line (coalescing into a single MSHR) when it is 0 — delaying the
+/// unprotected victim load `A`. The ordering reference is the attacker's
+/// fixed-time access (VD-AD).
+pub fn mshr_victim(s: &Scaffold) -> Program {
+    let l = &s.layout;
+    let mut asm = Assembler::new(l.code_base);
+    asm.mov_imm(R27, l.a_addr as i64);
+    let loop_top = emit_prologue(&mut asm, s);
+    let gadget = asm.label("gadget");
+    let join = asm.label("join");
+    // z chain (longer than NPEU's: the gadget must claim the MSHRs first).
+    asm.mov_imm(R8, 3);
+    for _ in 0..MSHR_Z_MULS {
+        asm.mul(R8, R8, R8);
+    }
+    asm.and(R9, R8, R0);
+    asm.add(R9, R27, R9);
+    asm.load(R11, R9, 0); // the victim load A
+    asm.load(R5, R23, 0);
+    asm.branch_ltu(R3, R5, gadget);
+    asm.jump(join);
+    asm.bind(gadget);
+    emit_access_load(&mut asm);
+    // r7 = secret * 64
+    asm.shl(R7, R6, R18);
+    // M loads at stride secret*64: x_j = load(S + secret*64*j), j = 1..=M.
+    for j in 1..=MSHR_GADGET_LOADS {
+        asm.mov_imm(R14, j as i64);
+        asm.mul(R15, R7, R14);
+        asm.add(R15, R22, R15);
+        asm.load(R16, R15, 0);
+    }
+    asm.jump(join);
+    asm.bind(join);
+    emit_epilogue(&mut asm, s, loop_top);
+    asm.assemble().expect("victim assembles")
+}
+
+/// Builds the `G^I_RS` victim (Figures 5 & 10, §4.3): the gadget is a wall
+/// of ALU ops dependent on the transmitter. On a transmitter miss they pin
+/// the reservation station, dispatch stalls, the decode queue fills, and
+/// fetch stops **before** reaching the jump to the target line; on a hit
+/// they drain and the frontend fetches the target line into the I-cache —
+/// a persistent, cross-core-visible footprint.
+///
+/// `rs_adds` should exceed the RS size plus the decode-queue depth (the
+/// experiment harness derives it from the machine configuration).
+pub fn irs_victim(s: &Scaffold, rs_adds: usize) -> Program {
+    let l = &s.layout;
+    let mut asm = Assembler::new(l.code_base);
+    let loop_top = emit_prologue(&mut asm, s);
+    let gadget = asm.label("gadget");
+    let join = asm.label("join");
+    let target_fn = asm.label("target_fn");
+    asm.load(R5, R23, 0);
+    asm.branch_ltu(R3, R5, gadget);
+    asm.jump(join);
+    asm.bind(gadget);
+    emit_access_load(&mut asm);
+    emit_transmitter(&mut asm);
+    // sum += x, many times — independent of each other, all waiting on x.
+    for _ in 0..rs_adds {
+        asm.emit(Instruction::add(R13, R7, R7));
+    }
+    asm.jump(target_fn);
+    asm.bind(join);
+    emit_epilogue(&mut asm, s, loop_top);
+    // The "shared library function" on its own flushed line (§4.3).
+    asm.org(l.target_fn);
+    asm.bind(target_fn);
+    asm.nop();
+    asm.jump(join);
+    asm.assemble().expect("victim assembles")
+}
+
+/// Builds the classic Spectre v1 victim (§1): the transient path loads the
+/// secret and transmits it through a cache fill at `S + secret*64`,
+/// observable by Flush+Reload — the attack invisible speculation exists to
+/// stop, used as the baseline sanity check.
+pub fn spectre_v1_victim(s: &Scaffold) -> Program {
+    let l = &s.layout;
+    let mut asm = Assembler::new(l.code_base);
+    let loop_top = emit_prologue(&mut asm, s);
+    let gadget = asm.label("gadget");
+    let join = asm.label("join");
+    asm.load(R5, R23, 0);
+    asm.branch_ltu(R3, R5, gadget);
+    asm.jump(join);
+    asm.bind(gadget);
+    emit_access_load(&mut asm);
+    emit_transmitter(&mut asm); // B[j]: the classic covert-channel fill
+    asm.jump(join);
+    asm.bind(join);
+    emit_epilogue(&mut asm, s, loop_top);
+    asm.assemble().expect("victim assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_cache::{CacheConfig, PolicyKind};
+
+    fn scaffold() -> Scaffold {
+        let llc = CacheConfig::new(1024, 16, PolicyKind::qlru_h11_m1_r0_u0());
+        Scaffold {
+            layout: AttackLayout::plan(&llc),
+            train_iters: 6,
+            train_value: 1,
+        }
+    }
+
+    #[test]
+    fn victims_assemble_with_expected_structure() {
+        let s = scaffold();
+        for variant in [
+            NpeuVariant::VictimPair,
+            NpeuVariant::AttackerReference,
+            NpeuVariant::InstrVsVictim,
+            NpeuVariant::InstrVsAttacker,
+        ] {
+            let p = npeu_victim(&s, variant);
+            assert!(p.len() > 40, "{variant:?}");
+            assert_eq!(p.entry(), s.layout.code_base);
+        }
+        assert!(mshr_victim(&s).len() > 40);
+        assert!(irs_victim(&s, 88).len() > 100);
+        assert!(spectre_v1_victim(&s).len() > 20);
+    }
+
+    #[test]
+    fn idx_array_is_training_then_attack() {
+        let s = scaffold();
+        let p = spectre_v1_victim(&s);
+        let data: std::collections::HashMap<u64, u8> = p.data().collect();
+        let read = |addr: u64| {
+            let mut b = [0u8; 8];
+            for (i, byte) in b.iter_mut().enumerate() {
+                *byte = *data.get(&(addr + i as u64)).unwrap_or(&0);
+            }
+            u64::from_le_bytes(b)
+        };
+        for k in 0..s.train_iters as u64 {
+            assert_eq!(read(s.layout.idx_base + 8 * k), 0);
+        }
+        assert_eq!(
+            read(s.layout.idx_base + 8 * s.train_iters as u64),
+            s.layout.attack_index
+        );
+        assert_eq!(read(s.layout.n_addr), 8);
+    }
+
+    #[test]
+    fn instruction_side_variants_place_join_on_the_monitored_line(
+    ) {
+        let s = scaffold();
+        let p = npeu_victim(&s, NpeuVariant::InstrVsAttacker);
+        assert!(
+            p.fetch(s.layout.vi_addr).is_some(),
+            "join block must sit at the monitored I-line"
+        );
+    }
+
+    #[test]
+    fn irs_victim_places_target_on_its_own_line() {
+        let s = scaffold();
+        let p = irs_victim(&s, 88);
+        assert!(p.fetch(s.layout.target_fn).is_some());
+    }
+}

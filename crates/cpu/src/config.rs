@@ -1,0 +1,320 @@
+//! Core and machine configuration.
+
+use si_cache::HierarchyConfig;
+use si_isa::FuClass;
+
+/// Timing and placement of one functional-unit class.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FuTiming {
+    /// Execution latency in cycles (for loads: address generation only —
+    /// the cache access is added by the memory system).
+    pub latency: u64,
+    /// Whether the unit accepts a new operation every cycle. The paper's
+    /// `G^D_NPEU` gadget (§3.2.2) requires a **non-pipelined** unit: an
+    /// issued operation blocks the port for its full latency.
+    pub pipelined: bool,
+    /// Execution ports that host this class.
+    pub ports: Vec<usize>,
+}
+
+/// Per-class functional-unit table.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FuTable {
+    /// Single-cycle integer ALU.
+    pub int_alu: FuTiming,
+    /// Pipelined multiplier.
+    pub int_mul: FuTiming,
+    /// Non-pipelined square root (`VSQRTPD` analog: §4.2.1 reports 15–16
+    /// cycle latency and ~9–12 cycle reciprocal throughput on one port).
+    pub fp_sqrt: FuTiming,
+    /// Non-pipelined divider (`VDIVPD` analog).
+    pub fp_div: FuTiming,
+    /// Load pipe (AGU latency; the cache adds the rest).
+    pub load: FuTiming,
+    /// Store pipe (AGU latency; the write happens at retire).
+    pub store: FuTiming,
+    /// Branch resolution.
+    pub branch: FuTiming,
+}
+
+impl FuTable {
+    /// Returns the timing record for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`FuClass::None`], which never reaches an execution unit.
+    pub fn timing(&self, class: FuClass) -> &FuTiming {
+        match class {
+            FuClass::IntAlu => &self.int_alu,
+            FuClass::IntMul => &self.int_mul,
+            FuClass::FpSqrt => &self.fp_sqrt,
+            FuClass::FpDiv => &self.fp_div,
+            FuClass::Load => &self.load,
+            FuClass::Store => &self.store,
+            FuClass::Branch => &self.branch,
+            FuClass::None => panic!("FuClass::None has no execution unit"),
+        }
+    }
+
+    /// Highest port index referenced by any class.
+    pub fn max_port(&self) -> usize {
+        [
+            &self.int_alu,
+            &self.int_mul,
+            &self.fp_sqrt,
+            &self.fp_div,
+            &self.load,
+            &self.store,
+            &self.branch,
+        ]
+        .iter()
+        .flat_map(|t| t.ports.iter().copied())
+        .max()
+        .unwrap_or(0)
+    }
+}
+
+impl Default for FuTable {
+    /// Kaby-Lake-flavoured defaults (§4.1): six ports; ALU on four of
+    /// them; `Sqrt`/`Div` non-pipelined on port 0; `Mul` pipelined on
+    /// port 1; one load pipe, one store pipe; branches on port 4.
+    fn default() -> FuTable {
+        FuTable {
+            int_alu: FuTiming {
+                latency: 1,
+                pipelined: true,
+                ports: vec![0, 1, 4, 5],
+            },
+            int_mul: FuTiming {
+                latency: 3,
+                pipelined: true,
+                ports: vec![1],
+            },
+            fp_sqrt: FuTiming {
+                latency: 15,
+                pipelined: false,
+                ports: vec![0],
+            },
+            fp_div: FuTiming {
+                latency: 20,
+                pipelined: false,
+                ports: vec![0],
+            },
+            load: FuTiming {
+                latency: 1,
+                pipelined: true,
+                ports: vec![2],
+            },
+            store: FuTiming {
+                latency: 1,
+                pipelined: true,
+                ports: vec![3],
+            },
+            branch: FuTiming {
+                latency: 1,
+                pipelined: true,
+                ports: vec![4],
+            },
+        }
+    }
+}
+
+/// Out-of-order core configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Capacity of the post-fetch decode queue; when it fills, fetch
+    /// stalls — the back-pressure path of the `G^I_RS` gadget (§3.2.2).
+    pub decode_queue: usize,
+    /// Instructions dispatched (renamed + inserted into ROB/RS) per cycle.
+    pub dispatch_width: usize,
+    /// Reorder-buffer capacity.
+    pub rob_size: usize,
+    /// Unified reservation-station capacity (the paper's target has 97;
+    /// §4.1).
+    pub rs_size: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: usize,
+    /// Common-data-bus (writeback) slots per cycle.
+    pub cdb_width: usize,
+    /// L1D miss-status-holding registers (the `G^D_MSHR` resource).
+    pub mshrs: usize,
+    /// Functional-unit table.
+    pub fu: FuTable,
+    /// Branch-predictor counter-table size (entries; power of two).
+    pub predictor_entries: usize,
+    /// When set, the frontend never speculates past a conditional branch:
+    /// fetch stalls until the branch resolves. This produces the paper's
+    /// `NoSpec(E)` reference execution (§5.1) — out-of-order execution with
+    /// zero mis-speculation — used by the ideal-invisible-speculation
+    /// checker.
+    pub no_speculation: bool,
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 4,
+            decode_queue: 24,
+            dispatch_width: 4,
+            rob_size: 128,
+            rs_size: 48,
+            retire_width: 4,
+            cdb_width: 4,
+            mshrs: 8,
+            fu: FuTable::default(),
+            predictor_entries: 1024,
+            no_speculation: false,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Validates structural invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0
+            || self.dispatch_width == 0
+            || self.retire_width == 0
+            || self.cdb_width == 0
+        {
+            return Err("pipeline widths must be non-zero".into());
+        }
+        if self.rob_size == 0 || self.rs_size == 0 || self.decode_queue == 0 {
+            return Err("queue capacities must be non-zero".into());
+        }
+        if self.mshrs == 0 {
+            return Err("need at least one MSHR".into());
+        }
+        if !self.predictor_entries.is_power_of_two() {
+            return Err("predictor entries must be a power of two".into());
+        }
+        Ok(())
+    }
+}
+
+/// Noise injection for covert-channel evaluation (Figure 11).
+///
+/// Real machines impose timing noise that the simulator lacks; these knobs
+/// reintroduce it in controlled, seeded form (see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NoiseConfig {
+    /// Maximum extra cycles added to each DRAM access (uniform in
+    /// `0..=dram_jitter`).
+    pub dram_jitter: u64,
+    /// If non-zero, a background agent issues one random visible LLC access
+    /// every `background_period` cycles from the last core.
+    pub background_period: u64,
+    /// Number of distinct lines the background agent cycles through.
+    pub background_lines: u64,
+    /// When set, each background event is a *conflict burst*: the agent
+    /// walks associativity+1 lines of one random LLC set, evicting a whole
+    /// set's worth of state — a streaming co-tenant whose working set
+    /// collides with the victim's. This is the noise mode that perturbs
+    /// presence-based (Flush+Reload) receivers, whose monitored sets are
+    /// otherwise never full.
+    pub burst_sets: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> NoiseConfig {
+        NoiseConfig {
+            dram_jitter: 0,
+            background_period: 0,
+            background_lines: 4096,
+            burst_sets: false,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Whole-machine configuration: identical cores over a shared hierarchy.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MachineConfig {
+    /// Per-core pipeline configuration.
+    pub core: CoreConfig,
+    /// Cache hierarchy (also fixes the number of cores).
+    pub hierarchy: HierarchyConfig,
+    /// Optional noise injection.
+    pub noise: NoiseConfig,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            core: CoreConfig::default(),
+            hierarchy: HierarchyConfig::kaby_lake_like(2),
+            noise: NoiseConfig::default(),
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Validates the combined configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.core.validate()?;
+        self.hierarchy.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        MachineConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn sqrt_is_non_pipelined_on_port_zero() {
+        let fu = FuTable::default();
+        let sqrt = fu.timing(FuClass::FpSqrt);
+        assert!(!sqrt.pipelined);
+        assert_eq!(sqrt.ports, vec![0]);
+        assert_eq!(sqrt.latency, 15);
+    }
+
+    #[test]
+    fn alu_issue_bandwidth_matches_dispatch_width() {
+        // The G^I_RS hit case needs independent ALU ops to drain at least
+        // as fast as they dispatch (see DESIGN.md).
+        let c = CoreConfig::default();
+        assert!(c.fu.int_alu.ports.len() >= c.dispatch_width);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let broken = [
+            CoreConfig {
+                cdb_width: 0,
+                ..CoreConfig::default()
+            },
+            CoreConfig {
+                mshrs: 0,
+                ..CoreConfig::default()
+            },
+            CoreConfig {
+                predictor_entries: 1000,
+                ..CoreConfig::default()
+            },
+        ];
+        for c in broken {
+            assert!(c.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn max_port_covers_all_classes() {
+        assert_eq!(FuTable::default().max_port(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no execution unit")]
+    fn none_class_has_no_timing() {
+        FuTable::default().timing(FuClass::None);
+    }
+}

@@ -1,0 +1,934 @@
+//! The out-of-order core: one cycle at a time.
+//!
+//! Pipeline phases run in a fixed order each cycle (completions, retire,
+//! issue, load-store processing, writeback, squash, safe-promotion,
+//! dispatch, fetch). Two ordering choices are load-bearing for the paper's
+//! attacks:
+//!
+//! * **Issue runs before writeback**, so an operand woken this cycle can
+//!   issue only next cycle. This models the wakeup/select gap that lets a
+//!   ready mis-speculated instruction slip into a non-pipelined unit in the
+//!   window where an older instruction's operand is still in flight — the
+//!   cascading delay of `G^D_NPEU` (§3.2.2, Figure 3: "once f1 completes,
+//!   f2 does not immediately become ready, due to f1's writeback delay; in
+//!   contrast f'2 ... is already ready and so is issued").
+//! * **Issue selection is age-ordered** among ready candidates, so the
+//!   interference is a *delay*, not a starvation — exactly the paper's
+//!   alternating `f'1, f1, f'2, f2, ...` interleaving.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use si_cache::{line_of, AccessClass, Hierarchy, HitLevel, Visibility};
+use si_isa::{isqrt, FuClass, Instruction, Opcode, Program, Reg, INSTR_BYTES, NUM_REGS};
+
+use crate::config::CoreConfig;
+use crate::exec::{ExecPayload, ExecUnits, InFlight};
+use crate::frontend::{FetchOutcome, Frontend};
+use crate::memory::Memory;
+use crate::predictor::BranchPredictor;
+use crate::rob::{fresh_rat, EntryState, Rat, RegTag, Rob, RobEntry};
+use crate::rs::{Operand, ReservationStation, RsEntry};
+use crate::scheme::{LoadPlan, SafeAction, SafetyFlags, SafetyView, SpeculationScheme, UnsafeLoadCtx};
+use crate::stats::CoreStats;
+use crate::trace::{Trace, TraceEvent};
+use crate::MshrFile;
+
+/// Shared machine state a core needs during its tick.
+#[derive(Debug)]
+pub struct TickCtx<'a> {
+    /// The shared cache hierarchy.
+    pub hierarchy: &'a mut Hierarchy,
+    /// The shared backing memory.
+    pub memory: &'a mut Memory,
+    /// Maximum extra cycles on DRAM-level accesses (0 disables jitter).
+    pub dram_jitter: u64,
+    /// Seeded RNG for jitter (owned by the machine).
+    pub rng: &'a mut StdRng,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoadCompletion {
+    seq: u64,
+    done_at: u64,
+    value: u64,
+}
+
+/// A single out-of-order core.
+///
+/// Construct via [`Core::new`], then drive with [`Core::tick`] (normally
+/// through [`Machine`](crate::Machine)). Architectural state is readable
+/// with [`Core::reg`] once [`Core::halted`].
+#[derive(Debug)]
+pub struct Core {
+    id: usize,
+    config: CoreConfig,
+    program: Program,
+    frontend: Frontend,
+    predictor: BranchPredictor,
+    rob: Rob,
+    rs: ReservationStation,
+    exec: ExecUnits,
+    rat: Rat,
+    arch_regs: [u64; NUM_REGS],
+    mshrs: MshrFile,
+    pending_loads: Vec<u64>,
+    load_completions: Vec<LoadCompletion>,
+    /// `(cycle, line)` of I-fetch fills recorded while the active scheme
+    /// protects the I-cache; rolled back on squash.
+    spec_ifetch_fills: Vec<(u64, u64)>,
+    wb_queue: Vec<(u64, ExecPayload)>,
+    scheme: Box<dyn SpeculationScheme>,
+    halted: bool,
+    next_seq: u64,
+    stats: CoreStats,
+    trace: Trace,
+}
+
+impl Core {
+    /// Creates a core that will run `program` under `scheme`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(
+        id: usize,
+        config: CoreConfig,
+        program: Program,
+        scheme: Box<dyn SpeculationScheme>,
+    ) -> Core {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid core config: {e}"));
+        let frontend = if config.no_speculation {
+            Frontend::new_no_speculation(program.entry(), config.decode_queue, config.fetch_width)
+        } else {
+            Frontend::new(program.entry(), config.decode_queue, config.fetch_width)
+        };
+        Core {
+            id,
+            frontend,
+            predictor: BranchPredictor::new(config.predictor_entries),
+            rob: Rob::new(config.rob_size),
+            rs: ReservationStation::new(config.rs_size),
+            exec: ExecUnits::new(&config.fu),
+            rat: fresh_rat(),
+            arch_regs: [0; NUM_REGS],
+            mshrs: MshrFile::new(config.mshrs),
+            pending_loads: Vec::new(),
+            load_completions: Vec::new(),
+            spec_ifetch_fills: Vec::new(),
+            wb_queue: Vec::new(),
+            scheme,
+            halted: false,
+            next_seq: 0,
+            stats: CoreStats::default(),
+            trace: Trace::new(),
+            program,
+            config,
+        }
+    }
+
+    /// This core's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Whether `Halt` has retired.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Committed architectural register value.
+    pub fn reg(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.arch_regs[r.index()]
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// The pipeline trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Enables or disables pipeline tracing.
+    pub fn set_trace_enabled(&mut self, enabled: bool) {
+        self.trace.set_enabled(enabled);
+    }
+
+    /// The active speculation scheme's name.
+    pub fn scheme_name(&self) -> String {
+        self.scheme.name()
+    }
+
+    /// Current reorder-buffer occupancy.
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Current reservation-station occupancy.
+    pub fn rs_occupancy(&self) -> usize {
+        self.rs.occupancy()
+    }
+
+    /// Branch predictor statistics `(predictions, mispredictions)`.
+    pub fn predictor_stats(&self) -> (u64, u64) {
+        self.predictor.stats()
+    }
+
+    /// Advances the core by one cycle.
+    pub fn tick(&mut self, now: u64, ctx: &mut TickCtx<'_>) {
+        if self.halted {
+            return;
+        }
+        self.stats.cycles += 1;
+        self.exec.begin_cycle();
+
+        self.collect_completions(now);
+        self.retire(now, ctx);
+        if self.halted {
+            return;
+        }
+        let view = self.safety_view();
+        self.issue(now, &view);
+        self.process_loads(now, ctx, &view);
+        self.writeback(now);
+        self.handle_squash(now, ctx);
+        self.promote_safe(now, ctx);
+        self.dispatch(now);
+        self.fetch(now, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: completions
+    // ------------------------------------------------------------------
+
+    fn collect_completions(&mut self, now: u64) {
+        let hold = self.scheme.holds_resources_until_safe();
+        let done = self.exec.collect_done(now);
+        if hold {
+            let view = self.safety_view();
+            for op in done {
+                if op.non_pipelined && !self.op_is_safe(&view, op.seq) {
+                    // §5.4 rule 1: the unit (and the result) are held while
+                    // the occupant is speculative.
+                    self.exec.hold_port(op.port, now + 1);
+                    self.requeue_inflight(op, now + 1);
+                } else {
+                    self.wb_queue.push((op.seq, op.payload));
+                }
+            }
+        } else {
+            for op in done {
+                self.wb_queue.push((op.seq, op.payload));
+            }
+        }
+        self.mshrs.drain_ready(now);
+        let mut i = 0;
+        while i < self.load_completions.len() {
+            if self.load_completions[i].done_at <= now {
+                let c = self.load_completions.swap_remove(i);
+                self.wb_queue.push((c.seq, ExecPayload::Value(c.value)));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn op_is_safe(&self, view: &SafetyView, seq: u64) -> bool {
+        match view.position_of(seq) {
+            Some(pos) => self.scheme.is_safe(view, pos),
+            None => true, // squashed or retired: nothing to protect
+        }
+    }
+
+    fn requeue_inflight(&mut self, op: InFlight, done_at: u64) {
+        // Re-inject with a later completion; implemented by re-issuing the
+        // payload through the load-completion queue to keep exec simple.
+        match op.payload {
+            ExecPayload::Value(v) => self.load_completions.push(LoadCompletion {
+                seq: op.seq,
+                done_at,
+                value: v,
+            }),
+            other => {
+                // Non-value payloads from non-pipelined units do not exist
+                // (sqrt/div produce values), but stay conservative.
+                self.wb_queue.push((op.seq, other));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: retire
+    // ------------------------------------------------------------------
+
+    fn retire(&mut self, now: u64, ctx: &mut TickCtx<'_>) {
+        for _ in 0..self.config.retire_width {
+            let Some(head) = self.rob.head() else { return };
+            if head.state != EntryState::Done {
+                return;
+            }
+            if head.mispredicted && !head.squash_handled {
+                return; // squash first (later this cycle), retire next cycle
+            }
+            let mut entry = self.rob.pop_head().expect("head exists");
+            // Apply any deferred cache action that never found an earlier
+            // safe point (at the head everything is safe).
+            if let Some(action) = entry.pending_safe_action.take() {
+                self.apply_safe_action(now, ctx, &entry, action);
+            }
+            match entry.instr.opcode {
+                Opcode::Store => {
+                    let addr = entry.addr.expect("store address known at retire");
+                    let value = entry.store_value.expect("store value known at retire");
+                    ctx.memory.write_u64(addr, value);
+                    ctx.hierarchy.write(now, self.id, addr);
+                }
+                Opcode::Flush => {
+                    let addr = entry.addr.expect("flush address known at retire");
+                    ctx.hierarchy.flush_addr(addr);
+                }
+                Opcode::Halt => {
+                    self.halted = true;
+                }
+                _ => {}
+            }
+            if let (Some(dst), Some(result)) = (entry.instr.writes(), entry.result) {
+                self.arch_regs[dst.index()] = result;
+                if self.rat[dst.index()] == RegTag::Rob(entry.seq) {
+                    self.rat[dst.index()] = RegTag::Value(result);
+                }
+                // Patch stale references in outstanding branch checkpoints.
+                for e in self.rob.iter_mut() {
+                    if let Some(cp) = &mut e.rat_checkpoint {
+                        for tag in cp.iter_mut() {
+                            if *tag == RegTag::Rob(entry.seq) {
+                                *tag = RegTag::Value(result);
+                            }
+                        }
+                    }
+                }
+            }
+            if self.scheme.holds_resources_until_safe() {
+                self.rs.release(entry.seq);
+            }
+            self.stats.retired += 1;
+            self.trace.record(
+                now,
+                TraceEvent::Retire {
+                    seq: entry.seq,
+                    pc: entry.pc,
+                },
+            );
+            if self.halted {
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: issue (age-ordered, before writeback)
+    // ------------------------------------------------------------------
+
+    fn safety_view(&self) -> SafetyView {
+        let flags = self
+            .rob
+            .iter()
+            .map(|e| SafetyFlags {
+                seq: e.seq,
+                unresolved_branch: e.is_branch() && !e.resolved,
+                load_incomplete: e.is_load() && e.state != EntryState::Done,
+                store_addr_unknown: e.is_store_like() && e.state != EntryState::Done,
+                fence: e.instr.opcode == Opcode::Fence,
+            })
+            .collect();
+        SafetyView::new(flags)
+    }
+
+    fn issue(&mut self, now: u64, view: &SafetyView) {
+        let mut candidates: Vec<(u64, FuClass)> = self
+            .rs
+            .iter()
+            .filter(|e| !e.issued && e.ready())
+            .map(|e| (e.seq, e.fu))
+            .collect();
+        candidates.sort_by_key(|(seq, _)| *seq);
+        let strict_age = self.scheme.strict_age_priority();
+        let hold = self.scheme.holds_resources_until_safe();
+        for (seq, class) in candidates {
+            let Some(pos) = view.position_of(seq) else { continue };
+            if view.fence_blocked(pos) {
+                continue;
+            }
+            if self.scheme.blocks_issue(view, pos) {
+                self.stats.defense_issue_stalls += 1;
+                continue;
+            }
+            let timing = self.config.fu.timing(class);
+            if strict_age && !timing.pipelined && self.rs.older_unissued_for(class, seq) {
+                continue; // §5.4 rule 2: reserve the unit for the older op
+            }
+            let Some(port) = self.exec.free_port(&self.config.fu, class, now) else {
+                continue;
+            };
+            let operands: Vec<u64> = self
+                .rs
+                .iter()
+                .find(|e| e.seq == seq)
+                .expect("candidate exists")
+                .operands
+                .iter()
+                .map(|o| o.value().expect("candidate is ready"))
+                .collect();
+            let entry = self.rob.get(seq).expect("RS entry has a ROB entry");
+            let payload = Self::make_payload(&entry.instr, entry.pc, &operands);
+            self.exec
+                .issue(&self.config.fu, class, port, seq, now, payload);
+            let entry = self.rob.get_mut(seq).expect("checked above");
+            entry.state = EntryState::Issued;
+            entry.issued_at = Some(now);
+            self.rs.mark_issued(seq, hold);
+            self.stats.issued += 1;
+            self.trace.record(now, TraceEvent::Issue { seq, port });
+        }
+    }
+
+    fn make_payload(instr: &Instruction, pc: u64, ops: &[u64]) -> ExecPayload {
+        let s1 = ops.first().copied().unwrap_or(0);
+        let s2 = ops.get(1).copied().unwrap_or(0);
+        match instr.opcode {
+            Opcode::Load => ExecPayload::AddrReady {
+                addr: s1.wrapping_add(instr.imm as u64),
+            },
+            Opcode::Store => ExecPayload::StoreReady {
+                addr: s1.wrapping_add(instr.imm as u64),
+                value: s2,
+            },
+            Opcode::Flush => ExecPayload::FlushReady {
+                addr: s1.wrapping_add(instr.imm as u64),
+            },
+            Opcode::Branch => {
+                let taken = instr.cond.eval(s1, s2);
+                let next_pc = if taken {
+                    instr.imm as u64
+                } else {
+                    pc + INSTR_BYTES
+                };
+                ExecPayload::BranchResolved { next_pc, taken }
+            }
+            _ => ExecPayload::Value(Self::compute_alu(instr, s1, s2)),
+        }
+    }
+
+    /// ALU semantics, kept identical to [`si_isa::Interpreter`] (checked by
+    /// the differential property tests in `tests/`).
+    fn compute_alu(instr: &Instruction, s1: u64, s2: u64) -> u64 {
+        match instr.opcode {
+            Opcode::Add => s1.wrapping_add(s2),
+            Opcode::Sub => s1.wrapping_sub(s2),
+            Opcode::And => s1 & s2,
+            Opcode::Or => s1 | s2,
+            Opcode::Xor => s1 ^ s2,
+            Opcode::Shl => s1.wrapping_shl((s2 & 63) as u32),
+            Opcode::Shr => s1.wrapping_shr((s2 & 63) as u32),
+            Opcode::AddImm => s1.wrapping_add(instr.imm as u64),
+            Opcode::Mul => s1.wrapping_mul(s2),
+            Opcode::Sqrt => isqrt(s1),
+            Opcode::Div => s1 / s2.max(1),
+            other => unreachable!("{other:?} is not an ALU opcode"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 4: load-store unit
+    // ------------------------------------------------------------------
+
+    fn process_loads(&mut self, now: u64, ctx: &mut TickCtx<'_>, view: &SafetyView) {
+        let pending = std::mem::take(&mut self.pending_loads);
+        let mut still_pending = Vec::with_capacity(pending.len());
+        for seq in pending {
+            match self.try_load(now, ctx, view, seq) {
+                LoadStep::Done => {}
+                LoadStep::Retry => still_pending.push(seq),
+                LoadStep::Squashed => {}
+            }
+        }
+        self.pending_loads = still_pending;
+    }
+
+    fn try_load(&mut self, now: u64, ctx: &mut TickCtx<'_>, view: &SafetyView, seq: u64) -> LoadStep {
+        let Some(entry) = self.rob.get(seq) else {
+            return LoadStep::Squashed;
+        };
+        if entry.delayed {
+            return LoadStep::Retry; // waiting to become safe
+        }
+        let addr = entry.addr.expect("pending load has an address");
+        // Store-to-load ordering: wait for older stores' addresses; forward
+        // from the youngest older store to the same address.
+        let mut forward: Option<u64> = None;
+        for older in self.rob.iter().take_while(|e| e.seq < seq) {
+            if older.is_store_like() {
+                if older.state != EntryState::Done {
+                    return LoadStep::Retry;
+                }
+                if older.instr.opcode == Opcode::Store && older.addr == Some(addr) {
+                    forward = older.store_value;
+                }
+            }
+        }
+        if let Some(value) = forward {
+            self.load_completions.push(LoadCompletion {
+                seq,
+                done_at: now + 1,
+                value,
+            });
+            return LoadStep::Done;
+        }
+        let pos = view.position_of(seq).expect("pending load is in the ROB");
+        let safe = self.scheme.is_safe(view, pos);
+        let level = ctx.hierarchy.probe_level(self.id, addr, AccessClass::Data);
+        if safe {
+            return self.access_visible(now, ctx, seq, addr, level, false);
+        }
+        let plan = self.scheme.plan_unsafe_load(&UnsafeLoadCtx {
+            core: self.id,
+            addr,
+            level,
+            cycle: now,
+        });
+        match plan {
+            LoadPlan::Visible => self.access_visible(now, ctx, seq, addr, level, true),
+            LoadPlan::Invisible {
+                on_safe,
+                latency_override,
+            } => self.access_invisible(now, ctx, seq, addr, level, on_safe, latency_override),
+            LoadPlan::Delay => {
+                let entry = self.rob.get_mut(seq).expect("exists");
+                entry.delayed = true;
+                self.stats.delayed_loads += 1;
+                self.trace.record(now, TraceEvent::LoadDelayed { seq, addr });
+                LoadStep::Retry
+            }
+        }
+    }
+
+    fn dram_latency(&self, base: u64, level: HitLevel, ctx: &mut TickCtx<'_>) -> u64 {
+        if level == HitLevel::Memory && ctx.dram_jitter > 0 {
+            base + ctx.rng.gen_range(0..=ctx.dram_jitter)
+        } else {
+            base
+        }
+    }
+
+    fn access_visible(
+        &mut self,
+        now: u64,
+        ctx: &mut TickCtx<'_>,
+        seq: u64,
+        addr: u64,
+        level: HitLevel,
+        speculative: bool,
+    ) -> LoadStep {
+        let line = line_of(addr);
+        let mut new_fill = false;
+        let done_at = if level == HitLevel::L1 {
+            let res = ctx
+                .hierarchy
+                .read(now, self.id, addr, AccessClass::Data, Visibility::Visible);
+            now + res.latency
+        } else if let Some(id) = self.mshrs.lookup(line) {
+            // Coalesce onto the outstanding miss; the fill (and any state
+            // change) belongs to the primary miss, so no new access here.
+            self.mshrs.coalesce(id, seq);
+            self.mshrs.ready_at(id)
+        } else if self.mshrs.is_full() {
+            // Structural hazard: the access is not sent at all this cycle —
+            // the delay the G^D_MSHR gadget manufactures (§3.2.2, Fig. 4).
+            self.stats.mshr_stalls += 1;
+            self.trace.record(now, TraceEvent::MshrStall { seq, addr });
+            return LoadStep::Retry;
+        } else {
+            let res = ctx
+                .hierarchy
+                .read(now, self.id, addr, AccessClass::Data, Visibility::Visible);
+            let latency = self.dram_latency(res.latency, level, ctx);
+            let ready = now + latency;
+            self.mshrs
+                .allocate(line, ready, seq)
+                .expect("fullness checked above");
+            new_fill = true;
+            ready
+        };
+        let value = ctx.memory.read_u64(addr);
+        self.load_completions.push(LoadCompletion { seq, done_at, value });
+        if speculative && new_fill {
+            // Record for CleanupSpec-style rollback on squash.
+            self.rob.get_mut(seq).expect("exists").spec_fill_line = Some(line);
+        }
+        self.trace.record(
+            now,
+            TraceEvent::LoadAccess {
+                seq,
+                addr,
+                level,
+                visible: true,
+            },
+        );
+        LoadStep::Done
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn access_invisible(
+        &mut self,
+        now: u64,
+        ctx: &mut TickCtx<'_>,
+        seq: u64,
+        addr: u64,
+        level: HitLevel,
+        on_safe: Option<SafeAction>,
+        latency_override: Option<u64>,
+    ) -> LoadStep {
+        let line = line_of(addr);
+        let needs_mshr = latency_override.is_none() && level != HitLevel::L1;
+        let done_at = if needs_mshr {
+            if let Some(id) = self.mshrs.lookup(line) {
+                self.mshrs.coalesce(id, seq);
+                self.mshrs.ready_at(id)
+            } else {
+                let res =
+                    ctx.hierarchy
+                        .read(now, self.id, addr, AccessClass::Data, Visibility::Invisible);
+                let latency = self.dram_latency(res.latency, level, ctx);
+                let ready = now + latency;
+                match self.mshrs.allocate(line, ready, seq) {
+                    Some(_) => ready,
+                    None => {
+                        self.stats.mshr_stalls += 1;
+                        self.trace.record(now, TraceEvent::MshrStall { seq, addr });
+                        return LoadStep::Retry;
+                    }
+                }
+            }
+        } else {
+            let latency = latency_override.unwrap_or_else(|| {
+                ctx.hierarchy
+                    .read(now, self.id, addr, AccessClass::Data, Visibility::Invisible)
+                    .latency
+            });
+            now + latency
+        };
+        let value = ctx.memory.read_u64(addr);
+        self.load_completions.push(LoadCompletion { seq, done_at, value });
+        let entry = self.rob.get_mut(seq).expect("exists");
+        entry.pending_safe_action = on_safe;
+        self.stats.invisible_loads += 1;
+        self.trace.record(
+            now,
+            TraceEvent::LoadAccess {
+                seq,
+                addr,
+                level,
+                visible: false,
+            },
+        );
+        LoadStep::Done
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 5: writeback (CDB)
+    // ------------------------------------------------------------------
+
+    fn writeback(&mut self, now: u64) {
+        self.wb_queue.sort_by_key(|(seq, _)| *seq);
+        let mut granted = 0;
+        let mut rest = Vec::new();
+        for (seq, payload) in std::mem::take(&mut self.wb_queue) {
+            if granted >= self.config.cdb_width {
+                rest.push((seq, payload));
+                continue;
+            }
+            let Some(entry) = self.rob.get_mut(seq) else {
+                continue; // squashed in flight: result dropped, no CDB slot
+            };
+            granted += 1;
+            match payload {
+                ExecPayload::Value(v) => {
+                    entry.state = EntryState::Done;
+                    entry.result = Some(v);
+                    entry.completed_at = Some(now);
+                    self.rs.wake(seq, v);
+                    self.trace.record(now, TraceEvent::Writeback { seq });
+                }
+                ExecPayload::AddrReady { addr } => {
+                    entry.addr = Some(addr);
+                    self.pending_loads.push(seq);
+                }
+                ExecPayload::StoreReady { addr, value } => {
+                    entry.addr = Some(addr);
+                    entry.store_value = Some(value);
+                    entry.state = EntryState::Done;
+                    entry.completed_at = Some(now);
+                }
+                ExecPayload::FlushReady { addr } => {
+                    entry.addr = Some(addr);
+                    entry.state = EntryState::Done;
+                    entry.completed_at = Some(now);
+                }
+                ExecPayload::BranchResolved { next_pc, taken } => {
+                    entry.resolved = true;
+                    entry.actual_next = next_pc;
+                    entry.mispredicted = next_pc != entry.predicted_next;
+                    entry.state = EntryState::Done;
+                    entry.completed_at = Some(now);
+                    let pc = entry.pc;
+                    let mispredicted = entry.mispredicted;
+                    self.predictor.update(pc, taken, next_pc, mispredicted);
+                }
+            }
+        }
+        self.wb_queue = rest;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 6: squash
+    // ------------------------------------------------------------------
+
+    fn handle_squash(&mut self, now: u64, ctx: &mut TickCtx<'_>) {
+        let branch = self
+            .rob
+            .iter()
+            .find(|e| e.mispredicted && e.resolved && !e.squash_handled)
+            .map(|e| (e.seq, e.actual_next));
+        let Some((branch_seq, target)) = branch else {
+            return;
+        };
+        let (checkpoint, branch_dispatched_at) = {
+            let entry = self.rob.get_mut(branch_seq).expect("exists");
+            entry.squash_handled = true;
+            (
+                entry
+                    .rat_checkpoint
+                    .clone()
+                    .expect("branches checkpoint the RAT at dispatch"),
+                entry.dispatched_at,
+            )
+        };
+        let removed = self.rob.squash_after(branch_seq);
+        self.rat = checkpoint;
+        self.rs.squash_after(branch_seq);
+        self.pending_loads.retain(|s| *s <= branch_seq);
+        self.load_completions.retain(|c| c.seq <= branch_seq);
+        self.wb_queue.retain(|(s, _)| *s <= branch_seq);
+        let mut spec_fills = Vec::new();
+        for e in &removed {
+            self.mshrs.remove_target(e.seq);
+            if let Some(line) = e.spec_fill_line {
+                spec_fills.push(line);
+            }
+        }
+        self.scheme.on_squash(ctx.hierarchy, self.id, &spec_fills);
+        if self.scheme.protects_ifetch() {
+            // Shadow-I-cache / filter-cache semantics: wrong-path
+            // instruction fills are undone. Every line fetched after the
+            // mispredicted branch entered the ROB is on the wrong path.
+            let mut kept = Vec::new();
+            for (cycle, line) in std::mem::take(&mut self.spec_ifetch_fills) {
+                if cycle >= branch_dispatched_at {
+                    ctx.hierarchy.flush_addr(line * si_cache::LINE_BYTES);
+                } else {
+                    kept.push((cycle, line));
+                }
+            }
+            self.spec_ifetch_fills = kept;
+        }
+        self.frontend.redirect(target, now);
+        self.stats.squashes += 1;
+        self.stats.squashed_instrs += removed.len() as u64;
+        self.trace.record(
+            now,
+            TraceEvent::Squash {
+                branch_seq,
+                squashed: removed.len(),
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 7: safe promotion (delayed loads, deferred exposures)
+    // ------------------------------------------------------------------
+
+    fn promote_safe(&mut self, now: u64, ctx: &mut TickCtx<'_>) {
+        let view = self.safety_view();
+        let seqs: Vec<u64> = self.rob.iter().map(|e| e.seq).collect();
+        for seq in seqs {
+            let pos = view.position_of(seq).expect("just listed");
+            let entry = self.rob.get(seq).expect("just listed");
+            let delayed = entry.delayed;
+            let pending = entry.pending_safe_action;
+            let done = entry.state == EntryState::Done;
+            if (delayed || pending.is_some()) && self.scheme.is_safe(&view, pos) {
+                if delayed {
+                    let e = self.rob.get_mut(seq).expect("exists");
+                    e.delayed = false; // re-issues visibly next LSU pass
+                }
+                if let Some(action) = pending {
+                    if done {
+                        let entry = self.rob.get(seq).expect("exists").clone();
+                        self.apply_safe_action(now, ctx, &entry, action);
+                        self.rob.get_mut(seq).expect("exists").pending_safe_action = None;
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_safe_action(
+        &mut self,
+        now: u64,
+        ctx: &mut TickCtx<'_>,
+        entry: &RobEntry,
+        action: SafeAction,
+    ) {
+        let addr = entry.addr.expect("loads with safe actions have addresses");
+        match action {
+            SafeAction::TouchReplacement => {
+                ctx.hierarchy.touch(now, self.id, addr, AccessClass::Data);
+            }
+            SafeAction::Expose => {
+                ctx.hierarchy.promote(now, self.id, addr, AccessClass::Data);
+            }
+        }
+        self.stats.exposures += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 8: dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, now: u64) {
+        for _ in 0..self.config.dispatch_width {
+            let Some(next) = self.frontend.peek() else { return };
+            if self.rob.is_full() {
+                self.stats.rob_full_stalls += 1;
+                return;
+            }
+            let class = next.instr.opcode.fu_class();
+            if class != FuClass::None && self.rs.is_full() {
+                self.stats.rs_full_stalls += 1;
+                return;
+            }
+            let fetched = self.frontend.pop().expect("peeked");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut entry = RobEntry::new(seq, fetched.pc, fetched.instr, now);
+            entry.predicted_next = fetched.predicted_next;
+            match fetched.instr.opcode {
+                Opcode::Branch => {
+                    entry.rat_checkpoint = Some(self.rat.clone());
+                }
+                Opcode::Jump => {
+                    entry.resolved = true;
+                    entry.actual_next = fetched.instr.target().expect("jump target");
+                    entry.state = EntryState::Done;
+                }
+                Opcode::Nop | Opcode::Fence | Opcode::Halt => {
+                    entry.state = EntryState::Done;
+                }
+                Opcode::MovImm => {
+                    entry.state = EntryState::Done;
+                    entry.result = Some(fetched.instr.imm as u64);
+                }
+                Opcode::Rdtsc => {
+                    entry.state = EntryState::Done;
+                    entry.result = Some(now);
+                }
+                _ => {}
+            }
+            if class != FuClass::None {
+                let operands = fetched
+                    .instr
+                    .reads()
+                    .into_iter()
+                    .map(|r| self.resolve_operand(r))
+                    .collect();
+                self.rs.insert(RsEntry {
+                    seq,
+                    fu: class,
+                    operands,
+                    issued: false,
+                });
+            }
+            if let Some(dst) = fetched.instr.writes() {
+                self.rat[dst.index()] = RegTag::Rob(seq);
+            }
+            self.trace.record(
+                now,
+                TraceEvent::Dispatch {
+                    seq,
+                    pc: fetched.pc,
+                },
+            );
+            self.rob.push(entry);
+            self.stats.dispatched += 1;
+        }
+    }
+
+    fn resolve_operand(&self, r: Reg) -> Operand {
+        if r.is_zero() {
+            return Operand::Ready(0);
+        }
+        match self.rat[r.index()] {
+            RegTag::Value(v) => Operand::Ready(v),
+            RegTag::Rob(seq) => match self.rob.get(seq) {
+                Some(e) if e.state == EntryState::Done => {
+                    Operand::Ready(e.result.expect("done writers have results"))
+                }
+                _ => Operand::Waiting(seq),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 9: fetch
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self, now: u64, ctx: &mut TickCtx<'_>) {
+        let outcome = self.frontend.tick(
+            now,
+            self.id,
+            &self.program,
+            ctx.hierarchy,
+            &mut self.predictor,
+            &mut self.trace,
+        );
+        match outcome {
+            FetchOutcome::StalledICache => self.stats.fetch_stall_icache += 1,
+            FetchOutcome::StalledQueueFull => self.stats.fetch_stall_queue += 1,
+            FetchOutcome::Fetched(_) | FetchOutcome::Stopped => {}
+        }
+        let fills = self.frontend.take_ifetch_fills();
+        if self.scheme.protects_ifetch() {
+            self.spec_ifetch_fills.extend(fills);
+            // Fills become architectural once no branch is unresolved.
+            if !self.rob.iter().any(|e| e.is_branch() && !e.resolved) {
+                self.spec_ifetch_fills.clear();
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadStep {
+    Done,
+    Retry,
+    Squashed,
+}

@@ -1,0 +1,113 @@
+//! The machine's byte-addressed backing memory.
+
+use std::collections::HashMap;
+
+use si_isa::Program;
+
+/// Sparse byte-addressed memory shared by all cores.
+///
+/// Holds architectural data only; cache presence lives in
+/// [`si_cache::Hierarchy`]. Unwritten bytes read as zero.
+///
+/// # Example
+///
+/// ```
+/// use si_cpu::Memory;
+///
+/// let mut m = Memory::new();
+/// m.write_u64(0x100, 0xfeed);
+/// assert_eq!(m.read_u64(0x100), 0xfeed);
+/// assert_eq!(m.read_u64(0x9999), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    bytes: HashMap<u64, u8>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Loads a program's initial data segment.
+    pub fn load_program_data(&mut self, program: &Program) {
+        for (a, b) in program.data() {
+            self.bytes.insert(a, b);
+        }
+    }
+
+    /// Reads one byte (0 if never written).
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        *self.bytes.get(&addr).unwrap_or(&0)
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.bytes.insert(addr, value);
+    }
+
+    /// Reads a little-endian 64-bit word.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        for (i, byte) in b.iter_mut().enumerate() {
+            *byte = self.read_u8(addr + i as u64);
+        }
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian 64-bit word.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        for (i, byte) in value.to_le_bytes().iter().enumerate() {
+            self.bytes.insert(addr + i as u64, *byte);
+        }
+    }
+
+    /// Number of bytes ever written.
+    pub fn footprint(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_isa::Assembler;
+
+    #[test]
+    fn words_roundtrip() {
+        let mut m = Memory::new();
+        m.write_u64(64, u64::MAX);
+        assert_eq!(m.read_u64(64), u64::MAX);
+        m.write_u64(64, 1);
+        assert_eq!(m.read_u64(64), 1);
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(0), 0);
+        assert_eq!(m.read_u8(12345), 0);
+    }
+
+    #[test]
+    fn unaligned_words_overlap_correctly() {
+        let mut m = Memory::new();
+        m.write_u64(0, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u8(0), 0x88);
+        assert_eq!(m.read_u8(7), 0x11);
+        assert_eq!(m.read_u64(1) & 0xff, 0x77);
+    }
+
+    #[test]
+    fn program_data_loads() {
+        let mut asm = Assembler::new(0);
+        asm.halt();
+        asm.data_u64(0x2000, 42);
+        let p = asm.assemble().unwrap();
+        let mut m = Memory::new();
+        m.load_program_data(&p);
+        assert_eq!(m.read_u64(0x2000), 42);
+        assert_eq!(m.footprint(), 8);
+    }
+}

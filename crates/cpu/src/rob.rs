@@ -1,0 +1,296 @@
+//! The reorder buffer and register-alias table.
+
+use std::collections::VecDeque;
+
+use si_isa::{Instruction, Opcode, NUM_REGS};
+
+use crate::scheme::SafeAction;
+
+/// A rename tag: either a committed value or a reference to the in-flight
+/// producer's sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegTag {
+    /// The architectural value is known.
+    Value(u64),
+    /// The youngest writer is the in-flight instruction `seq`.
+    Rob(u64),
+}
+
+/// The register-alias table: one [`RegTag`] per architectural register.
+pub type Rat = Vec<RegTag>;
+
+/// Creates a RAT with every register holding value 0.
+pub fn fresh_rat() -> Rat {
+    vec![RegTag::Value(0); NUM_REGS]
+}
+
+/// Execution status of a ROB entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// In the reservation station, waiting to issue.
+    Waiting,
+    /// Issued; executing or waiting on memory.
+    Issued,
+    /// Result (if any) produced; retirable once it reaches the head.
+    Done,
+}
+
+/// One reorder-buffer entry.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Global, monotonically increasing sequence number (the instruction's
+    /// age — the scheduler's priority key).
+    pub seq: u64,
+    /// Fetch address.
+    pub pc: u64,
+    /// The instruction.
+    pub instr: Instruction,
+    /// Execution status.
+    pub state: EntryState,
+    /// Destination value, once produced.
+    pub result: Option<u64>,
+    /// Effective address (memory ops), once generated.
+    pub addr: Option<u64>,
+    /// Value to store (stores), captured at issue.
+    pub store_value: Option<u64>,
+    /// Predicted next PC (branches; fallthrough when predicted not-taken).
+    pub predicted_next: u64,
+    /// Whether the branch has resolved.
+    pub resolved: bool,
+    /// Actual next PC after resolution.
+    pub actual_next: u64,
+    /// Whether the branch resolved against its prediction.
+    pub mispredicted: bool,
+    /// Whether the squash for this mispredict was already performed.
+    pub squash_handled: bool,
+    /// RAT snapshot taken at dispatch (branches only).
+    pub rat_checkpoint: Option<Rat>,
+    /// Deferred cache-state action for an invisibly executed load.
+    pub pending_safe_action: Option<SafeAction>,
+    /// Load currently parked by a `Delay` plan.
+    pub delayed: bool,
+    /// LLC line this (speculative) load filled visibly — CleanupSpec's
+    /// undo record.
+    pub spec_fill_line: Option<u64>,
+    /// Cycle dispatched (diagnostics).
+    pub dispatched_at: u64,
+    /// Cycle issued (diagnostics).
+    pub issued_at: Option<u64>,
+    /// Cycle completed (diagnostics).
+    pub completed_at: Option<u64>,
+}
+
+impl RobEntry {
+    /// Creates a freshly dispatched entry.
+    pub fn new(seq: u64, pc: u64, instr: Instruction, cycle: u64) -> RobEntry {
+        RobEntry {
+            seq,
+            pc,
+            instr,
+            state: EntryState::Waiting,
+            result: None,
+            addr: None,
+            store_value: None,
+            predicted_next: 0,
+            resolved: false,
+            actual_next: 0,
+            mispredicted: false,
+            squash_handled: false,
+            rat_checkpoint: None,
+            pending_safe_action: None,
+            delayed: false,
+            spec_fill_line: None,
+            dispatched_at: cycle,
+            issued_at: None,
+            completed_at: None,
+        }
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_branch(&self) -> bool {
+        self.instr.opcode == Opcode::Branch
+    }
+
+    /// Whether this is a load.
+    pub fn is_load(&self) -> bool {
+        self.instr.opcode == Opcode::Load
+    }
+
+    /// Whether this is a store or flush (address-producing, retire-acting).
+    pub fn is_store_like(&self) -> bool {
+        matches!(self.instr.opcode, Opcode::Store | Opcode::Flush)
+    }
+}
+
+/// The reorder buffer: a bounded, age-ordered queue of in-flight
+/// instructions.
+#[derive(Debug, Clone, Default)]
+pub struct Rob {
+    entries: VecDeque<RobEntry>,
+    capacity: usize,
+}
+
+impl Rob {
+    /// Creates an empty ROB with the given capacity.
+    pub fn new(capacity: usize) -> Rob {
+        Rob {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Number of in-flight entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ROB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether dispatch must stall.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Appends a dispatched entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full or `entry.seq` is not monotonically
+    /// increasing.
+    pub fn push(&mut self, entry: RobEntry) {
+        assert!(!self.is_full(), "ROB overflow");
+        if let Some(back) = self.entries.back() {
+            assert!(back.seq < entry.seq, "ROB sequence must increase");
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// The oldest entry, if any.
+    pub fn head(&self) -> Option<&RobEntry> {
+        self.entries.front()
+    }
+
+    /// Removes and returns the oldest entry.
+    pub fn pop_head(&mut self) -> Option<RobEntry> {
+        self.entries.pop_front()
+    }
+
+    /// Looks up an entry by sequence number.
+    pub fn get(&self, seq: u64) -> Option<&RobEntry> {
+        self.position(seq).map(|i| &self.entries[i])
+    }
+
+    /// Mutable lookup by sequence number.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
+        self.position(seq).map(move |i| &mut self.entries[i])
+    }
+
+    /// Position of `seq` from the head (0 = oldest).
+    pub fn position(&self, seq: u64) -> Option<usize> {
+        self.entries.binary_search_by_key(&seq, |e| e.seq).ok()
+    }
+
+    /// Iterates entries oldest-to-youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.entries.iter()
+    }
+
+    /// Mutable iteration oldest-to-youngest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut RobEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Removes every entry younger than `branch_seq` and returns them
+    /// (oldest first) — the squash path.
+    pub fn squash_after(&mut self, branch_seq: u64) -> Vec<RobEntry> {
+        let keep = self
+            .entries
+            .iter()
+            .take_while(|e| e.seq <= branch_seq)
+            .count();
+        self.entries.split_off(keep).into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_isa::{Instruction, R1, R2, R3};
+
+    fn entry(seq: u64) -> RobEntry {
+        RobEntry::new(seq, seq * 8, Instruction::add(R3, R1, R2), 0)
+    }
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        rob.push(entry(1));
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.pop_head().unwrap().seq, 0);
+        assert_eq!(rob.head().unwrap().seq, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ROB overflow")]
+    fn overflow_panics() {
+        let mut rob = Rob::new(1);
+        rob.push(entry(0));
+        rob.push(entry(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence must increase")]
+    fn non_monotonic_seq_panics() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(5));
+        rob.push(entry(3));
+    }
+
+    #[test]
+    fn lookup_by_seq_after_retirement() {
+        let mut rob = Rob::new(8);
+        for s in 0..5 {
+            rob.push(entry(s));
+        }
+        rob.pop_head();
+        rob.pop_head();
+        assert!(rob.get(1).is_none());
+        assert_eq!(rob.get(3).unwrap().seq, 3);
+        assert_eq!(rob.position(2), Some(0));
+    }
+
+    #[test]
+    fn squash_removes_strictly_younger() {
+        let mut rob = Rob::new(8);
+        for s in 0..6 {
+            rob.push(entry(s));
+        }
+        let squashed = rob.squash_after(2);
+        assert_eq!(squashed.len(), 3);
+        assert_eq!(squashed[0].seq, 3);
+        assert_eq!(rob.len(), 3);
+        assert_eq!(rob.iter().last().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn squash_with_no_younger_is_empty() {
+        let mut rob = Rob::new(4);
+        rob.push(entry(0));
+        assert!(rob.squash_after(0).is_empty());
+        assert_eq!(rob.len(), 1);
+    }
+
+    #[test]
+    fn entry_classification() {
+        let load = RobEntry::new(0, 0, Instruction::load(R1, R2, 0), 0);
+        assert!(load.is_load() && !load.is_branch() && !load.is_store_like());
+        let st = RobEntry::new(1, 8, Instruction::store(R1, R2, 0), 0);
+        assert!(st.is_store_like());
+        let fl = RobEntry::new(2, 16, Instruction::flush(R2, 0), 0);
+        assert!(fl.is_store_like());
+    }
+}

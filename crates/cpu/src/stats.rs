@@ -1,0 +1,99 @@
+//! Per-core pipeline statistics.
+
+use std::fmt;
+
+/// Counters accumulated by one core over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CoreStats {
+    /// Cycles the core was ticked.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Instructions dispatched into the ROB.
+    pub dispatched: u64,
+    /// Instructions issued to execution units.
+    pub issued: u64,
+    /// Mispredicted branches squashed.
+    pub squashes: u64,
+    /// Instructions thrown away by squashes.
+    pub squashed_instrs: u64,
+    /// Cycles fetch stalled on an I-cache fill.
+    pub fetch_stall_icache: u64,
+    /// Cycles fetch stalled on a full decode queue (`G^I_RS` back-pressure).
+    pub fetch_stall_queue: u64,
+    /// Dispatch stalls due to a full reservation station.
+    pub rs_full_stalls: u64,
+    /// Dispatch stalls due to a full ROB.
+    pub rob_full_stalls: u64,
+    /// Load retries due to MSHR exhaustion (`G^D_MSHR` pressure).
+    pub mshr_stalls: u64,
+    /// Loads delayed by the speculation scheme (Delay-on-Miss path).
+    pub delayed_loads: u64,
+    /// Loads executed invisibly.
+    pub invisible_loads: u64,
+    /// Deferred safe-actions applied (touches + exposures).
+    pub exposures: u64,
+    /// Issue stalls imposed by a defense's `blocks_issue` (§5.2 fences).
+    pub defense_issue_stalls: u64,
+}
+
+impl CoreStats {
+    /// Retired instructions per cycle; 0 when no cycles elapsed.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl fmt::Display for CoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cycles, {} retired (IPC {:.2}), {} squashes ({} instrs), \
+             stalls[icache={} queue={} rs={} rob={} mshr={} defense={}], \
+             loads[delayed={} invisible={} exposures={}]",
+            self.cycles,
+            self.retired,
+            self.ipc(),
+            self.squashes,
+            self.squashed_instrs,
+            self.fetch_stall_icache,
+            self.fetch_stall_queue,
+            self.rs_full_stalls,
+            self.rob_full_stalls,
+            self.mshr_stalls,
+            self.defense_issue_stalls,
+            self.delayed_loads,
+            self.invisible_loads,
+            self.exposures,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ipc_math() {
+        let s = CoreStats {
+            cycles: 100,
+            retired: 250,
+            ..CoreStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(CoreStats::default().to_string().contains("IPC"));
+    }
+}

@@ -1,0 +1,117 @@
+//! Pipeline event tracing, used to regenerate the paper's timeline figures
+//! (Figures 3, 4, 5, 10).
+
+use si_cache::HitLevel;
+
+/// One pipeline event with its cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Instruction fetched from `pc`.
+    Fetch { pc: u64 },
+    /// Fetch stalled this cycle (`reason` explains why).
+    FetchStall { reason: StallReason },
+    /// Instruction `seq` at `pc` entered the ROB.
+    Dispatch { seq: u64, pc: u64 },
+    /// Instruction `seq` issued to execution port `port`.
+    Issue { seq: u64, port: usize },
+    /// Load `seq` accessed the data cache (level it hit, visibly or not).
+    LoadAccess {
+        /// Load's sequence number.
+        seq: u64,
+        /// Accessed address.
+        addr: u64,
+        /// Level that serviced it.
+        level: HitLevel,
+        /// Whether the access was allowed to change cache state.
+        visible: bool,
+    },
+    /// Load `seq` was delayed by the active speculation scheme.
+    LoadDelayed { seq: u64, addr: u64 },
+    /// Load `seq` stalled for want of an MSHR.
+    MshrStall { seq: u64, addr: u64 },
+    /// Instruction `seq` wrote back its result.
+    Writeback { seq: u64 },
+    /// A mispredicted branch squashed `squashed` younger instructions.
+    Squash { branch_seq: u64, squashed: usize },
+    /// Instruction `seq` retired.
+    Retire { seq: u64, pc: u64 },
+}
+
+/// Why fetch made no progress in a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// Waiting on an instruction-cache fill.
+    ICacheMiss,
+    /// The decode queue is full (back-pressure from a full RS/ROB — the
+    /// `G^I_RS` throttling path).
+    QueueFull,
+    /// Fetch ran off the end of placed code or past a `Halt`.
+    NoInstruction,
+}
+
+/// A bounded trace buffer; disabled by default so experiment sweeps pay
+/// nothing for it.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<(u64, TraceEvent)>,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event at `cycle` (no-op when disabled).
+    pub fn record(&mut self, cycle: u64, event: TraceEvent) {
+        if self.enabled {
+            self.events.push((cycle, event));
+        }
+    }
+
+    /// All recorded `(cycle, event)` pairs, in record order.
+    pub fn events(&self) -> &[(u64, TraceEvent)] {
+        &self.events
+    }
+
+    /// Clears recorded events (keeps the enable flag).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(1, TraceEvent::Fetch { pc: 0 });
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.record(1, TraceEvent::Fetch { pc: 0 });
+        t.record(2, TraceEvent::Dispatch { seq: 0, pc: 0 });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].0, 1);
+        t.clear();
+        assert!(t.events().is_empty());
+        assert!(t.enabled());
+    }
+}

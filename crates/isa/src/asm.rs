@@ -1,0 +1,433 @@
+//! A two-pass assembler with forward-referencing labels.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{BranchCond, Instruction, Program, ProgramBuilder, Reg};
+
+/// A code label created by [`Assembler::label`]; bind it to an address with
+/// [`Assembler::bind`] and reference it from branches and jumps before or
+/// after binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Error produced by [`Assembler::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound to an address.
+    UnboundLabel(usize),
+    /// A label was bound twice.
+    Rebound(usize),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(i) => write!(f, "label #{i} referenced but never bound"),
+            AsmError::Rebound(i) => write!(f, "label #{i} bound more than once"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An ergonomic assembler over [`ProgramBuilder`].
+///
+/// Emits one instruction per method call, supports labels with forward
+/// references, explicit placement (`org`, `align`), and data segments.
+///
+/// # Example — a counted loop
+///
+/// ```
+/// use si_isa::{Assembler, R1, R2};
+///
+/// let mut asm = Assembler::new(0x1000);
+/// asm.mov_imm(R1, 0);
+/// asm.mov_imm(R2, 10);
+/// let top = asm.here("top");
+/// asm.add_imm(R1, R1, 1);
+/// asm.branch_ltu(R1, R2, top); // loop while r1 < r2
+/// asm.halt();
+/// let program = asm.assemble()?;
+/// assert_eq!(program.len(), 5);
+/// # Ok::<(), si_isa::AsmError>(())
+/// ```
+#[derive(Debug)]
+pub struct Assembler {
+    builder: ProgramBuilder,
+    /// Bound address per label id.
+    bound: Vec<Option<u64>>,
+    /// Instruction addresses whose `imm` must be patched with a label address.
+    patches: Vec<(u64, Label)>,
+    names: HashMap<String, Label>,
+}
+
+impl Assembler {
+    /// Creates an assembler whose first instruction goes at `start` (also
+    /// the entry point).
+    pub fn new(start: u64) -> Assembler {
+        Assembler {
+            builder: ProgramBuilder::new(start),
+            bound: Vec::new(),
+            patches: Vec::new(),
+            names: HashMap::new(),
+        }
+    }
+
+    /// Creates a fresh, unbound label. `name` is remembered for lookup via
+    /// [`Assembler::named`] and for diagnostics.
+    pub fn label(&mut self, name: &str) -> Label {
+        let l = Label(self.bound.len());
+        self.bound.push(None);
+        self.names.insert(name.to_owned(), l);
+        l
+    }
+
+    /// Returns a previously created label by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no label with that name exists.
+    pub fn named(&self, name: &str) -> Label {
+        *self
+            .names
+            .get(name)
+            .unwrap_or_else(|| panic!("no label named {name:?}"))
+    }
+
+    /// Binds `label` to the current cursor address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (the error surfaces at
+    /// [`Assembler::assemble`] time as [`AsmError::Rebound`] would require
+    /// deferred detection; binding twice is always a bug, so it panics
+    /// eagerly).
+    pub fn bind(&mut self, label: Label) {
+        assert!(
+            self.bound[label.0].is_none(),
+            "label #{} bound more than once",
+            label.0
+        );
+        self.bound[label.0] = Some(self.builder.cursor());
+    }
+
+    /// Creates a label bound to the current cursor — shorthand for
+    /// `let l = asm.label(name); asm.bind(l);`.
+    pub fn here(&mut self, name: &str) -> Label {
+        let l = self.label(name);
+        self.bind(l);
+        l
+    }
+
+    /// The address of the next instruction to be emitted.
+    pub fn cursor(&self) -> u64 {
+        self.builder.cursor()
+    }
+
+    /// Moves the cursor to `addr` (see [`ProgramBuilder::org`]).
+    pub fn org(&mut self, addr: u64) {
+        self.builder.org(addr);
+    }
+
+    /// Aligns the cursor to `align` bytes.
+    pub fn align(&mut self, align: u64) {
+        self.builder.align(align);
+    }
+
+    /// Pads with `nop`s until the cursor sits at the start of a fresh
+    /// 64-byte instruction-cache line. Useful when an attack needs an
+    /// instruction on its own line (§4.3).
+    pub fn pad_to_line(&mut self) {
+        while !self.builder.cursor().is_multiple_of(64) {
+            self.builder.push(Instruction::nop());
+        }
+    }
+
+    /// Emits a raw instruction and returns its address.
+    pub fn emit(&mut self, i: Instruction) -> u64 {
+        self.builder.push(i)
+    }
+
+    /// Emits `n` copies of an instruction.
+    pub fn emit_n(&mut self, i: Instruction, n: usize) {
+        for _ in 0..n {
+            self.emit(i);
+        }
+    }
+
+    // --- one method per opcode ------------------------------------------
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> u64 {
+        self.emit(Instruction::nop())
+    }
+
+    /// Emits `dst = imm`.
+    pub fn mov_imm(&mut self, dst: Reg, imm: i64) -> u64 {
+        self.emit(Instruction::mov_imm(dst, imm))
+    }
+
+    /// Emits `dst = src1 + src2`.
+    pub fn add(&mut self, dst: Reg, src1: Reg, src2: Reg) -> u64 {
+        self.emit(Instruction::add(dst, src1, src2))
+    }
+
+    /// Emits `dst = src1 - src2`.
+    pub fn sub(&mut self, dst: Reg, src1: Reg, src2: Reg) -> u64 {
+        self.emit(Instruction::sub(dst, src1, src2))
+    }
+
+    /// Emits `dst = src1 & src2`.
+    pub fn and(&mut self, dst: Reg, src1: Reg, src2: Reg) -> u64 {
+        self.emit(Instruction::and(dst, src1, src2))
+    }
+
+    /// Emits `dst = src1 | src2`.
+    pub fn or(&mut self, dst: Reg, src1: Reg, src2: Reg) -> u64 {
+        self.emit(Instruction::or(dst, src1, src2))
+    }
+
+    /// Emits `dst = src1 ^ src2`.
+    pub fn xor(&mut self, dst: Reg, src1: Reg, src2: Reg) -> u64 {
+        self.emit(Instruction::xor(dst, src1, src2))
+    }
+
+    /// Emits `dst = src1 << src2`.
+    pub fn shl(&mut self, dst: Reg, src1: Reg, src2: Reg) -> u64 {
+        self.emit(Instruction::shl(dst, src1, src2))
+    }
+
+    /// Emits `dst = src1 >> src2`.
+    pub fn shr(&mut self, dst: Reg, src1: Reg, src2: Reg) -> u64 {
+        self.emit(Instruction::shr(dst, src1, src2))
+    }
+
+    /// Emits `dst = src1 + imm`.
+    pub fn add_imm(&mut self, dst: Reg, src1: Reg, imm: i64) -> u64 {
+        self.emit(Instruction::add_imm(dst, src1, imm))
+    }
+
+    /// Emits `dst = src1 * src2`.
+    pub fn mul(&mut self, dst: Reg, src1: Reg, src2: Reg) -> u64 {
+        self.emit(Instruction::mul(dst, src1, src2))
+    }
+
+    /// Emits `dst = sqrt(src1)` (non-pipelined unit).
+    pub fn sqrt(&mut self, dst: Reg, src1: Reg) -> u64 {
+        self.emit(Instruction::sqrt(dst, src1))
+    }
+
+    /// Emits `dst = src1 / src2` (non-pipelined unit).
+    pub fn div(&mut self, dst: Reg, src1: Reg, src2: Reg) -> u64 {
+        self.emit(Instruction::div(dst, src1, src2))
+    }
+
+    /// Emits `dst = mem[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) -> u64 {
+        self.emit(Instruction::load(dst, base, offset))
+    }
+
+    /// Emits `mem[base + offset] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, offset: i64) -> u64 {
+        self.emit(Instruction::store(src, base, offset))
+    }
+
+    /// Emits a conditional branch to `target`.
+    pub fn branch(&mut self, cond: BranchCond, src1: Reg, src2: Reg, target: Label) -> u64 {
+        let pc = self.emit(Instruction::branch(cond, src1, src2, 0));
+        self.patches.push((pc, target));
+        pc
+    }
+
+    /// Emits `b.eq src1, src2, target`.
+    pub fn branch_eq(&mut self, src1: Reg, src2: Reg, target: Label) -> u64 {
+        self.branch(BranchCond::Eq, src1, src2, target)
+    }
+
+    /// Emits `b.ne src1, src2, target`.
+    pub fn branch_ne(&mut self, src1: Reg, src2: Reg, target: Label) -> u64 {
+        self.branch(BranchCond::Ne, src1, src2, target)
+    }
+
+    /// Emits `b.ltu src1, src2, target` (the bounds-check shape used by
+    /// Spectre v1).
+    pub fn branch_ltu(&mut self, src1: Reg, src2: Reg, target: Label) -> u64 {
+        self.branch(BranchCond::Ltu, src1, src2, target)
+    }
+
+    /// Emits `b.geu src1, src2, target`.
+    pub fn branch_geu(&mut self, src1: Reg, src2: Reg, target: Label) -> u64 {
+        self.branch(BranchCond::Geu, src1, src2, target)
+    }
+
+    /// Emits an unconditional jump to `target`.
+    pub fn jump(&mut self, target: Label) -> u64 {
+        let pc = self.emit(Instruction::jump(0));
+        self.patches.push((pc, target));
+        pc
+    }
+
+    /// Emits `flush [base + offset]`.
+    pub fn flush(&mut self, base: Reg, offset: i64) -> u64 {
+        self.emit(Instruction::flush(base, offset))
+    }
+
+    /// Emits a speculation fence.
+    pub fn fence(&mut self) -> u64 {
+        self.emit(Instruction::fence())
+    }
+
+    /// Emits `dst = cycle counter`.
+    pub fn rdtsc(&mut self, dst: Reg) -> u64 {
+        self.emit(Instruction::rdtsc(dst))
+    }
+
+    /// Emits `halt`.
+    pub fn halt(&mut self) -> u64 {
+        self.emit(Instruction::halt())
+    }
+
+    // --- data -------------------------------------------------------------
+
+    /// Writes initial data bytes at an absolute address.
+    pub fn data(&mut self, addr: u64, bytes: &[u8]) {
+        self.builder.program_mut().write_data(addr, bytes);
+    }
+
+    /// Writes a 64-bit little-endian word of initial data.
+    pub fn data_u64(&mut self, addr: u64, value: u64) {
+        self.builder.program_mut().write_data_u64(addr, value);
+    }
+
+    /// Loads a full 64-bit constant into `dst` using `movi`+`shl`+`or`
+    /// when the value does not fit the 32-bit immediate (3 extra
+    /// instructions), or a single `movi` when it does. Clobbers `scratch`.
+    pub fn mov_wide(&mut self, dst: Reg, scratch: Reg, value: u64) {
+        if value <= i32::MAX as u64 {
+            self.mov_imm(dst, value as i64);
+        } else {
+            self.mov_imm(dst, (value >> 32) as i64);
+            self.mov_imm(scratch, 32);
+            self.shl(dst, dst, scratch);
+            self.mov_imm(scratch, (value & 0xffff_ffff) as u32 as i64);
+            self.or(dst, dst, scratch);
+        }
+    }
+
+    /// Resolves all label references and returns the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound.
+    pub fn assemble(self) -> Result<Program, AsmError> {
+        let Assembler {
+            builder,
+            bound,
+            patches,
+            ..
+        } = self;
+        let mut program = builder.build();
+        for (pc, label) in patches {
+            let addr = bound[label.0].ok_or(AsmError::UnboundLabel(label.0))?;
+            let mut instr = *program
+                .fetch(pc)
+                .expect("patched instruction must exist; assembler bug");
+            instr.imm = addr as i64;
+            program.place(pc, instr);
+        }
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Opcode, INSTR_BYTES, R1, R2, R3};
+
+    #[test]
+    fn forward_reference_resolves() {
+        let mut asm = Assembler::new(0);
+        let end = asm.label("end");
+        asm.branch_eq(R1, R2, end);
+        asm.nop();
+        asm.bind(end);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let b = p.fetch(0).unwrap();
+        assert_eq!(b.opcode, Opcode::Branch);
+        assert_eq!(b.target(), Some(2 * INSTR_BYTES));
+    }
+
+    #[test]
+    fn backward_reference_resolves() {
+        let mut asm = Assembler::new(0x40);
+        let top = asm.here("top");
+        asm.add_imm(R1, R1, 1);
+        asm.branch_ltu(R1, R2, top);
+        let p = asm.assemble().unwrap();
+        let b = p.fetch(0x40 + INSTR_BYTES).unwrap();
+        assert_eq!(b.target(), Some(0x40));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut asm = Assembler::new(0);
+        let nowhere = asm.label("nowhere");
+        asm.jump(nowhere);
+        assert_eq!(asm.assemble(), Err(AsmError::UnboundLabel(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound more than once")]
+    fn rebinding_panics() {
+        let mut asm = Assembler::new(0);
+        let l = asm.label("l");
+        asm.bind(l);
+        asm.nop();
+        asm.bind(l);
+    }
+
+    #[test]
+    fn named_lookup() {
+        let mut asm = Assembler::new(0);
+        let l = asm.here("spot");
+        assert_eq!(asm.named("spot"), l);
+    }
+
+    #[test]
+    fn pad_to_line_reaches_line_boundary() {
+        let mut asm = Assembler::new(8);
+        asm.nop();
+        asm.pad_to_line();
+        assert_eq!(asm.cursor() % 64, 0);
+        assert!(asm.cursor() > 8);
+    }
+
+    #[test]
+    fn mov_wide_small_value_is_single_instruction() {
+        let mut asm = Assembler::new(0);
+        asm.mov_wide(R1, R2, 42);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn mov_wide_large_value_expands() {
+        let mut asm = Assembler::new(0);
+        asm.mov_wide(R1, R2, 0xdead_beef_0000_1234);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn emit_n_repeats() {
+        let mut asm = Assembler::new(0);
+        asm.emit_n(Instruction::sqrt(R3, R3), 5);
+        asm.halt();
+        assert_eq!(asm.assemble().unwrap().len(), 6);
+    }
+}

@@ -1,0 +1,237 @@
+//! Binary encoding of instructions.
+//!
+//! Each instruction encodes to one little-endian `u64` word laid out as:
+//!
+//! ```text
+//! bits  0..8   opcode
+//! bits  8..16  dst register
+//! bits 16..24  src1 register
+//! bits 24..32  src2 register / branch condition (for Branch)
+//! bits 32..64  immediate (sign-extended 32-bit)
+//! ```
+//!
+//! Branches need both `src2` and a condition, so the condition is packed
+//! into the upper three bits of the opcode byte (opcodes use the low five
+//! bits).
+
+use std::fmt;
+
+use crate::{BranchCond, Instruction, Opcode, Reg};
+
+/// Error produced when an instruction cannot be encoded or decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The immediate does not fit in the signed 32-bit encoding field.
+    ImmediateOutOfRange(i64),
+    /// The opcode byte does not name a valid opcode.
+    BadOpcode(u8),
+    /// A register byte is out of range.
+    BadRegister(u8),
+    /// The condition bits do not name a valid branch condition.
+    BadCondition(u8),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmediateOutOfRange(v) => {
+                write!(f, "immediate {v} does not fit in 32 bits")
+            }
+            EncodeError::BadOpcode(b) => write!(f, "invalid opcode byte 0x{b:02x}"),
+            EncodeError::BadRegister(b) => write!(f, "invalid register byte 0x{b:02x}"),
+            EncodeError::BadCondition(b) => write!(f, "invalid condition bits 0x{b:02x}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn opcode_byte(op: Opcode) -> u8 {
+    match op {
+        Opcode::Nop => 0,
+        Opcode::MovImm => 1,
+        Opcode::Add => 2,
+        Opcode::Sub => 3,
+        Opcode::And => 4,
+        Opcode::Or => 5,
+        Opcode::Xor => 6,
+        Opcode::Shl => 7,
+        Opcode::Shr => 8,
+        Opcode::AddImm => 9,
+        Opcode::Mul => 10,
+        Opcode::Sqrt => 11,
+        Opcode::Div => 12,
+        Opcode::Load => 13,
+        Opcode::Store => 14,
+        Opcode::Branch => 15,
+        Opcode::Jump => 16,
+        Opcode::Flush => 17,
+        Opcode::Fence => 18,
+        Opcode::Rdtsc => 19,
+        Opcode::Halt => 20,
+    }
+}
+
+fn byte_opcode(b: u8) -> Result<Opcode, EncodeError> {
+    Ok(match b {
+        0 => Opcode::Nop,
+        1 => Opcode::MovImm,
+        2 => Opcode::Add,
+        3 => Opcode::Sub,
+        4 => Opcode::And,
+        5 => Opcode::Or,
+        6 => Opcode::Xor,
+        7 => Opcode::Shl,
+        8 => Opcode::Shr,
+        9 => Opcode::AddImm,
+        10 => Opcode::Mul,
+        11 => Opcode::Sqrt,
+        12 => Opcode::Div,
+        13 => Opcode::Load,
+        14 => Opcode::Store,
+        15 => Opcode::Branch,
+        16 => Opcode::Jump,
+        17 => Opcode::Flush,
+        18 => Opcode::Fence,
+        19 => Opcode::Rdtsc,
+        20 => Opcode::Halt,
+        other => return Err(EncodeError::BadOpcode(other)),
+    })
+}
+
+fn cond_bits(c: BranchCond) -> u8 {
+    match c {
+        BranchCond::Eq => 0,
+        BranchCond::Ne => 1,
+        BranchCond::Lt => 2,
+        BranchCond::Ge => 3,
+        BranchCond::Ltu => 4,
+        BranchCond::Geu => 5,
+    }
+}
+
+fn bits_cond(b: u8) -> Result<BranchCond, EncodeError> {
+    Ok(match b {
+        0 => BranchCond::Eq,
+        1 => BranchCond::Ne,
+        2 => BranchCond::Lt,
+        3 => BranchCond::Ge,
+        4 => BranchCond::Ltu,
+        5 => BranchCond::Geu,
+        other => return Err(EncodeError::BadCondition(other)),
+    })
+}
+
+/// Encodes an instruction into its `u64` word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::ImmediateOutOfRange`] if the immediate (or
+/// branch/jump target) does not fit in a signed 32-bit field.
+///
+/// # Example
+///
+/// ```
+/// use si_isa::{decode, encode, Instruction, R1, R2, R3};
+///
+/// let i = Instruction::add(R3, R1, R2);
+/// let word = encode(&i)?;
+/// assert_eq!(decode(word)?, i);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode(instr: &Instruction) -> Result<u64, EncodeError> {
+    if instr.imm > i32::MAX as i64 || instr.imm < i32::MIN as i64 {
+        return Err(EncodeError::ImmediateOutOfRange(instr.imm));
+    }
+    let op = opcode_byte(instr.opcode) as u64 | ((cond_bits(instr.cond) as u64) << 5);
+    let word = op
+        | ((instr.dst.raw() as u64) << 8)
+        | ((instr.src1.raw() as u64) << 16)
+        | ((instr.src2.raw() as u64) << 24)
+        | (((instr.imm as i32) as u32 as u64) << 32);
+    Ok(word)
+}
+
+/// Decodes a `u64` word back into an instruction.
+///
+/// # Errors
+///
+/// Returns an [`EncodeError`] if the opcode byte, a register byte, or the
+/// condition bits are invalid.
+pub fn decode(word: u64) -> Result<Instruction, EncodeError> {
+    let op_byte = (word & 0xff) as u8;
+    let opcode = byte_opcode(op_byte & 0x1f)?;
+    let cond = bits_cond(op_byte >> 5)?;
+    let reg = |b: u8| Reg::new(b).ok_or(EncodeError::BadRegister(b));
+    let dst = reg(((word >> 8) & 0xff) as u8)?;
+    let src1 = reg(((word >> 16) & 0xff) as u8)?;
+    let src2 = reg(((word >> 24) & 0xff) as u8)?;
+    let imm = ((word >> 32) as u32) as i32 as i64;
+    Ok(Instruction {
+        opcode,
+        dst,
+        src1,
+        src2,
+        imm,
+        cond,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{R1, R2, R3, R31};
+
+    fn roundtrip(i: Instruction) {
+        let w = encode(&i).expect("encodes");
+        assert_eq!(decode(w).expect("decodes"), i, "roundtrip for {i}");
+    }
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        roundtrip(Instruction::nop());
+        roundtrip(Instruction::mov_imm(R1, -12345));
+        roundtrip(Instruction::add(R3, R1, R2));
+        roundtrip(Instruction::add_imm(R3, R1, 64));
+        roundtrip(Instruction::mul(R3, R1, R2));
+        roundtrip(Instruction::sqrt(R3, R1));
+        roundtrip(Instruction::div(R3, R1, R2));
+        roundtrip(Instruction::load(R3, R1, 8));
+        roundtrip(Instruction::store(R2, R1, -8));
+        roundtrip(Instruction::branch(BranchCond::Ltu, R1, R2, 0x4000));
+        roundtrip(Instruction::jump(0x8000));
+        roundtrip(Instruction::flush(R1, 0));
+        roundtrip(Instruction::fence());
+        roundtrip(Instruction::rdtsc(R31));
+        roundtrip(Instruction::halt());
+    }
+
+    #[test]
+    fn immediate_range_is_enforced() {
+        let too_big = Instruction::mov_imm(R1, i64::from(i32::MAX) + 1);
+        assert_eq!(
+            encode(&too_big),
+            Err(EncodeError::ImmediateOutOfRange(i64::from(i32::MAX) + 1))
+        );
+        let ok = Instruction::mov_imm(R1, i64::from(i32::MIN));
+        assert!(encode(&ok).is_ok());
+    }
+
+    #[test]
+    fn bad_words_are_rejected() {
+        assert!(matches!(decode(0x3f), Err(EncodeError::BadOpcode(_))));
+        // valid opcode, register byte 200
+        let word = 2u64 | (200u64 << 8);
+        assert!(matches!(decode(word), Err(EncodeError::BadRegister(200))));
+        // condition bits 7 on a branch opcode
+        let word = 15u64 | (7 << 5);
+        assert!(matches!(decode(word), Err(EncodeError::BadCondition(7))));
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        let i = Instruction::add_imm(R1, R2, -1);
+        let w = encode(&i).unwrap();
+        assert_eq!(decode(w).unwrap().imm, -1);
+    }
+}

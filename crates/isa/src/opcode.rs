@@ -1,0 +1,318 @@
+//! Opcode and functional-unit classification.
+
+use std::fmt;
+
+/// Condition codes for conditional branches.
+///
+/// Branch operands are compared as unsigned 64-bit values except for
+/// [`BranchCond::Lt`]/[`BranchCond::Ge`], which compare as signed values
+/// (mirroring RISC-V's `blt`/`bge` vs `bltu`/`bgeu`; only the signed pair and
+/// the unsigned pair the attacks need are provided).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum BranchCond {
+    /// Taken iff `src1 == src2`.
+    Eq,
+    /// Taken iff `src1 != src2`.
+    Ne,
+    /// Taken iff `src1 < src2` (signed).
+    Lt,
+    /// Taken iff `src1 >= src2` (signed).
+    Ge,
+    /// Taken iff `src1 < src2` (unsigned).
+    Ltu,
+    /// Taken iff `src1 >= src2` (unsigned).
+    Geu,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on concrete operand values.
+    ///
+    /// ```
+    /// use si_isa::BranchCond;
+    /// assert!(BranchCond::Ltu.eval(1, 2));
+    /// assert!(!BranchCond::Ltu.eval(u64::MAX, 2)); // unsigned: huge value is not < 2
+    /// assert!(BranchCond::Lt.eval(u64::MAX, 2)); // signed: -1 < 2
+    /// ```
+    pub fn eval(self, src1: u64, src2: u64) -> bool {
+        match self {
+            BranchCond::Eq => src1 == src2,
+            BranchCond::Ne => src1 != src2,
+            BranchCond::Lt => (src1 as i64) < (src2 as i64),
+            BranchCond::Ge => (src1 as i64) >= (src2 as i64),
+            BranchCond::Ltu => src1 < src2,
+            BranchCond::Geu => src1 >= src2,
+        }
+    }
+
+    /// Returns the condition that is true exactly when `self` is false.
+    pub fn negate(self) -> BranchCond {
+        match self {
+            BranchCond::Eq => BranchCond::Ne,
+            BranchCond::Ne => BranchCond::Eq,
+            BranchCond::Lt => BranchCond::Ge,
+            BranchCond::Ge => BranchCond::Lt,
+            BranchCond::Ltu => BranchCond::Geu,
+            BranchCond::Geu => BranchCond::Ltu,
+        }
+    }
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchCond::Eq => "eq",
+            BranchCond::Ne => "ne",
+            BranchCond::Lt => "lt",
+            BranchCond::Ge => "ge",
+            BranchCond::Ltu => "ltu",
+            BranchCond::Geu => "geu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Functional-unit class an instruction executes on.
+///
+/// The class determines which execution port(s) can accept the instruction,
+/// its execution latency, and whether the unit is pipelined. The mapping of
+/// class to `(latency, pipelined, ports)` lives in the CPU configuration;
+/// the defaults mirror the paper's Kaby Lake observations (§4.2.1):
+/// `FpSqrt` ≈ `VSQRTPD`, 15-cycle latency, reciprocal throughput well below
+/// 1/cycle, single port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FuClass {
+    /// Single-cycle integer ALU operation (add, xor, shifts, ...).
+    IntAlu,
+    /// Pipelined multiplier (3-cycle latency by default).
+    IntMul,
+    /// **Non-pipelined** square-root unit, the interference-gadget
+    /// instruction of §4.2.1 (`VSQRTPD` analog).
+    FpSqrt,
+    /// **Non-pipelined** divider (`VDIVPD` analog, also verified functional
+    /// in the paper).
+    FpDiv,
+    /// Load pipe (address generation + data-cache access).
+    Load,
+    /// Store pipe (address generation; data written at retire).
+    Store,
+    /// Branch resolution unit.
+    Branch,
+    /// No functional unit needed (e.g. `Nop`, `Fence`, `Halt`, `MovImm`).
+    None,
+}
+
+/// The operation performed by an [`Instruction`](crate::Instruction).
+///
+/// Operand meaning by shape:
+/// * three-register ALU ops use `dst, src1, src2`;
+/// * immediate ALU ops use `dst, src1, imm`;
+/// * memory ops use `base + offset` addressing;
+/// * branches compare `src1, src2` and jump to an absolute target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Opcode {
+    /// Does nothing; occupies frontend/ROB slots only.
+    Nop,
+    /// `dst = imm` (sign-extended 32-bit immediate).
+    MovImm,
+    /// `dst = src1 + src2`.
+    Add,
+    /// `dst = src1 - src2`.
+    Sub,
+    /// `dst = src1 & src2`.
+    And,
+    /// `dst = src1 | src2`.
+    Or,
+    /// `dst = src1 ^ src2`.
+    Xor,
+    /// `dst = src1 << (src2 & 63)`.
+    Shl,
+    /// `dst = src1 >> (src2 & 63)` (logical).
+    Shr,
+    /// `dst = src1 + imm`.
+    AddImm,
+    /// `dst = src1 * src2` (wrapping, low 64 bits) on the pipelined
+    /// multiplier.
+    Mul,
+    /// `dst = floor(sqrt(src1))` on the **non-pipelined** sqrt unit; the
+    /// gadget/target instruction of the D-Cache PoC (§4.2.1).
+    Sqrt,
+    /// `dst = src1 / max(src2,1)` on the **non-pipelined** divider.
+    Div,
+    /// `dst = mem[src1 + imm]` (64-bit little-endian load).
+    Load,
+    /// `mem[src1 + imm] = src2` (64-bit little-endian store).
+    Store,
+    /// Conditional branch: if `cond(src1, src2)` jump to `target`.
+    Branch,
+    /// Unconditional direct jump to `target`.
+    Jump,
+    /// Evict the line containing `src1 + imm` from the entire cache
+    /// hierarchy (`clflush` analog). Ordered like a store.
+    Flush,
+    /// Speculation barrier: younger instructions may not issue until this
+    /// instruction retires. Used by the basic defense of §5.2 and available
+    /// to programs.
+    Fence,
+    /// `dst = current cycle count` (timing instruction, `rdtsc` analog).
+    Rdtsc,
+    /// Stops the core; the program is complete when `Halt` retires.
+    Halt,
+}
+
+impl Opcode {
+    /// Returns the functional-unit class this opcode executes on.
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Shl
+            | Opcode::Shr
+            | Opcode::AddImm => FuClass::IntAlu,
+            Opcode::Mul => FuClass::IntMul,
+            Opcode::Sqrt => FuClass::FpSqrt,
+            Opcode::Div => FuClass::FpDiv,
+            Opcode::Load => FuClass::Load,
+            Opcode::Store | Opcode::Flush => FuClass::Store,
+            Opcode::Branch => FuClass::Branch,
+            // Direct jumps resolve at fetch/dispatch and never execute.
+            Opcode::Jump
+            | Opcode::Nop
+            | Opcode::MovImm
+            | Opcode::Fence
+            | Opcode::Rdtsc
+            | Opcode::Halt => FuClass::None,
+        }
+    }
+
+    /// Returns `true` if this opcode writes a destination register.
+    pub fn writes_reg(self) -> bool {
+        matches!(
+            self,
+            Opcode::MovImm
+                | Opcode::Add
+                | Opcode::Sub
+                | Opcode::And
+                | Opcode::Or
+                | Opcode::Xor
+                | Opcode::Shl
+                | Opcode::Shr
+                | Opcode::AddImm
+                | Opcode::Mul
+                | Opcode::Sqrt
+                | Opcode::Div
+                | Opcode::Load
+                | Opcode::Rdtsc
+        )
+    }
+
+    /// Returns `true` if this opcode can redirect control flow.
+    pub fn is_control(self) -> bool {
+        matches!(self, Opcode::Branch | Opcode::Jump)
+    }
+
+    /// Returns `true` if this opcode accesses data memory.
+    pub fn is_memory(self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store | Opcode::Flush)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Opcode::Nop => "nop",
+            Opcode::MovImm => "movi",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::And => "and",
+            Opcode::Or => "or",
+            Opcode::Xor => "xor",
+            Opcode::Shl => "shl",
+            Opcode::Shr => "shr",
+            Opcode::AddImm => "addi",
+            Opcode::Mul => "mul",
+            Opcode::Sqrt => "sqrt",
+            Opcode::Div => "div",
+            Opcode::Load => "ld",
+            Opcode::Store => "st",
+            Opcode::Branch => "b",
+            Opcode::Jump => "jmp",
+            Opcode::Flush => "flush",
+            Opcode::Fence => "fence",
+            Opcode::Rdtsc => "rdtsc",
+            Opcode::Halt => "halt",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_cond_eval_unsigned() {
+        assert!(BranchCond::Eq.eval(3, 3));
+        assert!(BranchCond::Ne.eval(3, 4));
+        assert!(BranchCond::Ltu.eval(3, 4));
+        assert!(!BranchCond::Ltu.eval(u64::MAX, 4));
+        assert!(BranchCond::Geu.eval(u64::MAX, 4));
+    }
+
+    #[test]
+    fn branch_cond_eval_signed() {
+        // -1 < 2 signed
+        assert!(BranchCond::Lt.eval(u64::MAX, 2));
+        assert!(!BranchCond::Ge.eval(u64::MAX, 2));
+        assert!(BranchCond::Ge.eval(2, 2));
+    }
+
+    #[test]
+    fn negate_is_involution_and_complement() {
+        let all = [
+            BranchCond::Eq,
+            BranchCond::Ne,
+            BranchCond::Lt,
+            BranchCond::Ge,
+            BranchCond::Ltu,
+            BranchCond::Geu,
+        ];
+        for c in all {
+            assert_eq!(c.negate().negate(), c);
+            for (a, b) in [(0u64, 0u64), (1, 2), (u64::MAX, 1), (5, 5)] {
+                assert_ne!(c.eval(a, b), c.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_and_div_are_non_alu_classes() {
+        assert_eq!(Opcode::Sqrt.fu_class(), FuClass::FpSqrt);
+        assert_eq!(Opcode::Div.fu_class(), FuClass::FpDiv);
+        assert_eq!(Opcode::Add.fu_class(), FuClass::IntAlu);
+        assert_eq!(Opcode::Mul.fu_class(), FuClass::IntMul);
+    }
+
+    #[test]
+    fn memory_and_control_classification() {
+        assert!(Opcode::Load.is_memory());
+        assert!(Opcode::Store.is_memory());
+        assert!(Opcode::Flush.is_memory());
+        assert!(!Opcode::Add.is_memory());
+        assert!(Opcode::Branch.is_control());
+        assert!(Opcode::Jump.is_control());
+        assert!(!Opcode::Load.is_control());
+    }
+
+    #[test]
+    fn writes_reg_classification() {
+        assert!(Opcode::Load.writes_reg());
+        assert!(Opcode::Rdtsc.writes_reg());
+        assert!(!Opcode::Store.writes_reg());
+        assert!(!Opcode::Branch.writes_reg());
+        assert!(!Opcode::Fence.writes_reg());
+        assert!(!Opcode::Halt.writes_reg());
+    }
+}

@@ -1,0 +1,275 @@
+//! Programs: instructions placed at addresses, plus initial data.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Instruction, INSTR_BYTES};
+
+/// A complete program image: instructions at fixed addresses, initial data
+/// bytes, and an entry point.
+///
+/// Instruction addresses are significant — the frontend fetches through the
+/// instruction cache, so code layout (which 64-byte line an instruction
+/// lives on) is part of the attack surface (§4.3). Use
+/// [`Assembler`](crate::Assembler) or [`ProgramBuilder`] to construct
+/// programs.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Program {
+    instrs: BTreeMap<u64, Instruction>,
+    data: BTreeMap<u64, u8>,
+    entry: u64,
+}
+
+impl Program {
+    /// Creates an empty program with entry point 0.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Returns the entry-point address.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// Sets the entry-point address.
+    pub fn set_entry(&mut self, entry: u64) {
+        self.entry = entry;
+    }
+
+    /// Returns the instruction at `pc`, if one was placed there.
+    pub fn fetch(&self, pc: u64) -> Option<&Instruction> {
+        self.instrs.get(&pc)
+    }
+
+    /// Places an instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is not aligned to [`INSTR_BYTES`].
+    pub fn place(&mut self, pc: u64, instr: Instruction) {
+        assert!(
+            pc.is_multiple_of(INSTR_BYTES),
+            "instruction address 0x{pc:x} must be {INSTR_BYTES}-byte aligned"
+        );
+        self.instrs.insert(pc, instr);
+    }
+
+    /// Number of instructions in the program.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Returns `true` if the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Iterates over `(address, instruction)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Instruction)> {
+        self.instrs.iter().map(|(pc, i)| (*pc, i))
+    }
+
+    /// Writes initial data bytes starting at `addr`.
+    pub fn write_data(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.data.insert(addr + i as u64, *b);
+        }
+    }
+
+    /// Writes a little-endian 64-bit word of initial data at `addr`.
+    pub fn write_data_u64(&mut self, addr: u64, value: u64) {
+        self.write_data(addr, &value.to_le_bytes());
+    }
+
+    /// Iterates over initial data bytes as `(address, byte)` pairs.
+    pub fn data(&self) -> impl Iterator<Item = (u64, u8)> + '_ {
+        self.data.iter().map(|(a, b)| (*a, *b))
+    }
+
+    /// Returns the lowest and highest instruction addresses, if any.
+    pub fn code_range(&self) -> Option<(u64, u64)> {
+        let first = *self.instrs.keys().next()?;
+        let last = *self.instrs.keys().next_back()?;
+        Some((first, last))
+    }
+
+    /// Merges another program image into this one. Instructions and data of
+    /// `other` overwrite overlapping entries of `self`; the entry point is
+    /// unchanged.
+    pub fn merge(&mut self, other: &Program) {
+        for (pc, i) in other.iter() {
+            self.instrs.insert(pc, *i);
+        }
+        for (a, b) in other.data() {
+            self.data.insert(a, b);
+        }
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; entry = 0x{:x}", self.entry)?;
+        let mut prev: Option<u64> = None;
+        for (pc, i) in self.iter() {
+            if let Some(p) = prev {
+                if pc != p + INSTR_BYTES {
+                    writeln!(f, "; ---")?;
+                }
+            }
+            writeln!(f, "0x{pc:06x}: {i}")?;
+            prev = Some(pc);
+        }
+        Ok(())
+    }
+}
+
+/// Low-level builder that appends instructions at a cursor.
+///
+/// [`Assembler`](crate::Assembler) is the ergonomic front end; this builder
+/// is the primitive it drives, exposed for code that computes its own
+/// layout.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    program: Program,
+    cursor: u64,
+}
+
+impl ProgramBuilder {
+    /// Starts a builder whose first instruction goes at `start` (which also
+    /// becomes the entry point).
+    pub fn new(start: u64) -> ProgramBuilder {
+        let mut program = Program::new();
+        program.set_entry(start);
+        ProgramBuilder {
+            program,
+            cursor: start,
+        }
+    }
+
+    /// Appends an instruction at the cursor and returns its address.
+    pub fn push(&mut self, instr: Instruction) -> u64 {
+        let pc = self.cursor;
+        self.program.place(pc, instr);
+        self.cursor += INSTR_BYTES;
+        pc
+    }
+
+    /// Returns the current cursor (the address of the next instruction).
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// Moves the cursor to an arbitrary aligned address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not [`INSTR_BYTES`]-aligned.
+    pub fn org(&mut self, addr: u64) {
+        assert!(addr.is_multiple_of(INSTR_BYTES), "org target must be aligned");
+        self.cursor = addr;
+    }
+
+    /// Aligns the cursor up to a multiple of `align` bytes (filling nothing —
+    /// unfetched gaps are simply absent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is zero or not a multiple of [`INSTR_BYTES`].
+    pub fn align(&mut self, align: u64) {
+        assert!(align > 0 && align.is_multiple_of(INSTR_BYTES));
+        self.cursor = self.cursor.div_ceil(align) * align;
+    }
+
+    /// Finishes building and returns the program.
+    pub fn build(self) -> Program {
+        self.program
+    }
+
+    /// Mutable access to the program under construction (e.g. to add data).
+    pub fn program_mut(&mut self) -> &mut Program {
+        &mut self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Instruction, R1, R2, R3};
+
+    #[test]
+    fn builder_appends_sequentially() {
+        let mut b = ProgramBuilder::new(0x100);
+        let a0 = b.push(Instruction::mov_imm(R1, 1));
+        let a1 = b.push(Instruction::mov_imm(R2, 2));
+        assert_eq!(a0, 0x100);
+        assert_eq!(a1, 0x100 + INSTR_BYTES);
+        let p = b.build();
+        assert_eq!(p.entry(), 0x100);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.fetch(0x100), Some(&Instruction::mov_imm(R1, 1)));
+    }
+
+    #[test]
+    fn org_and_align_move_cursor() {
+        let mut b = ProgramBuilder::new(0);
+        b.push(Instruction::nop());
+        b.org(0x200);
+        assert_eq!(b.cursor(), 0x200);
+        b.push(Instruction::nop());
+        b.align(64);
+        assert_eq!(b.cursor() % 64, 0);
+        assert!(b.cursor() > 0x200);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_place_panics() {
+        let mut p = Program::new();
+        p.place(3, Instruction::nop());
+    }
+
+    #[test]
+    fn data_roundtrip() {
+        let mut p = Program::new();
+        p.write_data_u64(0x1000, 0xdead_beef_1234_5678);
+        let bytes: Vec<(u64, u8)> = p.data().collect();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(bytes[0], (0x1000, 0x78));
+        assert_eq!(bytes[7], (0x1007, 0xde));
+    }
+
+    #[test]
+    fn merge_overlays_instructions_and_data() {
+        let mut a = Program::new();
+        a.place(0, Instruction::nop());
+        a.write_data(0x100, &[1, 2]);
+        let mut b = Program::new();
+        b.place(0, Instruction::halt());
+        b.place(8, Instruction::add(R3, R1, R2));
+        b.write_data(0x101, &[9]);
+        a.merge(&b);
+        assert_eq!(a.fetch(0), Some(&Instruction::halt()));
+        assert_eq!(a.len(), 2);
+        let d: Vec<(u64, u8)> = a.data().collect();
+        assert_eq!(d, vec![(0x100, 1), (0x101, 9)]);
+    }
+
+    #[test]
+    fn code_range_reports_extremes() {
+        let mut p = Program::new();
+        assert_eq!(p.code_range(), None);
+        p.place(0x40, Instruction::nop());
+        p.place(0x1000, Instruction::halt());
+        assert_eq!(p.code_range(), Some((0x40, 0x1000)));
+    }
+
+    #[test]
+    fn display_marks_gaps() {
+        let mut p = Program::new();
+        p.place(0, Instruction::nop());
+        p.place(0x100, Instruction::halt());
+        let text = p.to_string();
+        assert!(text.contains("; ---"));
+        assert!(text.contains("halt"));
+    }
+}

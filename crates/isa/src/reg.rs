@@ -1,0 +1,113 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// Number of architectural registers in the micro-ISA.
+pub const NUM_REGS: usize = 32;
+
+/// An architectural register identifier (`r0`..`r31`).
+///
+/// [`R0`] is hardwired to zero: reads return `0` and writes are discarded,
+/// matching the RISC convention. This gives programs a free constant and
+/// makes compare-against-zero branches one instruction.
+///
+/// # Example
+///
+/// ```
+/// use si_isa::{Reg, R0, R5};
+///
+/// assert!(R0.is_zero());
+/// assert!(!R5.is_zero());
+/// assert_eq!(R5.index(), 5);
+/// assert_eq!(Reg::new(5), Some(R5));
+/// assert_eq!(Reg::new(99), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register from its index, returning `None` if the index is
+    /// out of range (`>= NUM_REGS`).
+    pub fn new(index: u8) -> Option<Reg> {
+        if (index as usize) < NUM_REGS {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// Returns this register's index in `0..NUM_REGS`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns this register's index as the raw `u8` used in encodings.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` for the hardwired-zero register [`R0`].
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+macro_rules! def_regs {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        $(
+            #[doc = concat!("Architectural register `r", stringify!($idx), "`.")]
+            pub const $name: Reg = Reg($idx);
+        )*
+    };
+}
+
+def_regs! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22, R23 = 23,
+    R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_valid_indices() {
+        for i in 0..NUM_REGS as u8 {
+            let r = Reg::new(i).expect("in range");
+            assert_eq!(r.index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert_eq!(Reg::new(NUM_REGS as u8), None);
+        assert_eq!(Reg::new(255), None);
+    }
+
+    #[test]
+    fn zero_register_is_special() {
+        assert!(R0.is_zero());
+        assert!(!R1.is_zero());
+        assert!(!R31.is_zero());
+    }
+
+    #[test]
+    fn display_is_r_prefixed() {
+        assert_eq!(R0.to_string(), "r0");
+        assert_eq!(R17.to_string(), "r17");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(R0 < R1);
+        assert!(R30 < R31);
+    }
+}

@@ -1,0 +1,106 @@
+//! CleanupSpec (Saileshwar & Qureshi, MICRO'19).
+
+use si_cache::Hierarchy;
+use si_cpu::{LoadPlan, SafetyView, SpeculationScheme, UnsafeLoadCtx};
+
+use crate::ShadowModel;
+
+/// CleanupSpec: speculative loads access the caches **normally** (visible
+/// fills), and on a squash the occupancy changes are *undone* — every line
+/// filled by a squashed load is invalidated from the hierarchy.
+///
+/// The paper (§6) notes CleanupSpec "does not block speculative
+/// interference but makes its exploitation more challenging": rollback
+/// restores occupancy, not the precise replacement ages, and the original
+/// design leans on randomized L1 replacement to blunt what remains. Pair
+/// this scheme with [`si_cache::PolicyKind::Random`] in the L1 to model
+/// that configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CleanupSpec {
+    shadow: ShadowModel,
+    undone: u64,
+}
+
+impl CleanupSpec {
+    /// Creates CleanupSpec (Spectre shadows, as in the original design).
+    pub fn new() -> CleanupSpec {
+        CleanupSpec {
+            shadow: ShadowModel::Spectre,
+            undone: 0,
+        }
+    }
+
+    /// Number of lines rolled back so far (diagnostic).
+    pub fn undone(&self) -> u64 {
+        self.undone
+    }
+}
+
+impl Default for CleanupSpec {
+    fn default() -> CleanupSpec {
+        CleanupSpec::new()
+    }
+}
+
+impl SpeculationScheme for CleanupSpec {
+    fn protects_ifetch(&self) -> bool {
+        true // shadow/filter/rollback structures cover the I-side
+    }
+
+    fn name(&self) -> String {
+        "CleanupSpec".to_owned()
+    }
+
+    fn is_safe(&self, view: &SafetyView, pos: usize) -> bool {
+        self.shadow.is_safe(view, pos)
+    }
+
+    fn plan_unsafe_load(&mut self, _ctx: &UnsafeLoadCtx) -> LoadPlan {
+        LoadPlan::Visible
+    }
+
+    fn on_squash(&mut self, hierarchy: &mut Hierarchy, _core: usize, spec_filled_lines: &[u64]) {
+        for line in spec_filled_lines {
+            hierarchy.flush_addr(line * si_cache::LINE_BYTES);
+            self.undone += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_cache::{AccessClass, HierarchyConfig, HitLevel, Visibility};
+
+    #[test]
+    fn speculative_loads_fill_visibly() {
+        let mut cs = CleanupSpec::new();
+        let plan = cs.plan_unsafe_load(&UnsafeLoadCtx {
+            core: 0,
+            addr: 0x4000,
+            level: HitLevel::Memory,
+            cycle: 0,
+        });
+        assert_eq!(plan, LoadPlan::Visible);
+    }
+
+    #[test]
+    fn squash_rolls_back_recorded_fills() {
+        let mut cs = CleanupSpec::new();
+        let mut h = Hierarchy::new(HierarchyConfig::kaby_lake_like(1));
+        h.read(0, 0, 0x4000, AccessClass::Data, Visibility::Visible);
+        assert!(h.resident_anywhere(0x4000));
+        cs.on_squash(&mut h, 0, &[0x4000 / si_cache::LINE_BYTES]);
+        assert!(!h.resident_anywhere(0x4000));
+        assert_eq!(cs.undone(), 1);
+    }
+
+    #[test]
+    fn squash_with_no_fills_is_a_no_op() {
+        let mut cs = CleanupSpec::new();
+        let mut h = Hierarchy::new(HierarchyConfig::kaby_lake_like(1));
+        h.read(0, 0, 0x8000, AccessClass::Data, Visibility::Visible);
+        cs.on_squash(&mut h, 0, &[]);
+        assert!(h.resident_anywhere(0x8000));
+    }
+}

@@ -1,0 +1,83 @@
+//! Conditional Speculation (Li et al., HPCA'19).
+
+use si_cache::HitLevel;
+use si_cpu::{LoadPlan, SafeAction, SafetyView, SpeculationScheme, UnsafeLoadCtx};
+
+use crate::ShadowModel;
+
+/// Conditional Speculation: a *cache-hit-based filter* lets speculative
+/// loads that hit the L1 proceed (with the replacement update deferred so
+/// no state leaks), while suspect loads — speculative misses — wait until
+/// they are no longer speculative under a conservative shadow model.
+///
+/// Table 1 groups CondSpec with the designs that unprotect a load "only
+/// when it becomes the oldest load or the oldest instruction in the ROB",
+/// hence the Futuristic shadow here.
+#[derive(Debug, Clone, Copy)]
+pub struct ConditionalSpeculation {
+    shadow: ShadowModel,
+}
+
+impl ConditionalSpeculation {
+    /// Creates Conditional Speculation (Futuristic shadows, per §3.3.1).
+    pub fn new() -> ConditionalSpeculation {
+        ConditionalSpeculation {
+            shadow: ShadowModel::Futuristic,
+        }
+    }
+}
+
+impl Default for ConditionalSpeculation {
+    fn default() -> ConditionalSpeculation {
+        ConditionalSpeculation::new()
+    }
+}
+
+impl SpeculationScheme for ConditionalSpeculation {
+    fn protects_ifetch(&self) -> bool {
+        true // shadow/filter/rollback structures cover the I-side
+    }
+
+    fn name(&self) -> String {
+        "CondSpec".to_owned()
+    }
+
+    fn is_safe(&self, view: &SafetyView, pos: usize) -> bool {
+        self.shadow.is_safe(view, pos)
+    }
+
+    fn plan_unsafe_load(&mut self, ctx: &UnsafeLoadCtx) -> LoadPlan {
+        if ctx.level == HitLevel::L1 {
+            LoadPlan::Invisible {
+                on_safe: Some(SafeAction::TouchReplacement),
+                latency_override: None,
+            }
+        } else {
+            LoadPlan::Delay
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_filter_splits_hits_from_misses() {
+        let mut cs = ConditionalSpeculation::new();
+        let hit = cs.plan_unsafe_load(&UnsafeLoadCtx {
+            core: 0,
+            addr: 0,
+            level: HitLevel::L1,
+            cycle: 0,
+        });
+        assert!(matches!(hit, LoadPlan::Invisible { .. }));
+        let miss = cs.plan_unsafe_load(&UnsafeLoadCtx {
+            core: 0,
+            addr: 0,
+            level: HitLevel::Llc,
+            cycle: 0,
+        });
+        assert_eq!(miss, LoadPlan::Delay);
+    }
+}

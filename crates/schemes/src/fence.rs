@@ -1,0 +1,105 @@
+//! The basic defense of §5.2: automatic fences after squashable
+//! instructions.
+
+use si_cpu::{LoadPlan, SafetyView, SpeculationScheme, UnsafeLoadCtx};
+
+use crate::ShadowModel;
+
+/// The §5.2 basic defense: "when instructions that might cause a
+/// mis-speculation are inserted in the ROB, the hardware automatically
+/// inserts a special type of fence. The fence allows subsequent
+/// instructions to be inserted into the ROB, but prevents them from being
+/// issued until the instruction before the fence becomes non-speculative."
+///
+/// Implemented as an issue-stage gate: an instruction may not issue while
+/// it is speculative under the configured model — `Spectre` places the
+/// implicit fence after every branch; `Futuristic` after every squashable
+/// instruction. Frontend fetch is *not* gated (the fence allows dispatch),
+/// so wrong-path instruction fetches still occur; they can no longer be
+/// secret-dependent because no transmitter ever issues (see DESIGN.md and
+/// the checker's two modes).
+///
+/// This achieves ideal invisible speculation on the data side at the §5.3
+/// performance cost (reproduced in Figure 12).
+#[derive(Debug, Clone, Copy)]
+pub struct FenceDefense {
+    model: ShadowModel,
+}
+
+impl FenceDefense {
+    /// Creates the fence defense under the given threat model.
+    pub fn new(model: ShadowModel) -> FenceDefense {
+        FenceDefense { model }
+    }
+
+    /// The configured threat model.
+    pub fn model(&self) -> ShadowModel {
+        self.model
+    }
+}
+
+impl SpeculationScheme for FenceDefense {
+    fn name(&self) -> String {
+        format!("Fence-{}", self.model.suffix())
+    }
+
+    fn is_safe(&self, view: &SafetyView, pos: usize) -> bool {
+        self.model.is_safe(view, pos)
+    }
+
+    fn plan_unsafe_load(&mut self, _ctx: &UnsafeLoadCtx) -> LoadPlan {
+        // Unreachable in practice: an instruction only issues once safe,
+        // and safety is monotonic (nothing older can become unresolved), so
+        // every load that reaches its data access is already safe. Answer
+        // conservatively anyway.
+        LoadPlan::Delay
+    }
+
+    fn blocks_issue(&self, view: &SafetyView, pos: usize) -> bool {
+        !self.model.is_safe(view, pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_cpu::SafetyFlags;
+
+    fn flags(seq: u64, unresolved_branch: bool) -> SafetyFlags {
+        SafetyFlags {
+            seq,
+            unresolved_branch,
+            load_incomplete: false,
+            store_addr_unknown: false,
+            fence: false,
+        }
+    }
+
+    #[test]
+    fn issue_blocked_behind_unresolved_branch() {
+        let fence = FenceDefense::new(ShadowModel::Spectre);
+        let v = SafetyView::new(vec![flags(0, true), flags(1, false)]);
+        assert!(!fence.blocks_issue(&v, 0), "the branch itself may issue");
+        assert!(fence.blocks_issue(&v, 1), "younger instruction is fenced");
+    }
+
+    #[test]
+    fn futuristic_model_blocks_behind_incomplete_loads() {
+        let fence = FenceDefense::new(ShadowModel::Futuristic);
+        let mut f = vec![flags(0, false), flags(1, false)];
+        f[0].load_incomplete = true;
+        let v = SafetyView::new(f);
+        assert!(fence.blocks_issue(&v, 1));
+        let spectre = FenceDefense::new(ShadowModel::Spectre);
+        assert!(!spectre.blocks_issue(&v, 1));
+    }
+
+    #[test]
+    fn names_reflect_model() {
+        assert_eq!(FenceDefense::new(ShadowModel::Spectre).name(), "Fence-Spectre");
+        assert_eq!(
+            FenceDefense::new(ShadowModel::Futuristic).name(),
+            "Fence-Futuristic"
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! InvisiSpec (Yan et al., MICRO'18).
+
+use si_cpu::{LoadPlan, SafeAction, SafetyView, SpeculationScheme, UnsafeLoadCtx};
+
+use crate::ShadowModel;
+
+/// InvisiSpec: every speculative load executes **invisibly** — data is
+/// returned into a per-load speculative buffer without changing any cache
+/// state — and performs a visible *exposure* access once safe.
+///
+/// `Spectre` mode unprotects loads once no older branch is unresolved;
+/// `Futuristic` mode waits until nothing older can squash (§2.1, §3.3.1).
+/// Crucially for `G^D_MSHR` (§3.2.2), invisible L1 misses still allocate
+/// MSHRs — the paper notes none of these designs change the MSHR
+/// allocation policy.
+#[derive(Debug, Clone, Copy)]
+pub struct InvisiSpec {
+    shadow: ShadowModel,
+}
+
+impl InvisiSpec {
+    /// Creates InvisiSpec in the given mode.
+    pub fn new(shadow: ShadowModel) -> InvisiSpec {
+        InvisiSpec { shadow }
+    }
+
+    /// The configured shadow model.
+    pub fn shadow(&self) -> ShadowModel {
+        self.shadow
+    }
+}
+
+impl SpeculationScheme for InvisiSpec {
+    fn name(&self) -> String {
+        format!("InvisiSpec-{}", self.shadow.suffix())
+    }
+
+    fn is_safe(&self, view: &SafetyView, pos: usize) -> bool {
+        self.shadow.is_safe(view, pos)
+    }
+
+    fn plan_unsafe_load(&mut self, _ctx: &UnsafeLoadCtx) -> LoadPlan {
+        LoadPlan::Invisible {
+            on_safe: Some(SafeAction::Expose),
+            latency_override: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_cache::HitLevel;
+
+    #[test]
+    fn every_level_executes_invisibly_with_exposure() {
+        let mut is = InvisiSpec::new(ShadowModel::Spectre);
+        for level in [HitLevel::L1, HitLevel::L2, HitLevel::Llc, HitLevel::Memory] {
+            let plan = is.plan_unsafe_load(&UnsafeLoadCtx {
+                core: 0,
+                addr: 0,
+                level,
+                cycle: 0,
+            });
+            assert_eq!(
+                plan,
+                LoadPlan::Invisible {
+                    on_safe: Some(SafeAction::Expose),
+                    latency_override: None,
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn names_distinguish_modes() {
+        assert_eq!(InvisiSpec::new(ShadowModel::Spectre).name(), "InvisiSpec-Spectre");
+        assert_eq!(
+            InvisiSpec::new(ShadowModel::Futuristic).name(),
+            "InvisiSpec-Futuristic"
+        );
+    }
+}

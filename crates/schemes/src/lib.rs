@@ -1,0 +1,213 @@
+//! Invisible-speculation schemes and defenses (§2.2 and §5 of the paper).
+//!
+//! Every scheme implements [`si_cpu::SpeculationScheme`]; the core consults
+//! it before each speculative data access and at squashes. The zoo:
+//!
+//! | Type | Paper scheme | Load policy |
+//! |---|---|---|
+//! | [`DelayOnMiss`] | DoM (Sakalis et al.) | L1 hit → invisible with deferred replacement touch; miss → delay until safe |
+//! | [`InvisiSpec`] | Yan et al. | all speculative loads invisible; *exposure* when safe |
+//! | [`SafeSpec`] | Khasawneh et al. | shadow-buffer variant of the same policy |
+//! | [`MuonTrap`] | Ainsworth & Jones | per-core L0 filter cache, flushed on squash |
+//! | [`ConditionalSpeculation`] | Li et al. | hit-filtered delay under a Futuristic shadow |
+//! | [`CleanupSpec`] | Saileshwar & Qureshi | speculative fills allowed, **undone** on squash |
+//! | [`FenceDefense`] | §5.2 basic defense | younger instructions cannot issue while speculative |
+//! | [`AdvancedDefense`] | §5.4 sketch | resource holding + strict age priority |
+//!
+//! Shadow models (what counts as *speculative*) are factored into
+//! [`ShadowModel`]: `Spectre` (only unresolved branches cast shadows) and
+//! `Futuristic` (anything that may squash), matching the two threat models
+//! the paper evaluates, plus `NonTso` for DoM on weaker memory models.
+//!
+//! # Example
+//!
+//! ```
+//! use si_cpu::{Machine, MachineConfig};
+//! use si_schemes::{DelayOnMiss, ShadowModel};
+//! use si_isa::{Assembler, R1};
+//!
+//! let mut asm = Assembler::new(0);
+//! asm.mov_imm(R1, 1);
+//! asm.halt();
+//! let mut m = Machine::new(MachineConfig::default());
+//! m.load_program_with_scheme(0, &asm.assemble()?,
+//!     Box::new(DelayOnMiss::new(ShadowModel::Spectre)));
+//! m.run_core_to_halt(0, 10_000)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod advanced;
+mod cleanupspec;
+mod condspec;
+mod dom;
+mod fence;
+mod invisispec;
+mod muontrap;
+mod safespec;
+mod shadow;
+
+pub use advanced::AdvancedDefense;
+pub use cleanupspec::CleanupSpec;
+pub use condspec::ConditionalSpeculation;
+pub use dom::DelayOnMiss;
+pub use fence::FenceDefense;
+pub use invisispec::InvisiSpec;
+pub use muontrap::MuonTrap;
+pub use safespec::SafeSpec;
+pub use shadow::ShadowModel;
+
+pub use si_cpu::Unprotected;
+
+use si_cpu::SpeculationScheme;
+
+/// Identifies every scheme configuration the experiment harness sweeps
+/// over (the rows/columns of Table 1 and the bars of Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SchemeKind {
+    /// No protection (baseline).
+    Unprotected,
+    /// Delay-on-Miss, Spectre shadows.
+    DomSpectre,
+    /// Delay-on-Miss, non-TSO unsafety (older loads/stores must have
+    /// resolved addresses too).
+    DomNonTso,
+    /// Delay-on-Miss, Futuristic shadows.
+    DomFuturistic,
+    /// InvisiSpec, Spectre mode.
+    InvisiSpecSpectre,
+    /// InvisiSpec, Futuristic mode.
+    InvisiSpecFuturistic,
+    /// SafeSpec with wait-for-branch shadows.
+    SafeSpecWfb,
+    /// SafeSpec wait-for-commit (futuristic-like).
+    SafeSpecWfc,
+    /// MuonTrap's filter cache.
+    MuonTrap,
+    /// Conditional Speculation.
+    ConditionalSpeculation,
+    /// CleanupSpec's rollback.
+    CleanupSpec,
+    /// §5.2 basic fence defense, Spectre model.
+    FenceSpectre,
+    /// §5.2 basic fence defense, Futuristic model.
+    FenceFuturistic,
+    /// §5.4 advanced defense (both rules).
+    Advanced,
+    /// §5.4 rule 1 only (hold resources until non-speculative).
+    AdvancedHoldOnly,
+    /// §5.4 rule 2 only (strict age priority on non-pipelined units).
+    AdvancedAgeOnly,
+}
+
+impl SchemeKind {
+    /// All kinds, in presentation order.
+    pub fn all() -> Vec<SchemeKind> {
+        use SchemeKind::*;
+        vec![
+            Unprotected,
+            DomSpectre,
+            DomNonTso,
+            DomFuturistic,
+            InvisiSpecSpectre,
+            InvisiSpecFuturistic,
+            SafeSpecWfb,
+            SafeSpecWfc,
+            MuonTrap,
+            ConditionalSpeculation,
+            CleanupSpec,
+            FenceSpectre,
+            FenceFuturistic,
+            Advanced,
+            AdvancedHoldOnly,
+            AdvancedAgeOnly,
+        ]
+    }
+
+    /// The invisible-speculation schemes attacked in Table 1 (excludes the
+    /// baseline and the paper's own defenses).
+    pub fn invisible_schemes() -> Vec<SchemeKind> {
+        use SchemeKind::*;
+        vec![
+            DomSpectre,
+            DomNonTso,
+            DomFuturistic,
+            InvisiSpecSpectre,
+            InvisiSpecFuturistic,
+            SafeSpecWfb,
+            SafeSpecWfc,
+            MuonTrap,
+            ConditionalSpeculation,
+            CleanupSpec,
+        ]
+    }
+
+    /// Instantiates a fresh scheme of this kind.
+    pub fn build(self) -> Box<dyn SpeculationScheme> {
+        match self {
+            SchemeKind::Unprotected => Box::new(Unprotected),
+            SchemeKind::DomSpectre => Box::new(DelayOnMiss::new(ShadowModel::Spectre)),
+            SchemeKind::DomNonTso => Box::new(DelayOnMiss::new(ShadowModel::NonTso)),
+            SchemeKind::DomFuturistic => Box::new(DelayOnMiss::new(ShadowModel::Futuristic)),
+            SchemeKind::InvisiSpecSpectre => Box::new(InvisiSpec::new(ShadowModel::Spectre)),
+            SchemeKind::InvisiSpecFuturistic => Box::new(InvisiSpec::new(ShadowModel::Futuristic)),
+            SchemeKind::SafeSpecWfb => Box::new(SafeSpec::new(ShadowModel::Spectre)),
+            SchemeKind::SafeSpecWfc => Box::new(SafeSpec::new(ShadowModel::Futuristic)),
+            SchemeKind::MuonTrap => Box::new(MuonTrap::new(ShadowModel::Spectre)),
+            SchemeKind::ConditionalSpeculation => Box::new(ConditionalSpeculation::new()),
+            SchemeKind::CleanupSpec => Box::new(CleanupSpec::new()),
+            SchemeKind::FenceSpectre => Box::new(FenceDefense::new(ShadowModel::Spectre)),
+            SchemeKind::FenceFuturistic => Box::new(FenceDefense::new(ShadowModel::Futuristic)),
+            SchemeKind::Advanced => Box::new(AdvancedDefense::new(ShadowModel::Spectre, true, true)),
+            SchemeKind::AdvancedHoldOnly => {
+                Box::new(AdvancedDefense::new(ShadowModel::Spectre, true, false))
+            }
+            SchemeKind::AdvancedAgeOnly => {
+                Box::new(AdvancedDefense::new(ShadowModel::Spectre, false, true))
+            }
+        }
+    }
+
+    /// Short label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Unprotected => "Unprotected",
+            SchemeKind::DomSpectre => "DoM (Spectre)",
+            SchemeKind::DomNonTso => "DoM (non-TSO)",
+            SchemeKind::DomFuturistic => "DoM (Futuristic)",
+            SchemeKind::InvisiSpecSpectre => "InvisiSpec (Spectre)",
+            SchemeKind::InvisiSpecFuturistic => "InvisiSpec (Futuristic)",
+            SchemeKind::SafeSpecWfb => "SafeSpec (WFB)",
+            SchemeKind::SafeSpecWfc => "SafeSpec (WFC)",
+            SchemeKind::MuonTrap => "MuonTrap",
+            SchemeKind::ConditionalSpeculation => "CondSpec",
+            SchemeKind::CleanupSpec => "CleanupSpec",
+            SchemeKind::FenceSpectre => "Fence (Spectre)",
+            SchemeKind::FenceFuturistic => "Fence (Futuristic)",
+            SchemeKind::Advanced => "Advanced (§5.4)",
+            SchemeKind::AdvancedHoldOnly => "Advanced (hold only)",
+            SchemeKind::AdvancedAgeOnly => "Advanced (age only)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_names_itself() {
+        for kind in SchemeKind::all() {
+            let scheme = kind.build();
+            assert!(!scheme.name().is_empty(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn invisible_schemes_exclude_defenses_and_baseline() {
+        let inv = SchemeKind::invisible_schemes();
+        assert!(!inv.contains(&SchemeKind::Unprotected));
+        assert!(!inv.contains(&SchemeKind::FenceSpectre));
+        assert!(!inv.contains(&SchemeKind::Advanced));
+        assert_eq!(inv.len(), 10);
+    }
+}

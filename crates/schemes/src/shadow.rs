@@ -1,0 +1,94 @@
+//! Shadow models: what counts as "speculative".
+
+use si_cpu::SafetyView;
+
+/// When a load stops being speculative, per the threat models of §2.2/§5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ShadowModel {
+    /// Only unresolved branches cast shadows: a load is safe iff it is
+    /// older than the oldest unresolved branch (the **Spectre** model).
+    Spectre,
+    /// As `Spectre`, but additionally all older stores must have resolved
+    /// addresses — DoM's unsafety condition on architectures with a
+    /// non-TSO memory consistency model (§3.3.1): "any load can execute
+    /// without protection if all older branches have resolved and all
+    /// older stores and loads have their addresses resolved". (Older
+    /// *load* address resolution is subsumed by our conservative
+    /// store-ordering LSU; see DESIGN.md.)
+    NonTso,
+    /// Nothing older may still squash: branches resolved, loads performed,
+    /// store addresses known (the **Futuristic** model).
+    Futuristic,
+}
+
+impl ShadowModel {
+    /// Classifies the ROB entry at `pos` under this model.
+    pub fn is_safe(self, view: &SafetyView, pos: usize) -> bool {
+        match self {
+            ShadowModel::Spectre => view.spectre_safe(pos),
+            ShadowModel::NonTso => {
+                view.spectre_safe(pos)
+                    && (0..pos).all(|i| !view.flags(i).store_addr_unknown)
+            }
+            ShadowModel::Futuristic => view.futuristic_safe(pos),
+        }
+    }
+
+    /// Short suffix for scheme names.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            ShadowModel::Spectre => "Spectre",
+            ShadowModel::NonTso => "NonTSO",
+            ShadowModel::Futuristic => "Futuristic",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_cpu::SafetyFlags;
+
+    fn flags(seq: u64) -> SafetyFlags {
+        SafetyFlags {
+            seq,
+            unresolved_branch: false,
+            load_incomplete: false,
+            store_addr_unknown: false,
+            fence: false,
+        }
+    }
+
+    #[test]
+    fn models_order_by_strictness() {
+        // An older incomplete load: Spectre-safe, NonTso-safe, not
+        // Futuristic-safe.
+        let mut f = vec![flags(0), flags(1)];
+        f[0].load_incomplete = true;
+        let v = SafetyView::new(f);
+        assert!(ShadowModel::Spectre.is_safe(&v, 1));
+        assert!(ShadowModel::NonTso.is_safe(&v, 1));
+        assert!(!ShadowModel::Futuristic.is_safe(&v, 1));
+    }
+
+    #[test]
+    fn non_tso_blocks_on_unknown_store_addresses() {
+        let mut f = vec![flags(0), flags(1)];
+        f[0].store_addr_unknown = true;
+        let v = SafetyView::new(f);
+        assert!(ShadowModel::Spectre.is_safe(&v, 1));
+        assert!(!ShadowModel::NonTso.is_safe(&v, 1));
+        assert!(!ShadowModel::Futuristic.is_safe(&v, 1));
+    }
+
+    #[test]
+    fn all_models_agree_on_branch_shadows() {
+        let mut f = vec![flags(0), flags(1)];
+        f[0].unresolved_branch = true;
+        let v = SafetyView::new(f);
+        for m in [ShadowModel::Spectre, ShadowModel::NonTso, ShadowModel::Futuristic] {
+            assert!(!m.is_safe(&v, 1), "{m:?}");
+            assert!(m.is_safe(&v, 0), "{m:?} head");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's headline D-Cache PoC (§4.2): a `G^D_NPEU` speculative
+//! interference attack leaks a whole secret byte across physical cores
+//! through LLC replacement state, while the victim runs under
+//! Delay-on-Miss — a defense that blocks every direct transient cache
+//! fill.
+//!
+//! Per bit: the mis-speculated gadget's transmitter load returns fast
+//! (secret bit 1, primed hit) or is delayed (bit 0), steering whether a
+//! wall of non-pipelined square roots contends with the older, bound-to-
+//! retire f(z) chain. That delay reorders the two unprotected victim
+//! loads A and B; the QLRU order receiver decodes the order from the
+//! monitored set's replacement state (§4.2.2).
+//!
+//! ```text
+//! cargo run --release --example interference_dcache
+//! ```
+
+use speculative_interference::attacks::attacks::{Attack, AttackKind};
+use speculative_interference::cpu::MachineConfig;
+use speculative_interference::schemes::SchemeKind;
+
+fn main() {
+    let secret_byte: u8 = 0b1011_0010;
+    println!("leaking secret byte {secret_byte:#010b} bit by bit under DoM...\n");
+    let attack = Attack::new(AttackKind::NpeuVdVd, SchemeKind::DomSpectre, MachineConfig::default());
+    let mut recovered: u8 = 0;
+    let mut total_cycles = 0u64;
+    for bit in 0..8 {
+        let secret = u64::from((secret_byte >> bit) & 1);
+        let trial = attack.run_trial(secret);
+        let decoded = trial.decoded.expect("noise-free trial decodes");
+        recovered |= (decoded as u8) << bit;
+        total_cycles += trial.cycles;
+        println!(
+            "bit {bit}: sent {secret} -> received {decoded}  ({} cycles: mistrain, prime, episode, probe)",
+            trial.cycles
+        );
+    }
+    println!("\nrecovered byte: {recovered:#010b}");
+    assert_eq!(recovered, secret_byte, "all bits must decode under zero noise");
+    let seconds = total_cycles as f64 / 3.6e9;
+    println!(
+        "{} simulated cycles total ({:.1} us at 3.6 GHz, {:.0} bits/s)",
+        total_cycles,
+        seconds * 1e6,
+        8.0 / seconds
+    );
+}

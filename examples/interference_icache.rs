@@ -1,0 +1,39 @@
+//! The I-Cache PoC (§4.3): a `G^I_RS` speculative interference attack.
+//!
+//! The mis-speculated gadget is a wall of ADDs all dependent on the
+//! transmitter load. If the transmitter misses (and DoM delays it), the
+//! ADDs pin the unified reservation station, dispatch stalls, the decode
+//! queue fills, and the frontend stops fetching — so the jump to a shared
+//! "function" line is never reached and the line is never fetched. If the
+//! transmitter hits, the ADDs drain and the line is fetched into the
+//! I-cache and (persistently!) the shared LLC. A cross-core Flush+Reload
+//! on the function line reads the secret.
+//!
+//! ```text
+//! cargo run --release --example interference_icache
+//! ```
+
+use speculative_interference::attacks::attacks::{Attack, AttackKind};
+use speculative_interference::cpu::MachineConfig;
+use speculative_interference::schemes::SchemeKind;
+
+fn main() {
+    let secret_byte: u8 = 0b0110_1001;
+    println!("leaking secret byte {secret_byte:#010b} through the I-cache under DoM...\n");
+    let attack = Attack::new(AttackKind::IrsICache, SchemeKind::DomSpectre, MachineConfig::default());
+    let mut recovered: u8 = 0;
+    for bit in 0..8 {
+        let secret = u64::from((secret_byte >> bit) & 1);
+        let trial = attack.run_trial(secret);
+        let decoded = trial.decoded.expect("noise-free trial decodes");
+        recovered |= (decoded as u8) << bit;
+        println!(
+            "bit {bit}: sent {secret} -> received {decoded}  (target line {})",
+            if decoded == 0 { "fetched" } else { "never fetched" }
+        );
+    }
+    println!("\nrecovered byte: {recovered:#010b}");
+    assert_eq!(recovered, secret_byte);
+    println!("\nThe same attack against InvisiSpec also leaks; against SafeSpec/MuonTrap");
+    println!("(shadow/filter I-caches) it is blocked — run `--bin table1` for the matrix.");
+}

@@ -1,0 +1,50 @@
+//! The §4.4 headline demonstration: leak a 128-bit key through the
+//! I-Cache interference channel and report rate and accuracy.
+//!
+//! The paper reports: "choosing a rate of 465 bps (0.2 error-rate), an
+//! AES-128 key can be leaked in under 0.3 s with 80% accuracy" on real
+//! hardware. The simulator transmits the same 128 bits under injected
+//! noise; absolute rates differ (see EXPERIMENTS.md) but the
+//! rate/accuracy trade-off is the same shape.
+//!
+//! ```text
+//! cargo run --release --example leak_aes_key          # full 128 bits
+//! SI_BITS=32 cargo run --release --example leak_aes_key  # quicker demo
+//! ```
+
+use speculative_interference::attacks::attacks::{Attack, AttackKind};
+use speculative_interference::attacks::channel::{bits_to_bytes, bytes_to_bits, leak_bits};
+use speculative_interference::cpu::MachineConfig;
+use speculative_interference::schemes::SchemeKind;
+
+fn main() {
+    let key: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c, // the FIPS-197 example key
+    ];
+    let n_bits: usize = std::env::var("SI_BITS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
+    let bits = &bytes_to_bits(&key)[..n_bits.min(128)];
+
+    let mut machine = MachineConfig::default();
+    machine.noise.dram_jitter = 30;
+    machine.noise.background_period = 200;
+    let attack = Attack::new(AttackKind::IrsICache, SchemeKind::DomSpectre, machine);
+
+    println!("transmitting {} key bits through the I-cache channel (noise on)...", bits.len());
+    let leak = leak_bits(&attack, bits, 1);
+    println!("recovered bytes: {:02x?}", bits_to_bytes(&leak.recovered));
+    println!(
+        "accuracy {:.1}% | {} simulated cycles | {:.4} s at 3.6 GHz | {:.0} bps",
+        leak.accuracy * 100.0,
+        leak.cycles,
+        leak.seconds,
+        leak.bit_rate_bps
+    );
+    println!(
+        "paper comparison: 465 bps / 80% accuracy / <0.3 s for 128 bits on Kaby Lake"
+    );
+    assert!(leak.accuracy >= 0.8, "channel accuracy below the paper's operating point");
+}

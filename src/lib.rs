@@ -1,0 +1,45 @@
+//! # Speculative Interference Attacks — a full Rust reproduction
+//!
+//! This crate is the umbrella over a workspace that reproduces
+//! *"Speculative Interference Attacks: Breaking Invisible Speculation
+//! Schemes"* (Behnia et al., ASPLOS 2021) end to end:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`isa`] | `si-isa` | micro-ISA, assembler, reference interpreter |
+//! | [`cache`] | `si-cache` | caches, QLRU replacement family, MSHRs, shared-LLC hierarchy |
+//! | [`cpu`] | `si-cpu` | cycle-level out-of-order core and multi-core machine |
+//! | [`schemes`] | `si-schemes` | DoM, InvisiSpec, SafeSpec, MuonTrap, CondSpec, CleanupSpec, §5 defenses |
+//! | [`attacks`] | `si-core` | interference gadgets, receivers, end-to-end PoCs, covert channel, security checker |
+//! | [`workloads`] | `si-workloads` | SPEC-like kernels and the defense-overhead harness |
+//!
+//! # Quickstart
+//!
+//! Run one cross-core D-Cache interference trial against Delay-on-Miss —
+//! the paper's headline result (a cache-based covert channel that survives
+//! invisible speculation):
+//!
+//! ```no_run
+//! use speculative_interference::attacks::attacks::{Attack, AttackKind};
+//! use speculative_interference::cpu::MachineConfig;
+//! use speculative_interference::schemes::SchemeKind;
+//!
+//! let attack = Attack::new(
+//!     AttackKind::NpeuVdVd,
+//!     SchemeKind::DomSpectre,
+//!     MachineConfig::default(),
+//! );
+//! assert_eq!(attack.run_trial(0).decoded, Some(0));
+//! assert_eq!(attack.run_trial(1).decoded, Some(1));
+//! ```
+//!
+//! See `examples/` for runnable scenarios, DESIGN.md for the system
+//! inventory, and EXPERIMENTS.md for the paper-vs-measured record of every
+//! table and figure.
+
+pub use si_cache as cache;
+pub use si_core as attacks;
+pub use si_cpu as cpu;
+pub use si_isa as isa;
+pub use si_schemes as schemes;
+pub use si_workloads as workloads;

@@ -1,0 +1,162 @@
+//! Table 1 expectations: which scheme falls to which interference attack.
+//!
+//! These assertions pin the reproduced vulnerability matrix to the paper's
+//! structure (§3.3.1, Table 1):
+//!
+//! * VD-AD and VI-AD orderings (attacker reference clock) break **every**
+//!   invisible-speculation scheme ("All");
+//! * VD-VD load reordering requires schemes that let two unprotected loads
+//!   execute concurrently — the Spectre/WFB modes — and fails against the
+//!   Futuristic/WFC modes;
+//! * `G^D_MSHR` requires schemes that issue speculative misses
+//!   (InvisiSpec, SafeSpec, MuonTrap), and fails against delay-based
+//!   schemes (DoM, CondSpec);
+//! * `G^I_RS` requires an unprotected I-cache (InvisiSpec, DoM) and fails
+//!   against shadow/filter/rollback I-caches (SafeSpec, MuonTrap,
+//!   CondSpec, CleanupSpec);
+//! * the §5 defenses block everything.
+
+use speculative_interference::attacks::attacks::AttackKind;
+use speculative_interference::attacks::matrix::run_cell;
+use speculative_interference::cpu::MachineConfig;
+use speculative_interference::schemes::SchemeKind;
+
+fn leaks(scheme: SchemeKind, attack: AttackKind) -> bool {
+    run_cell(scheme, attack, &MachineConfig::default()).leaks
+}
+
+#[test]
+fn vd_ad_breaks_every_invisible_scheme() {
+    for scheme in SchemeKind::invisible_schemes() {
+        assert!(
+            leaks(scheme, AttackKind::NpeuVdAd),
+            "{} must fall to the attacker-reference ordering",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn vi_ad_breaks_every_invisible_scheme() {
+    for scheme in SchemeKind::invisible_schemes() {
+        assert!(
+            leaks(scheme, AttackKind::NpeuViAd),
+            "{} must fall to the instruction-side attacker-reference ordering",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn vd_vd_reordering_requires_concurrent_unprotected_loads() {
+    for scheme in [
+        SchemeKind::DomSpectre,
+        SchemeKind::DomNonTso,
+        SchemeKind::InvisiSpecSpectre,
+        SchemeKind::SafeSpecWfb,
+        SchemeKind::CleanupSpec,
+        SchemeKind::MuonTrap,
+    ] {
+        assert!(leaks(scheme, AttackKind::NpeuVdVd), "{}", scheme.label());
+    }
+    for scheme in [
+        SchemeKind::DomFuturistic,
+        SchemeKind::InvisiSpecFuturistic,
+        SchemeKind::SafeSpecWfc,
+        SchemeKind::ConditionalSpeculation,
+    ] {
+        assert!(
+            !leaks(scheme, AttackKind::NpeuVdVd),
+            "{} serializes unprotected loads; VD-VD must fail",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn mshr_gadget_requires_speculative_misses() {
+    for scheme in [
+        SchemeKind::InvisiSpecSpectre,
+        SchemeKind::InvisiSpecFuturistic,
+        SchemeKind::SafeSpecWfb,
+        SchemeKind::SafeSpecWfc,
+        SchemeKind::MuonTrap,
+    ] {
+        assert!(leaks(scheme, AttackKind::MshrVdAd), "{}", scheme.label());
+    }
+    for scheme in [
+        SchemeKind::DomSpectre,
+        SchemeKind::DomFuturistic,
+        SchemeKind::ConditionalSpeculation,
+    ] {
+        assert!(
+            !leaks(scheme, AttackKind::MshrVdAd),
+            "{} delays speculative misses; the MSHR gadget must fail",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn irs_gadget_requires_an_unprotected_icache() {
+    for scheme in [
+        SchemeKind::DomSpectre,
+        SchemeKind::DomFuturistic,
+        SchemeKind::InvisiSpecSpectre,
+        SchemeKind::InvisiSpecFuturistic,
+    ] {
+        assert!(leaks(scheme, AttackKind::IrsICache), "{}", scheme.label());
+    }
+    for scheme in [
+        SchemeKind::SafeSpecWfb,
+        SchemeKind::MuonTrap,
+        SchemeKind::ConditionalSpeculation,
+        SchemeKind::CleanupSpec,
+    ] {
+        assert!(
+            !leaks(scheme, AttackKind::IrsICache),
+            "{} shields the I-cache; G^I_RS must fail",
+            scheme.label()
+        );
+    }
+}
+
+#[test]
+fn every_invisible_scheme_falls_to_at_least_one_attack() {
+    // The paper's thesis statement, §3.3.1: "Every invisible speculation
+    // design we have evaluated is vulnerable to at least one of the
+    // attacks described above."
+    for scheme in SchemeKind::invisible_schemes() {
+        let any = AttackKind::interference_attacks()
+            .into_iter()
+            .any(|a| leaks(scheme, a));
+        assert!(any, "{} must fall to some interference attack", scheme.label());
+    }
+}
+
+#[test]
+fn the_paper_defenses_block_every_attack() {
+    for defense in [
+        SchemeKind::FenceSpectre,
+        SchemeKind::FenceFuturistic,
+        SchemeKind::Advanced,
+    ] {
+        for attack in AttackKind::interference_attacks() {
+            assert!(
+                !leaks(defense, attack),
+                "{} must block {}",
+                defense.label(),
+                attack.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn age_priority_is_the_rule_that_kills_port_contention() {
+    // §5.4 ablation: rule 2 (strict age priority) alone blocks G^D_NPEU;
+    // rule 1 (resource holding) alone does not.
+    assert!(leaks(SchemeKind::AdvancedHoldOnly, AttackKind::NpeuVdVd));
+    assert!(!leaks(SchemeKind::AdvancedAgeOnly, AttackKind::NpeuVdVd));
+    assert!(!leaks(SchemeKind::Advanced, AttackKind::NpeuVdVd));
+}

@@ -1,0 +1,160 @@
+//! Property tests over the cache substrate: structural invariants that
+//! must hold for arbitrary access sequences.
+
+use proptest::prelude::*;
+
+use speculative_interference::cache::{
+    line_of, AccessClass, CacheConfig, Hierarchy, HierarchyConfig, PolicyKind, SetAssocCache,
+    Visibility,
+};
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Access(u64),
+    Touch(u64),
+    Probe(u64),
+    Invalidate(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u64..256).prop_map(CacheOp::Access),
+        (0u64..256).prop_map(CacheOp::Touch),
+        (0u64..256).prop_map(CacheOp::Probe),
+        (0u64..256).prop_map(CacheOp::Invalidate),
+    ]
+}
+
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Random,
+        PolicyKind::TreePlru,
+        PolicyKind::Srrip,
+        PolicyKind::qlru_h11_m1_r0_u0(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn occupancy_never_exceeds_capacity(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        for policy in policies() {
+            let mut c = SetAssocCache::new("t", CacheConfig::new(8, 4, policy));
+            for op in &ops {
+                match op {
+                    CacheOp::Access(l) => { c.access(*l); }
+                    CacheOp::Touch(l) => { c.touch(*l); }
+                    CacheOp::Probe(l) => { c.probe(*l); }
+                    CacheOp::Invalidate(l) => { c.invalidate(*l); }
+                }
+                prop_assert!(c.occupancy() <= 32, "{policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn accessed_line_is_always_resident_afterwards(
+        ops in proptest::collection::vec(op_strategy(), 1..100)
+    ) {
+        for policy in policies() {
+            let mut c = SetAssocCache::new("t", CacheConfig::new(8, 4, policy));
+            for op in &ops {
+                if let CacheOp::Access(l) = op {
+                    c.access(*l);
+                    prop_assert!(c.probe(*l), "{policy:?}: just-accessed line resident");
+                } else if let CacheOp::Invalidate(l) = op {
+                    c.invalidate(*l);
+                    prop_assert!(!c.probe(*l));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qlru_ages_stay_in_two_bits(ops in proptest::collection::vec(op_strategy(), 1..150)) {
+        let mut c = SetAssocCache::new(
+            "q",
+            CacheConfig::new(4, 16, PolicyKind::qlru_h11_m1_r0_u0()),
+        );
+        for op in &ops {
+            match op {
+                CacheOp::Access(l) => { c.access(*l); }
+                CacheOp::Touch(l) => { c.touch(*l); }
+                CacheOp::Invalidate(l) => { c.invalidate(*l); }
+                CacheOp::Probe(_) => {}
+            }
+            for set in 0..4 {
+                for w in c.set_view(set) {
+                    prop_assert!(w.meta <= 3, "QLRU age must fit two bits");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invisible_accesses_never_change_hierarchy_state(
+        addrs in proptest::collection::vec(0u64..0x10_0000, 1..40)
+    ) {
+        let mut h = Hierarchy::new(HierarchyConfig::kaby_lake_like(2));
+        // Establish arbitrary state.
+        for a in &addrs {
+            h.read(0, 0, *a, AccessClass::Data, Visibility::Visible);
+        }
+        let snapshot: Vec<_> = (0..h.llc_config().sets).map(|s| h.llc_set_view(s)).collect();
+        let log_len = h.log().len();
+        // Invisible traffic from both cores, both classes.
+        for (i, a) in addrs.iter().enumerate() {
+            let class = if i % 2 == 0 { AccessClass::Data } else { AccessClass::Instr };
+            h.read(100, i % 2, a ^ 0x3f40, class, Visibility::Invisible);
+        }
+        for (s, snap) in snapshot.iter().enumerate() {
+            prop_assert_eq!(&h.llc_set_view(s), snap, "LLC set {} changed", s);
+        }
+        prop_assert_eq!(h.log().len(), log_len, "invisible accesses must not be logged");
+    }
+
+    #[test]
+    fn flush_is_complete_and_idempotent(addrs in proptest::collection::vec(0u64..0x8000, 1..30)) {
+        let mut h = Hierarchy::new(HierarchyConfig::kaby_lake_like(2));
+        for a in &addrs {
+            h.read(0, 0, *a, AccessClass::Data, Visibility::Visible);
+            h.read(0, 1, *a, AccessClass::Instr, Visibility::Visible);
+        }
+        for a in &addrs {
+            h.flush_addr(*a);
+            prop_assert!(!h.resident_anywhere(*a));
+            h.flush_addr(*a); // idempotent
+            prop_assert!(!h.resident_anywhere(*a));
+        }
+    }
+
+    #[test]
+    fn inclusive_llc_has_no_private_only_lines(
+        addrs in proptest::collection::vec(0u64..0x40_0000, 1..120)
+    ) {
+        let mut h = Hierarchy::new(HierarchyConfig {
+            llc: CacheConfig::new(16, 4, PolicyKind::qlru_h11_m1_r0_u0()),
+            l2: CacheConfig::new(8, 2, PolicyKind::Lru),
+            ..HierarchyConfig::kaby_lake_like(2)
+        });
+        for (i, a) in addrs.iter().enumerate() {
+            h.read(i as u64, i % 2, *a, AccessClass::Data, Visibility::Visible);
+        }
+        // Inclusion: anything in a private cache is also in the LLC.
+        for a in 0u64..0x40_0000 / 64 {
+            let addr = a * 64;
+            let in_priv = (0..2).any(|c| {
+                h.probe_level(c, addr, AccessClass::Data) < speculative_interference::cache::HitLevel::Llc
+            });
+            if in_priv {
+                let line = line_of(addr);
+                let in_llc = (0..h.llc_config().sets)
+                    .any(|s| h.llc_set_view(s).iter().any(|w| w.line == Some(line)));
+                prop_assert!(in_llc, "line {line:#x} is private-only (inclusion violated)");
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Differential testing: the out-of-order machine must compute exactly
+//! what the in-order reference interpreter computes, for arbitrary
+//! programs, under every speculation scheme and defense.
+//!
+//! This is the master correctness property of the substrate: attacks mess
+//! with *timing*, never with architectural results.
+
+use proptest::prelude::*;
+
+use speculative_interference::cpu::{Machine, MachineConfig};
+use speculative_interference::isa::{
+    Assembler, BranchCond, Interpreter, Program, Reg, R0, R27, R31,
+};
+use speculative_interference::schemes::SchemeKind;
+
+/// Ops the generator can emit (kept closed under termination: the only
+/// backward branch is the generated counted loop).
+#[derive(Debug, Clone)]
+enum GenOp {
+    MovImm(u8, i32),
+    Add(u8, u8, u8),
+    Sub(u8, u8, u8),
+    Xor(u8, u8, u8),
+    Mul(u8, u8, u8),
+    Sqrt(u8, u8),
+    Div(u8, u8, u8),
+    AddImm(u8, u8, i32),
+    Load(u8, u8),
+    Store(u8, u8),
+    SkipIf(BranchCond, u8, u8), // forward branch over the next instruction
+}
+
+fn reg(i: u8) -> Reg {
+    Reg::new(i % 16).expect("generated registers are r0..r15")
+}
+
+fn op_strategy() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (any::<u8>(), any::<i32>()).prop_map(|(d, i)| GenOp::MovImm(d, i)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| GenOp::Add(a, b, c)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| GenOp::Sub(a, b, c)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| GenOp::Xor(a, b, c)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| GenOp::Mul(a, b, c)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| GenOp::Sqrt(a, b)),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c)| GenOp::Div(a, b, c)),
+        (any::<u8>(), any::<u8>(), -64i32..64).prop_map(|(a, b, i)| GenOp::AddImm(a, b, i)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| GenOp::Load(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| GenOp::Store(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| GenOp::SkipIf(BranchCond::Ltu, a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| GenOp::SkipIf(BranchCond::Eq, a, b)),
+    ]
+}
+
+/// Builds a program: a counted loop (`iters` times) over the generated
+/// body, with every memory access confined to a 64-word scratch window.
+fn build(ops: &[GenOp], iters: u8) -> Program {
+    use speculative_interference::isa::{R28, R29, R30};
+    let mut asm = Assembler::new(0);
+    let data = 0x8000i64;
+    asm.mov_imm(R30, data);
+    asm.mov_imm(R29, 0); // loop counter
+    asm.mov_imm(R28, i64::from(iters % 8) + 1);
+    for w in 0..64 {
+        asm.data_u64((data as u64) + w * 8, w.wrapping_mul(0x9e3779b9));
+    }
+    let top = asm.here("top");
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            GenOp::MovImm(d, v) => {
+                asm.mov_imm(reg(*d), i64::from(*v));
+            }
+            GenOp::Add(d, a, b) => {
+                asm.add(reg(*d), reg(*a), reg(*b));
+            }
+            GenOp::Sub(d, a, b) => {
+                asm.sub(reg(*d), reg(*a), reg(*b));
+            }
+            GenOp::Xor(d, a, b) => {
+                asm.xor(reg(*d), reg(*a), reg(*b));
+            }
+            GenOp::Mul(d, a, b) => {
+                asm.mul(reg(*d), reg(*a), reg(*b));
+            }
+            GenOp::Sqrt(d, a) => {
+                asm.sqrt(reg(*d), reg(*a));
+            }
+            GenOp::Div(d, a, b) => {
+                asm.div(reg(*d), reg(*a), reg(*b));
+            }
+            GenOp::AddImm(d, a, v) => {
+                asm.add_imm(reg(*d), reg(*a), i64::from(*v));
+            }
+            GenOp::Load(d, a) => {
+                // addr = data + (r[a] % 64)*8, computed into r27
+                confine(&mut asm, *a);
+                asm.load(reg(*d), R27, 0);
+            }
+            GenOp::Store(s, a) => {
+                confine(&mut asm, *a);
+                asm.store(reg(*s), R27, 0);
+            }
+            GenOp::SkipIf(c, a, b) => {
+                let l = asm.label(&format!("skip{i}"));
+                asm.branch(*c, reg(*a), reg(*b), l);
+                asm.nop();
+                asm.bind(l);
+            }
+        }
+    }
+    asm.add_imm(R29, R29, 1);
+    asm.branch(BranchCond::Ltu, R29, R28, top);
+    // Fold every register into r31 so the comparison is total.
+    asm.mov_imm(R31, 0);
+    for r in 1..16u8 {
+        asm.add(R31, R31, reg(r));
+    }
+    asm.halt();
+    asm.assemble().expect("generated program assembles")
+}
+
+fn confine(asm: &mut Assembler, base: u8) {
+    use speculative_interference::isa::{R26, R27, R30};
+    asm.mov_imm(R26, 63);
+    asm.and(R27, reg(base), R26);
+    asm.mov_imm(R26, 3);
+    asm.shl(R27, R27, R26);
+    asm.add(R27, R30, R27);
+}
+
+fn run_both(program: &Program, scheme: SchemeKind) -> (u64, u64) {
+    let mut reference = Interpreter::new(program);
+    reference.run(4_000_000).expect("reference terminates");
+    let mut m = Machine::new(MachineConfig::default());
+    m.load_program_with_scheme(0, program, scheme.build());
+    m.run_core_to_halt(0, 4_000_000).expect("pipeline terminates");
+    (reference.reg(R31), m.core(0).reg(R31))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ooo_matches_interpreter_unprotected(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+        iters in any::<u8>(),
+    ) {
+        let program = build(&ops, iters);
+        let (expected, got) = run_both(&program, SchemeKind::Unprotected);
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn ooo_matches_interpreter_under_dom(
+        ops in proptest::collection::vec(op_strategy(), 1..24),
+        iters in any::<u8>(),
+    ) {
+        let program = build(&ops, iters);
+        let (expected, got) = run_both(&program, SchemeKind::DomSpectre);
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn ooo_matches_interpreter_under_invisispec_futuristic(
+        ops in proptest::collection::vec(op_strategy(), 1..16),
+        iters in any::<u8>(),
+    ) {
+        let program = build(&ops, iters);
+        let (expected, got) = run_both(&program, SchemeKind::InvisiSpecFuturistic);
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn ooo_matches_interpreter_under_fence_futuristic(
+        ops in proptest::collection::vec(op_strategy(), 1..16),
+        iters in any::<u8>(),
+    ) {
+        let program = build(&ops, iters);
+        let (expected, got) = run_both(&program, SchemeKind::FenceFuturistic);
+        prop_assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn ooo_matches_interpreter_under_advanced_defense(
+        ops in proptest::collection::vec(op_strategy(), 1..16),
+        iters in any::<u8>(),
+    ) {
+        let program = build(&ops, iters);
+        let (expected, got) = run_both(&program, SchemeKind::Advanced);
+        prop_assert_eq!(expected, got);
+    }
+}
+
+#[test]
+fn every_scheme_computes_a_fixed_program_identically() {
+    // One deterministic program across the whole scheme zoo (cheaper than
+    // a proptest per scheme, still covers the exotic ones).
+    let ops = vec![
+        GenOp::MovImm(1, 77),
+        GenOp::Sqrt(2, 1),
+        GenOp::Mul(3, 1, 2),
+        GenOp::Store(3, 1),
+        GenOp::Load(4, 1),
+        GenOp::SkipIf(BranchCond::Ltu, 4, 3),
+        GenOp::Add(5, 4, 3),
+        GenOp::Div(6, 5, 2),
+    ];
+    let program = build(&ops, 5);
+    let mut reference = Interpreter::new(&program);
+    reference.run(2_000_000).unwrap();
+    let expected = reference.reg(R31);
+    for scheme in SchemeKind::all() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_program_with_scheme(0, &program, scheme.build());
+        m.run_core_to_halt(0, 2_000_000)
+            .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+        assert_eq!(m.core(0).reg(R31), expected, "{scheme:?}");
+        assert_eq!(m.core(0).reg(R0), 0);
+    }
+}
+
+

@@ -1,0 +1,107 @@
+//! Property tests over the ISA layer: encoding round-trips, interpreter
+//! semantics, and assembler/label invariants for arbitrary inputs.
+
+use proptest::prelude::*;
+
+use speculative_interference::isa::{
+    decode, encode, isqrt, Assembler, BranchCond, Instruction, Reg, R1, R2, R3,
+};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::new(i).expect("in range"))
+}
+
+fn arb_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let r = arb_reg;
+    prop_oneof![
+        Just(Instruction::nop()),
+        (r(), any::<i32>()).prop_map(|(d, i)| Instruction::mov_imm(d, i64::from(i))),
+        (r(), r(), r()).prop_map(|(d, a, b)| Instruction::add(d, a, b)),
+        (r(), r(), r()).prop_map(|(d, a, b)| Instruction::sub(d, a, b)),
+        (r(), r(), r()).prop_map(|(d, a, b)| Instruction::mul(d, a, b)),
+        (r(), r()).prop_map(|(d, a)| Instruction::sqrt(d, a)),
+        (r(), r(), r()).prop_map(|(d, a, b)| Instruction::div(d, a, b)),
+        (r(), r(), any::<i32>()).prop_map(|(d, a, i)| Instruction::add_imm(d, a, i64::from(i))),
+        (r(), r(), any::<i32>()).prop_map(|(d, a, i)| Instruction::load(d, a, i64::from(i))),
+        (r(), r(), any::<i32>()).prop_map(|(s, a, i)| Instruction::store(s, a, i64::from(i))),
+        (arb_cond(), r(), r(), 0u32..0x7fff_ffff)
+            .prop_map(|(c, a, b, t)| Instruction::branch(c, a, b, u64::from(t) & !7)),
+        (0u32..0x7fff_ffff).prop_map(|t| Instruction::jump(u64::from(t) & !7)),
+        (r(), any::<i32>()).prop_map(|(a, i)| Instruction::flush(a, i64::from(i))),
+        Just(Instruction::fence()),
+        (r()).prop_map(Instruction::rdtsc),
+        Just(Instruction::halt()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_roundtrip(instr in arb_instruction()) {
+        let word = encode(&instr).expect("32-bit immediates encode");
+        let back = decode(word).expect("well-formed word decodes");
+        prop_assert_eq!(back, instr);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u64>()) {
+        let _ = decode(word); // may error, must not panic
+    }
+
+    #[test]
+    fn decoded_instructions_reencode_identically(word in any::<u64>()) {
+        if let Ok(instr) = decode(word) {
+            let reencoded = encode(&instr).expect("decoded instruction re-encodes");
+            let back = decode(reencoded).expect("round");
+            prop_assert_eq!(back, instr);
+        }
+    }
+
+    #[test]
+    fn isqrt_is_exact_floor(v in any::<u64>()) {
+        let r = isqrt(v);
+        prop_assert!(r.checked_mul(r).is_some_and(|sq| sq <= v) || v == u64::MAX && r == (1u64 << 32) - 1);
+        prop_assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > v));
+    }
+
+    #[test]
+    fn branch_conditions_partition(a in any::<u64>(), b in any::<u64>()) {
+        for c in [BranchCond::Eq, BranchCond::Lt, BranchCond::Ltu] {
+            prop_assert_ne!(c.eval(a, b), c.negate().eval(a, b));
+        }
+    }
+
+    #[test]
+    fn display_of_any_instruction_is_nonempty(instr in arb_instruction()) {
+        prop_assert!(!instr.to_string().is_empty());
+    }
+
+    #[test]
+    fn assembler_layout_is_dense_and_aligned(n in 1usize..64) {
+        let mut asm = Assembler::new(0x400);
+        for _ in 0..n {
+            asm.add(R3, R1, R2);
+        }
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        prop_assert_eq!(p.len(), n + 1);
+        let (first, last) = p.code_range().unwrap();
+        prop_assert_eq!(first, 0x400);
+        prop_assert_eq!(last, 0x400 + 8 * n as u64);
+        for (pc, _) in p.iter() {
+            prop_assert_eq!(pc % 8, 0);
+        }
+    }
+}
