@@ -11,9 +11,21 @@ fn bench_trials(c: &mut Criterion) {
     let mut group = c.benchmark_group("attack_trials");
     group.sample_size(10);
     for (name, kind, scheme) in [
-        ("dcache_npeu_dom", AttackKind::NpeuVdVd, SchemeKind::DomSpectre),
-        ("icache_irs_dom", AttackKind::IrsICache, SchemeKind::DomSpectre),
-        ("spectre_v1_baseline", AttackKind::SpectreV1, SchemeKind::Unprotected),
+        (
+            "dcache_npeu_dom",
+            AttackKind::NpeuVdVd,
+            SchemeKind::DomSpectre,
+        ),
+        (
+            "icache_irs_dom",
+            AttackKind::IrsICache,
+            SchemeKind::DomSpectre,
+        ),
+        (
+            "spectre_v1_baseline",
+            AttackKind::SpectreV1,
+            SchemeKind::Unprotected,
+        ),
     ] {
         let attack = Attack::new(kind, scheme, MachineConfig::default());
         group.bench_function(name, |b| b.iter(|| attack.run_trial(1)));

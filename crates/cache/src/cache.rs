@@ -94,10 +94,7 @@ impl SetAssocCache {
 
     fn set_and_way(&self, line: u64) -> (usize, Option<usize>) {
         let set = self.config.set_of(line);
-        let way = self.sets[set]
-            .lines
-            .iter()
-            .position(|l| *l == Some(line));
+        let way = self.sets[set].lines.iter().position(|l| *l == Some(line));
         (set, way)
     }
 
@@ -299,10 +296,8 @@ mod tests {
 
     #[test]
     fn set_view_exposes_lines_and_meta() {
-        let mut c = SetAssocCache::new(
-            "q",
-            CacheConfig::new(2, 4, PolicyKind::qlru_h11_m1_r0_u0()),
-        );
+        let mut c =
+            SetAssocCache::new("q", CacheConfig::new(2, 4, PolicyKind::qlru_h11_m1_r0_u0()));
         c.access(0); // set 0
         c.access(2); // set 0
         let view = c.set_view(0);
@@ -315,10 +310,8 @@ mod tests {
 
     #[test]
     fn empty_ways_fill_leftmost_first() {
-        let mut c = SetAssocCache::new(
-            "q",
-            CacheConfig::new(1, 4, PolicyKind::qlru_h11_m1_r0_u0()),
-        );
+        let mut c =
+            SetAssocCache::new("q", CacheConfig::new(1, 4, PolicyKind::qlru_h11_m1_r0_u0()));
         for line in [10, 20, 30] {
             c.access(line);
         }

@@ -14,7 +14,9 @@
 //!   schemes add) return data and an honest latency but change *no* cache
 //!   state and are never logged.
 
-use crate::{line_of, AccessOutcome, CacheConfig, CacheStats, HierarchyConfig, SetAssocCache, WayView};
+use crate::{
+    line_of, AccessOutcome, CacheConfig, CacheStats, HierarchyConfig, SetAssocCache, WayView,
+};
 
 /// Whether an access flows through the instruction or data path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -36,7 +38,9 @@ pub enum Visibility {
 }
 
 /// The level that serviced an access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum HitLevel {
     /// Private L1 (I or D).
     L1,
@@ -428,7 +432,10 @@ mod tests {
         let mut h = h2();
         let r = h.read(0, 0, 0x4000, AccessClass::Data, Visibility::Invisible);
         assert_eq!(r.level, HitLevel::Memory);
-        assert_eq!(h.probe_level(0, 0x4000, AccessClass::Data), HitLevel::Memory);
+        assert_eq!(
+            h.probe_level(0, 0x4000, AccessClass::Data),
+            HitLevel::Memory
+        );
         assert!(h.log().is_empty());
         assert!(!h.resident_anywhere(0x4000));
     }
@@ -463,8 +470,14 @@ mod tests {
         h.read(1, 1, 0x4000, AccessClass::Data, Visibility::Visible);
         h.flush_addr(0x4000);
         assert!(!h.resident_anywhere(0x4000));
-        assert_eq!(h.probe_level(0, 0x4000, AccessClass::Data), HitLevel::Memory);
-        assert_eq!(h.probe_level(1, 0x4000, AccessClass::Data), HitLevel::Memory);
+        assert_eq!(
+            h.probe_level(0, 0x4000, AccessClass::Data),
+            HitLevel::Memory
+        );
+        assert_eq!(
+            h.probe_level(1, 0x4000, AccessClass::Data),
+            HitLevel::Memory
+        );
     }
 
     #[test]
@@ -482,7 +495,10 @@ mod tests {
         h.read(2, 0, set0(2), AccessClass::Data, Visibility::Visible);
         // line 0 was evicted from the LLC and must be gone from core 0's
         // private caches too.
-        assert_eq!(h.probe_level(0, set0(0), AccessClass::Data), HitLevel::Memory);
+        assert_eq!(
+            h.probe_level(0, set0(0), AccessClass::Data),
+            HitLevel::Memory
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ impl Plru {
     ///
     /// Panics if `ways` is not a power of two or is smaller than 2.
     pub fn new(ways: usize) -> Plru {
-        assert!(ways.is_power_of_two() && ways >= 2, "tree-PLRU needs a power-of-two associativity >= 2");
+        assert!(
+            ways.is_power_of_two() && ways >= 2,
+            "tree-PLRU needs a power-of-two associativity >= 2"
+        );
         Plru {
             ways,
             bits: vec![false; ways],

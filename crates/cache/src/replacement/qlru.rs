@@ -94,7 +94,9 @@ impl QlruParams {
         }
         for (age, promoted) in self.hit_promote.iter().enumerate() {
             if *promoted > MAX_AGE {
-                return Err(format!("promotion of age {age} to {promoted} exceeds 2 bits"));
+                return Err(format!(
+                    "promotion of age {age} to {promoted} exceeds 2 bits"
+                ));
             }
             if *promoted > age as u8 {
                 return Err(format!(

@@ -1,0 +1,160 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! The workspace's benches (`crates/bench/benches/*.rs`) are written
+//! against the criterion API; this crate — imported under the name
+//! `criterion` via Cargo dependency renaming — implements the subset
+//! they use as a plain wall-clock harness: per-benchmark mean and
+//! min/max over `sample_size` samples, printed to stdout. No statistics
+//! engine, no HTML reports; swap in the real crate when a registry is
+//! available.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// shim always sets up one input per routine call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Drives one benchmark routine (the stand-in for `criterion::Bencher`).
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.durations.push(start.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.durations.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+fn report(name: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    let min = durations.iter().min().expect("non-empty");
+    let max = durations.iter().max().expect("non-empty");
+    println!(
+        "{name:<44} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
+        durations.len()
+    );
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    prefix: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut b = Bencher {
+            samples: self.samples,
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.prefix, id.into()), &b.durations);
+    }
+
+    /// Ends the group (a no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver (the stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            prefix: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let mut b = Bencher {
+            samples: 10,
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        report(&id.into(), &b.durations);
+    }
+}
+
+/// Bundles benchmark functions into one runner (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench target with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_and_iter_batched_collect_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 2u64, |v| v * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde`
+//! stand-in (see `crates/compat/serde`). Each derive expands to nothing;
+//! the workspace's structured output is produced by `si-harness`'s own
+//! JSON writer instead of serde machinery.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

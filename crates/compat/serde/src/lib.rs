@@ -1,0 +1,15 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace annotates its data types with
+//! `#[derive(serde::Serialize, serde::Deserialize)]` so they are ready
+//! for real serde once a registry is available. Until then this crate —
+//! imported under the name `serde` via Cargo dependency renaming —
+//! supplies **no-op** derive macros, keeping the annotations compiling
+//! while `si-harness` hand-rolls its deterministic JSON output
+//! (`si_harness::json`).
+//!
+//! To switch to real serde: replace the `serde = { package = "si-serde", … }`
+//! lines in member manifests with the registry dependency. No source
+//! changes are needed.
+
+pub use si_serde_derive::{Deserialize, Serialize};

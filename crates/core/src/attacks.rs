@@ -244,14 +244,17 @@ impl Attack {
     pub fn sample_event_offset(&self, secret: u64, seed: u64) -> Option<u64> {
         let mut a = self.clone();
         a.machine.noise.seed = seed;
-        a.run_trial_inner(secret, None, true).and_then(|(_, off)| off)
+        a.run_trial_inner(secret, None, true)
+            .and_then(|(_, off)| off)
     }
 
     fn victim_event_offset(&self, secret: u64) -> Option<u64> {
         let mut quiet = self.clone();
         quiet.machine.noise.dram_jitter = 0;
         quiet.machine.noise.background_period = 0;
-        quiet.run_trial_inner(secret, None, true).and_then(|(_, off)| off)
+        quiet
+            .run_trial_inner(secret, None, true)
+            .and_then(|(_, off)| off)
     }
 
     /// Runs the trial machinery. When `record_event` is set, the victim
@@ -274,14 +277,14 @@ impl Attack {
         m.memory_mut().write_u64(layout.secret_addr, secret);
         let start = m.cycle();
         let attack_round = s.train_iters; // last round
-        let order_rx = self
-            .uses_order_receiver()
-            .then(|| OrderReceiver::new(
+        let order_rx = self.uses_order_receiver().then(|| {
+            OrderReceiver::new(
                 ATTACKER_CORE,
                 self.victim_line_addr(&layout),
                 layout.b_addr,
                 layout.evset.clone(),
-            ));
+            )
+        });
         let icache_rx = matches!(self.kind, AttackKind::IrsICache)
             .then(|| FlushReload::new(ATTACKER_CORE, layout.target_fn));
         let spectre_rx = matches!(self.kind, AttackKind::SpectreV1).then_some(());
@@ -390,6 +393,13 @@ impl Attack {
         } else {
             Vec::new()
         };
-        Some((TrialResult { decoded, cycles, trace }, None))
+        Some((
+            TrialResult {
+                decoded,
+                cycles,
+                trace,
+            },
+            None,
+        ))
     }
 }

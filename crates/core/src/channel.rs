@@ -121,7 +121,11 @@ pub fn leak_bits(attack: &Attack, bits: &[u64], reps: usize) -> KeyLeak {
         let mut votes = [0usize; 2];
         for r in 0..reps {
             let mut a = attack.clone();
-            a.machine.noise.seed = attack.machine.noise.seed.wrapping_add((i * reps + r) as u64);
+            a.machine.noise.seed = attack
+                .machine
+                .noise
+                .seed
+                .wrapping_add((i * reps + r) as u64);
             let t = a.run_trial(*bit);
             cycles += t.cycles;
             if let Some(d) = t.decoded {

@@ -39,7 +39,6 @@
 
 pub mod attacks;
 pub mod channel;
-pub mod experiments;
 mod layout;
 pub mod matrix;
 pub mod occupancy;
@@ -80,23 +79,27 @@ mod attack_tests {
     fn npeu_interference_breaks_delay_on_miss() {
         let attack = Attack::new(AttackKind::NpeuVdVd, SchemeKind::DomSpectre, quiet());
         assert_eq!(attack.run_trial(0).decoded, Some(0), "no-gadget order A-B");
-        assert_eq!(attack.run_trial(1).decoded, Some(1), "gadget reorders to B-A");
+        assert_eq!(
+            attack.run_trial(1).decoded,
+            Some(1),
+            "gadget reorders to B-A"
+        );
     }
 
     #[test]
     fn irs_interference_breaks_delay_on_miss_via_icache() {
         let attack = Attack::new(AttackKind::IrsICache, SchemeKind::DomSpectre, quiet());
         assert_eq!(attack.run_trial(0).decoded, Some(0), "hit: target fetched");
-        assert_eq!(attack.run_trial(1).decoded, Some(1), "miss: frontend throttled");
+        assert_eq!(
+            attack.run_trial(1).decoded,
+            Some(1),
+            "miss: frontend throttled"
+        );
     }
 
     #[test]
     fn mshr_interference_breaks_invisispec() {
-        let attack = Attack::new(
-            AttackKind::MshrVdAd,
-            SchemeKind::InvisiSpecSpectre,
-            quiet(),
-        );
+        let attack = Attack::new(AttackKind::MshrVdAd, SchemeKind::InvisiSpecSpectre, quiet());
         assert_eq!(attack.run_trial(0).decoded, Some(0));
         assert_eq!(attack.run_trial(1).decoded, Some(1));
     }

@@ -24,7 +24,11 @@ pub struct MatrixCell {
 }
 
 /// Runs one cell.
-pub fn run_cell(scheme: SchemeKind, attack_kind: AttackKind, machine: &MachineConfig) -> MatrixCell {
+pub fn run_cell(
+    scheme: SchemeKind,
+    attack_kind: AttackKind,
+    machine: &MachineConfig,
+) -> MatrixCell {
     let mut cfg = machine.clone();
     cfg.noise.dram_jitter = 0;
     cfg.noise.background_period = 0;
@@ -60,7 +64,11 @@ pub fn vulnerability_matrix(
 
 /// Renders the matrix as an aligned text table (schemes as rows, attacks
 /// as columns, `X` marking a working covert channel).
-pub fn render_matrix(cells: &[MatrixCell], schemes: &[SchemeKind], attacks: &[AttackKind]) -> String {
+pub fn render_matrix(
+    cells: &[MatrixCell],
+    schemes: &[SchemeKind],
+    attacks: &[AttackKind],
+) -> String {
     let mut out = String::new();
     let name_w = schemes
         .iter()

@@ -282,8 +282,14 @@ mod tests {
             } else {
                 (layout.b_addr, layout.a_addr)
             };
-            m.run_op(AgentOp::Access { core: 0, addr: first });
-            m.run_op(AgentOp::Access { core: 0, addr: second });
+            m.run_op(AgentOp::Access {
+                core: 0,
+                addr: first,
+            });
+            m.run_op(AgentOp::Access {
+                core: 0,
+                addr: second,
+            });
             let pressure = evset::conflicting_addrs(
                 &m.config().hierarchy.llc.clone(),
                 layout.a_addr,
@@ -293,7 +299,11 @@ mod tests {
             let decoded = rx.probe_lru(&mut m, &pressure);
             assert_eq!(
                 decoded,
-                if order_vr { Decoded::VictimFirst } else { Decoded::ReferenceFirst },
+                if order_vr {
+                    Decoded::VictimFirst
+                } else {
+                    Decoded::ReferenceFirst
+                },
                 "order_vr={order_vr}"
             );
         }
@@ -308,7 +318,10 @@ mod tests {
         // reload itself filled the line; a subsequent reload hits
         assert!(fr.reload(&mut m));
         fr.flush(&mut m);
-        m.run_op(AgentOp::Access { core: 0, addr: 0x9000 }); // victim touch
+        m.run_op(AgentOp::Access {
+            core: 0,
+            addr: 0x9000,
+        }); // victim touch
         assert!(fr.reload(&mut m));
     }
 }

@@ -44,9 +44,7 @@ pub fn run_rounds(
         // Wait for the victim to park.
         while m.memory().read_u64(layout.signal_addr) != 1 {
             if m.cycle() >= deadline || m.core(victim_core).halted() {
-                return Err(Timeout {
-                    cycles: m.cycle(),
-                });
+                return Err(Timeout { cycles: m.cycle() });
             }
             m.step();
         }
@@ -59,9 +57,7 @@ pub fn run_rounds(
         // Wait until the victim consumes the release (signal cleared).
         while m.memory().read_u64(layout.signal_addr) != 0 {
             if m.cycle() >= deadline || m.core(victim_core).halted() {
-                return Err(Timeout {
-                    cycles: m.cycle(),
-                });
+                return Err(Timeout { cycles: m.cycle() });
             }
             m.step();
         }
@@ -69,9 +65,7 @@ pub fn run_rounds(
     // Let the final episode run to completion.
     while !m.core(victim_core).halted() {
         if m.cycle() >= deadline {
-            return Err(Timeout {
-                cycles: m.cycle(),
-            });
+            return Err(Timeout { cycles: m.cycle() });
         }
         m.step();
     }

@@ -136,7 +136,7 @@ mod tests {
     /// bound comparison so the transient window is wide enough for the
     /// load to reach the cache.
     fn leaky_program() -> Program {
-        use si_isa::{R4, R6, R7, R8, R9, R0};
+        use si_isa::{R0, R4, R6, R7, R8, R9};
         let mut asm = Assembler::new(0);
         asm.mov_imm(R1, 0);
         asm.mov_imm(R2, 4);

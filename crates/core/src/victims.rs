@@ -22,8 +22,10 @@
 //! r26 const 1   r27 A base     r28 B base
 //! ```
 
-use si_isa::{Assembler, Instruction, Label, Program, R0, R1, R10, R11, R12, R13, R14, R15, R16,
-    R17, R18, R19, R2, R20, R21, R22, R23, R24, R25, R26, R27, R28, R3, R4, R5, R6, R7, R8, R9};
+use si_isa::{
+    Assembler, Instruction, Label, Program, R0, R1, R10, R11, R12, R13, R14, R15, R16, R17, R18,
+    R19, R2, R20, R21, R22, R23, R24, R25, R26, R27, R28, R3, R4, R5, R6, R7, R8, R9,
+};
 
 use crate::AttackLayout;
 
@@ -425,8 +427,7 @@ mod tests {
     }
 
     #[test]
-    fn instruction_side_variants_place_join_on_the_monitored_line(
-    ) {
+    fn instruction_side_variants_place_join_on_the_monitored_line() {
         let s = scaffold();
         let p = npeu_victim(&s, NpeuVariant::InstrVsAttacker);
         assert!(

@@ -29,7 +29,9 @@ use crate::memory::Memory;
 use crate::predictor::BranchPredictor;
 use crate::rob::{fresh_rat, EntryState, Rat, RegTag, Rob, RobEntry};
 use crate::rs::{Operand, ReservationStation, RsEntry};
-use crate::scheme::{LoadPlan, SafeAction, SafetyFlags, SafetyView, SpeculationScheme, UnsafeLoadCtx};
+use crate::scheme::{
+    LoadPlan, SafeAction, SafetyFlags, SafetyView, SpeculationScheme, UnsafeLoadCtx,
+};
 use crate::stats::CoreStats;
 use crate::trace::{Trace, TraceEvent};
 use crate::MshrFile;
@@ -364,7 +366,9 @@ impl Core {
         let strict_age = self.scheme.strict_age_priority();
         let hold = self.scheme.holds_resources_until_safe();
         for (seq, class) in candidates {
-            let Some(pos) = view.position_of(seq) else { continue };
+            let Some(pos) = view.position_of(seq) else {
+                continue;
+            };
             if view.fence_blocked(pos) {
                 continue;
             }
@@ -464,7 +468,13 @@ impl Core {
         self.pending_loads = still_pending;
     }
 
-    fn try_load(&mut self, now: u64, ctx: &mut TickCtx<'_>, view: &SafetyView, seq: u64) -> LoadStep {
+    fn try_load(
+        &mut self,
+        now: u64,
+        ctx: &mut TickCtx<'_>,
+        view: &SafetyView,
+        seq: u64,
+    ) -> LoadStep {
         let Some(entry) = self.rob.get(seq) else {
             return LoadStep::Squashed;
         };
@@ -515,7 +525,8 @@ impl Core {
                 let entry = self.rob.get_mut(seq).expect("exists");
                 entry.delayed = true;
                 self.stats.delayed_loads += 1;
-                self.trace.record(now, TraceEvent::LoadDelayed { seq, addr });
+                self.trace
+                    .record(now, TraceEvent::LoadDelayed { seq, addr });
                 LoadStep::Retry
             }
         }
@@ -541,9 +552,9 @@ impl Core {
         let line = line_of(addr);
         let mut new_fill = false;
         let done_at = if level == HitLevel::L1 {
-            let res = ctx
-                .hierarchy
-                .read(now, self.id, addr, AccessClass::Data, Visibility::Visible);
+            let res =
+                ctx.hierarchy
+                    .read(now, self.id, addr, AccessClass::Data, Visibility::Visible);
             now + res.latency
         } else if let Some(id) = self.mshrs.lookup(line) {
             // Coalesce onto the outstanding miss; the fill (and any state
@@ -557,9 +568,9 @@ impl Core {
             self.trace.record(now, TraceEvent::MshrStall { seq, addr });
             return LoadStep::Retry;
         } else {
-            let res = ctx
-                .hierarchy
-                .read(now, self.id, addr, AccessClass::Data, Visibility::Visible);
+            let res =
+                ctx.hierarchy
+                    .read(now, self.id, addr, AccessClass::Data, Visibility::Visible);
             let latency = self.dram_latency(res.latency, level, ctx);
             let ready = now + latency;
             self.mshrs
@@ -569,7 +580,11 @@ impl Core {
             ready
         };
         let value = ctx.memory.read_u64(addr);
-        self.load_completions.push(LoadCompletion { seq, done_at, value });
+        self.load_completions.push(LoadCompletion {
+            seq,
+            done_at,
+            value,
+        });
         if speculative && new_fill {
             // Record for CleanupSpec-style rollback on squash.
             self.rob.get_mut(seq).expect("exists").spec_fill_line = Some(line);
@@ -604,9 +619,13 @@ impl Core {
                 self.mshrs.coalesce(id, seq);
                 self.mshrs.ready_at(id)
             } else {
-                let res =
-                    ctx.hierarchy
-                        .read(now, self.id, addr, AccessClass::Data, Visibility::Invisible);
+                let res = ctx.hierarchy.read(
+                    now,
+                    self.id,
+                    addr,
+                    AccessClass::Data,
+                    Visibility::Invisible,
+                );
                 let latency = self.dram_latency(res.latency, level, ctx);
                 let ready = now + latency;
                 match self.mshrs.allocate(line, ready, seq) {
@@ -627,7 +646,11 @@ impl Core {
             now + latency
         };
         let value = ctx.memory.read_u64(addr);
-        self.load_completions.push(LoadCompletion { seq, done_at, value });
+        self.load_completions.push(LoadCompletion {
+            seq,
+            done_at,
+            value,
+        });
         let entry = self.rob.get_mut(seq).expect("exists");
         entry.pending_safe_action = on_safe;
         self.stats.invisible_loads += 1;
@@ -816,7 +839,9 @@ impl Core {
 
     fn dispatch(&mut self, now: u64) {
         for _ in 0..self.config.dispatch_width {
-            let Some(next) = self.frontend.peek() else { return };
+            let Some(next) = self.frontend.peek() else {
+                return;
+            };
             if self.rob.is_full() {
                 self.stats.rob_full_stalls += 1;
                 return;

@@ -343,7 +343,10 @@ mod tests {
         // Line 0 is already warm in the L1I, so the first tick fetches; the
         // predicted-taken branch ends the fetch group after one instruction.
         let out = fe2.tick(dram + 1, 0, &p, &mut h, &mut bp, &mut t);
-        assert!(matches!(out, FetchOutcome::Fetched(1)), "taken ends group: {out:?}");
+        assert!(
+            matches!(out, FetchOutcome::Fetched(1)),
+            "taken ends group: {out:?}"
+        );
         assert_eq!(fe2.pop().unwrap().predicted_next, 0x100);
         assert_eq!(fe2.pc(), 0x100);
     }

@@ -168,7 +168,8 @@ impl Machine {
     pub fn load_program(&mut self, core_idx: usize, program: &Program) {
         self.shared.memory.load_program_data(program);
         let scheme = self.replace_core_scheme_placeholder(core_idx);
-        self.cores[core_idx] = Core::new(core_idx, self.config.core.clone(), program.clone(), scheme);
+        self.cores[core_idx] =
+            Core::new(core_idx, self.config.core.clone(), program.clone(), scheme);
     }
 
     /// Loads `program` onto `core_idx` under `scheme`.
@@ -179,7 +180,8 @@ impl Machine {
         scheme: Box<dyn SpeculationScheme>,
     ) {
         self.shared.memory.load_program_data(program);
-        self.cores[core_idx] = Core::new(core_idx, self.config.core.clone(), program.clone(), scheme);
+        self.cores[core_idx] =
+            Core::new(core_idx, self.config.core.clone(), program.clone(), scheme);
     }
 
     fn replace_core_scheme_placeholder(&mut self, _core_idx: usize) -> Box<dyn SpeculationScheme> {
@@ -332,9 +334,13 @@ impl Machine {
             }
         } else {
             let line = base + self.noise_rng.gen_range(0..n.background_lines);
-            self.shared
-                .hierarchy
-                .read(now, core, line * LINE_BYTES, AccessClass::Data, Visibility::Visible);
+            self.shared.hierarchy.read(
+                now,
+                core,
+                line * LINE_BYTES,
+                AccessClass::Data,
+                Visibility::Visible,
+            );
         }
     }
 
@@ -434,14 +440,23 @@ mod tests {
     #[test]
     fn agent_ops_flush_and_time() {
         let mut m = machine();
-        m.run_op(AgentOp::Access { core: 1, addr: 0x4000 });
+        m.run_op(AgentOp::Access {
+            core: 1,
+            addr: 0x4000,
+        });
         let timed = m
-            .run_op(AgentOp::TimedAccess { core: 1, addr: 0x4000 })
+            .run_op(AgentOp::TimedAccess {
+                core: 1,
+                addr: 0x4000,
+            })
             .unwrap();
         assert_eq!(timed.level, HitLevel::L1);
         m.run_op(AgentOp::Flush(0x4000));
         let timed = m
-            .run_op(AgentOp::TimedAccess { core: 1, addr: 0x4000 })
+            .run_op(AgentOp::TimedAccess {
+                core: 1,
+                addr: 0x4000,
+            })
             .unwrap();
         assert_eq!(timed.level, HitLevel::Memory);
         assert_eq!(m.take_agent_timings().len(), 2);
@@ -450,7 +465,13 @@ mod tests {
     #[test]
     fn scheduled_ops_run_at_their_cycle() {
         let mut m = machine();
-        m.schedule_op(5, AgentOp::Access { core: 1, addr: 0x9000 });
+        m.schedule_op(
+            5,
+            AgentOp::Access {
+                core: 1,
+                addr: 0x9000,
+            },
+        );
         m.run_cycles(5);
         assert!(!m.hierarchy().resident_anywhere(0x9000));
         m.run_cycles(1);

@@ -1,0 +1,224 @@
+//! `sia` — the speculative-interference-attacks experiment runner.
+//!
+//! ```text
+//! sia list                          # every registered experiment
+//! sia run fig07 --scheme dom        # one experiment
+//! sia run --all --trials 5          # CI smoke: everything, small
+//! ```
+//!
+//! Each run writes one validated JSON document per experiment to the
+//! output directory (default `results/`) and prints a one-line status.
+//! Exit code is non-zero if any experiment fails.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use si_harness::json::{parse, Json};
+use si_harness::{parse_scheme, registry, run_experiment, Experiment, RunConfig};
+
+const USAGE: &str = "\
+sia — speculative-interference experiment harness
+
+USAGE:
+    sia list
+    sia run <EXPERIMENT>... [OPTIONS]
+    sia run --all [OPTIONS]
+
+OPTIONS:
+    --all              run every registered experiment
+    --trials <N>       sample-size knob (per-experiment meaning; default varies)
+    --threads <N>      worker threads (default: available parallelism)
+    --seed <N>         base seed (decimal or 0x-hex; default 0x51A02021)
+    --scheme <S>       scheme override for single-scheme experiments
+                       (e.g. dom, invisispec, fence-futuristic; see `sia list`)
+    --out <DIR>        output directory (default: results/)
+    --print            also print each result document to stdout
+    --no-wall-time     omit wall_time_ms from result files (bit-stable output)
+    -h, --help         show this help
+";
+
+struct Args {
+    ids: Vec<String>,
+    all: bool,
+    cfg: RunConfig,
+    out_dir: String,
+    print: bool,
+    wall_time: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        ids: Vec::new(),
+        all: false,
+        cfg: RunConfig::default(),
+        out_dir: "results".to_owned(),
+        print: false,
+        wall_time: true,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--all" => args.all = true,
+            "--trials" => {
+                args.cfg.trials = Some(
+                    value("--trials")?
+                        .parse()
+                        .map_err(|e| format!("--trials: {e}"))?,
+                );
+            }
+            "--threads" => {
+                args.cfg.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--seed" => {
+                let text = value("--seed")?;
+                args.cfg.seed = match text.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => text.parse(),
+                }
+                .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--scheme" => {
+                let text = value("--scheme")?;
+                args.cfg.scheme =
+                    Some(parse_scheme(&text).ok_or_else(|| format!("unknown scheme '{text}'"))?);
+            }
+            "--out" => args.out_dir = value("--out")?,
+            "--print" => args.print = true,
+            "--no-wall-time" => args.wall_time = false,
+            flag if flag.starts_with('-') => return Err(format!("unknown option '{flag}'")),
+            id => args.ids.push(id.to_owned()),
+        }
+    }
+    Ok(args)
+}
+
+fn cmd_list() -> ExitCode {
+    println!(
+        "{:<16} {:>7} {:>8}  TITLE",
+        "EXPERIMENT", "TRIALS", "SCHEME?"
+    );
+    for e in registry() {
+        println!(
+            "{:<16} {:>7} {:>8}  {}",
+            e.id(),
+            e.default_trials(),
+            if e.supports_scheme_override() {
+                "yes"
+            } else {
+                "-"
+            },
+            e.title()
+        );
+    }
+    println!("\nschemes: dom, dom-nontso, dom-futuristic, invisispec, invisispec-futuristic,");
+    println!("         safespec-wfb, safespec-wfc, muontrap, condspec, cleanupspec,");
+    println!(
+        "         unprotected, fence, fence-futuristic, advanced, advanced-hold, advanced-age"
+    );
+    ExitCode::SUCCESS
+}
+
+/// Extracts `summary` as a compact `k=v` status string.
+fn summary_line(envelope: &Json) -> String {
+    match envelope.get("summary") {
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.to_compact()))
+            .collect::<Vec<_>>()
+            .join(" "),
+        _ => String::new(),
+    }
+}
+
+fn run_one(exp: &dyn Experiment, args: &Args) -> Result<(), String> {
+    let start = Instant::now();
+    let mut envelope = run_experiment(exp, &args.cfg)?;
+    let wall_ms = start.elapsed().as_millis();
+    if args.wall_time {
+        envelope.push("wall_time_ms", Json::from(wall_ms as u64));
+    }
+    let text = envelope.to_pretty();
+    // Validate before writing: a malformed document is a harness bug and
+    // must fail the run, not poison downstream consumers.
+    parse(&text).map_err(|e| format!("emitted malformed JSON: {e}"))?;
+    let path = format!("{}/{}.json", args.out_dir, exp.id());
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| format!("creating {}: {e}", args.out_dir))?;
+    std::fs::write(&path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+    if args.print {
+        print!("{text}");
+    }
+    println!(
+        "{:<16} ok  {:>7}ms  {}  -> {}",
+        exp.id(),
+        wall_ms,
+        summary_line(&envelope),
+        path
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> ExitCode {
+    let experiments = registry();
+    let selected: Vec<&dyn Experiment> = if args.all {
+        experiments.iter().map(AsRef::as_ref).collect()
+    } else {
+        let mut picked = Vec::new();
+        for id in &args.ids {
+            match experiments.iter().find(|e| e.id() == id) {
+                Some(e) => picked.push(e.as_ref()),
+                None => {
+                    eprintln!("error: unknown experiment '{id}' (try `sia list`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        picked
+    };
+    if selected.is_empty() {
+        eprintln!("error: nothing to run — name experiments or pass --all");
+        return ExitCode::FAILURE;
+    }
+    let mut failures = 0usize;
+    for exp in &selected {
+        if let Err(e) = run_one(*exp, args) {
+            eprintln!("{:<16} FAILED: {e}", exp.id());
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} of {} experiments failed", selected.len());
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => match parse_args(&argv[1..]) {
+            Ok(args) => cmd_run(&args),
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("-h" | "--help" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! The sharded trial executor: fans independent work items out across
+//! scoped threads while keeping results **bit-identical to a serial
+//! run**.
+//!
+//! Two rules make that determinism hold:
+//!
+//! 1. every item derives its own seed from the base seed and its index
+//!    ([`mix_seed`]), never from shared RNG state or thread identity;
+//! 2. results are re-assembled in item order, so the output vector is
+//!    independent of which thread finished first.
+//!
+//! Experiments therefore express trials as a pure function of
+//! `(index, seed)` and get parallelism for free.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Derives a per-item seed from a base seed and item index (SplitMix64
+/// over the combined state — adjacent indices give uncorrelated seeds).
+pub fn mix_seed(base: u64, index: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xd1b5_4a32_d192_ed03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Maps `f` over `0..n` using up to `threads` worker threads, returning
+/// results in index order. `threads <= 1` runs inline; the parallel path
+/// produces the identical vector.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                collected
+                    .lock()
+                    .expect("result mutex never poisoned")
+                    .extend(local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().expect("result mutex never poisoned");
+    pairs.sort_by_key(|(i, _)| *i);
+    debug_assert_eq!(pairs.len(), n);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let serial = parallel_map(100, 1, |i| mix_seed(42, i as u64));
+        let parallel = parallel_map(100, 8, |i| mix_seed(42, i as u64));
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 100);
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_map(1, 4, |i| i * 2), vec![0]);
+    }
+
+    #[test]
+    fn mix_seed_decorrelates_indices() {
+        let seeds: Vec<u64> = (0..64).map(|i| mix_seed(7, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "per-index seeds must be distinct");
+    }
+}

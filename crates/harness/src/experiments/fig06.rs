@@ -1,0 +1,73 @@
+//! Figure 6 — secret-dependent reordering of the two bound-to-retire
+//! victim loads A and B under `G^D_NPEU`, per scheme.
+
+use si_core::attacks::{Attack, AttackKind};
+use si_schemes::SchemeKind;
+
+use crate::exec::parallel_map;
+use crate::json::{obj, Json};
+use crate::{Experiment, RunCtx};
+
+pub struct Fig06;
+
+const SCHEMES: [SchemeKind; 7] = [
+    SchemeKind::Unprotected,
+    SchemeKind::DomSpectre,
+    SchemeKind::DomNonTso,
+    SchemeKind::InvisiSpecSpectre,
+    SchemeKind::SafeSpecWfb,
+    SchemeKind::FenceSpectre,
+    SchemeKind::Advanced,
+];
+
+fn order(decoded: Option<u64>) -> &'static str {
+    match decoded {
+        Some(0) => "A-B",
+        Some(1) => "B-A",
+        _ => "n/a",
+    }
+}
+
+impl Experiment for Fig06 {
+    fn id(&self) -> &'static str {
+        "fig06"
+    }
+
+    fn title(&self) -> &'static str {
+        "Victim load order A/B per scheme under G^D_NPEU (Figure 6)"
+    }
+
+    fn run(&self, ctx: &RunCtx) -> Result<(Json, Json), String> {
+        let machine = ctx.machine();
+        let rows = parallel_map(SCHEMES.len(), ctx.threads, |i| {
+            let scheme = SCHEMES[i];
+            let attack = Attack::new(AttackKind::NpeuVdVd, scheme, machine.clone());
+            let d0 = attack.run_trial(0).decoded;
+            let d1 = attack.run_trial(1).decoded;
+            (scheme, d0, d1)
+        });
+        let mut leak_count = 0usize;
+        let json_rows: Vec<Json> = rows
+            .into_iter()
+            .map(|(scheme, d0, d1)| {
+                let leaks = d0 == Some(0) && d1 == Some(1);
+                leak_count += usize::from(leaks);
+                obj([
+                    ("scheme", Json::from(crate::scheme_slug(scheme))),
+                    ("secret0_order", Json::from(order(d0))),
+                    ("secret1_order", Json::from(order(d1))),
+                    ("order_is_secret_dependent", Json::from(leaks)),
+                ])
+            })
+            .collect();
+        let result = obj([
+            ("attack", Json::from(AttackKind::NpeuVdVd.label())),
+            ("rows", Json::Arr(json_rows)),
+        ]);
+        let summary = obj([
+            ("schemes", Json::from(SCHEMES.len())),
+            ("leaking_schemes", Json::from(leak_count)),
+        ]);
+        Ok((result, summary))
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 7 — the interference-contention histogram: the target's
+//! completion time with and without the gadget under DRAM jitter.
+//!
+//! `--trials` is the sample count per condition. Trials fan out across
+//! threads with one derived seed per trial index; both conditions share
+//! the per-index seeds (matching the seed binaries' paired sampling).
+
+use si_core::attacks::{Attack, AttackKind};
+use si_schemes::SchemeKind;
+
+use crate::exec::{mix_seed, parallel_map};
+use crate::json::{obj, Json};
+use crate::report::{samples_json, InterferenceSamples};
+use crate::{Experiment, RunCtx};
+
+pub struct Fig07;
+
+/// DRAM jitter (cycles) supplying the measurement noise that gives the
+/// histogram its width.
+const JITTER: u64 = 12;
+
+/// Histogram bucket width in cycles.
+const BUCKET: u64 = 8;
+
+impl Experiment for Fig07 {
+    fn id(&self) -> &'static str {
+        "fig07"
+    }
+
+    fn title(&self) -> &'static str {
+        "Interference-contention histogram under DRAM jitter (Figure 7)"
+    }
+
+    fn default_trials(&self) -> usize {
+        60
+    }
+
+    fn supports_scheme_override(&self) -> bool {
+        true
+    }
+
+    fn run(&self, ctx: &RunCtx) -> Result<(Json, Json), String> {
+        let scheme = ctx.scheme_or(SchemeKind::DomSpectre);
+        let mut machine = ctx.machine();
+        machine.noise.dram_jitter = JITTER;
+        machine.noise.background_period = 0;
+        let attack = Attack::new(AttackKind::NpeuVdVd, scheme, machine);
+        let trials = ctx.trials;
+        // Unit i samples secret 1 for i < trials, secret 0 after; both
+        // conditions reuse the same per-trial seed (paired noise draws).
+        let offsets = parallel_map(trials * 2, ctx.threads, |i| {
+            let secret = u64::from(i < trials);
+            attack.sample_event_offset(secret, mix_seed(ctx.seed, (i % trials) as u64))
+        });
+        let samples = InterferenceSamples {
+            with_gadget: offsets[..trials].iter().copied().flatten().collect(),
+            baseline: offsets[trials..].iter().copied().flatten().collect(),
+        };
+        if samples.with_gadget.is_empty() || samples.baseline.is_empty() {
+            return Err("a condition produced no decodable samples".to_owned());
+        }
+        let result = obj([
+            ("scheme", Json::from(crate::scheme_slug(scheme))),
+            ("attack", Json::from(AttackKind::NpeuVdVd.label())),
+            ("dram_jitter", Json::from(JITTER)),
+            ("bucket_cycles", Json::from(BUCKET)),
+            ("interference", samples_json(&samples.with_gadget, BUCKET)),
+            ("baseline", samples_json(&samples.baseline, BUCKET)),
+        ]);
+        let summary = obj([
+            ("separation_cycles", Json::from(samples.separation())),
+            ("mean_interference", Json::from(samples.mean_with())),
+            ("mean_baseline", Json::from(samples.mean_baseline())),
+            (
+                "samples_per_condition",
+                Json::from(samples.with_gadget.len().min(samples.baseline.len())),
+            ),
+        ]);
+        Ok((result, summary))
+    }
+}

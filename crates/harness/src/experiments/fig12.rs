@@ -1,0 +1,95 @@
+//! Figure 12 — normalized execution time of the §5.2 basic fence
+//! defense (Spectre and Futuristic models) per workload kernel.
+//!
+//! `--trials` scales the kernels: workload scale = `trials × 8`, clamped
+//! to `[16, 96]` (the default of 8 reproduces the seed binaries'
+//! scale 64). Workloads fan out across threads.
+
+use si_schemes::SchemeKind;
+use si_workloads::{slowdown, WorkloadKind};
+
+use crate::exec::parallel_map;
+use crate::json::{obj, Json};
+use crate::{Experiment, RunCtx};
+
+pub struct Fig12;
+
+const SCHEMES: [SchemeKind; 2] = [SchemeKind::FenceSpectre, SchemeKind::FenceFuturistic];
+
+/// Maps the trials knob to a workload scale.
+pub(crate) fn scale_of(trials: usize) -> usize {
+    (trials * 8).clamp(16, 96)
+}
+
+impl Experiment for Fig12 {
+    fn id(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn title(&self) -> &'static str {
+        "Basic-defense slowdown per workload, Spectre vs Futuristic (Figure 12)"
+    }
+
+    fn default_trials(&self) -> usize {
+        8
+    }
+
+    fn run(&self, ctx: &RunCtx) -> Result<(Json, Json), String> {
+        let machine = ctx.machine();
+        let scale = scale_of(ctx.trials);
+        let kinds = WorkloadKind::all();
+        let rows = parallel_map(kinds.len(), ctx.threads, |i| {
+            (kinds[i], slowdown(kinds[i], scale, &SCHEMES, &machine))
+        });
+        let mut geo = [0.0f64; 2];
+        let mut measured = 0usize;
+        let mut json_rows = Vec::new();
+        for (kind, row) in rows {
+            match row {
+                Ok(row) => {
+                    let entries: Vec<Json> = row
+                        .entries
+                        .iter()
+                        .map(|(scheme, cycles, slow)| {
+                            obj([
+                                ("scheme", Json::from(crate::scheme_slug(*scheme))),
+                                ("cycles", Json::from(*cycles)),
+                                ("slowdown", Json::from(*slow)),
+                            ])
+                        })
+                        .collect();
+                    geo[0] += row.entries[0].2.ln();
+                    geo[1] += row.entries[1].2.ln();
+                    measured += 1;
+                    json_rows.push(obj([
+                        ("workload", Json::from(kind.label())),
+                        ("baseline_cycles", Json::from(row.baseline_cycles)),
+                        ("entries", Json::Arr(entries)),
+                    ]));
+                }
+                Err(e) => json_rows.push(obj([
+                    ("workload", Json::from(kind.label())),
+                    ("error", Json::from(e.to_string())),
+                ])),
+            }
+        }
+        if measured == 0 {
+            return Err("every workload failed to run".to_owned());
+        }
+        let geomean = |sum_ln: f64| -> f64 { (sum_ln / measured as f64).exp() };
+        let result = obj([
+            ("scale", Json::from(scale)),
+            ("rows", Json::Arr(json_rows)),
+            (
+                "paper_reference",
+                Json::from("paper geomeans on SPEC2017/gem5: 1.58x (Spectre), 5.38x (Futuristic)"),
+            ),
+        ]);
+        let summary = obj([
+            ("workloads_measured", Json::from(measured)),
+            ("geomean_fence_spectre", Json::from(geomean(geo[0]))),
+            ("geomean_fence_futuristic", Json::from(geomean(geo[1]))),
+        ]);
+        Ok((result, summary))
+    }
+}

@@ -1,0 +1,53 @@
+//! Step zero of the attack (§4.2.2): identify the LLC replacement policy
+//! by black-box probing, as the paper did with nanoBench/CacheQuery.
+
+use si_cache::infer::{eviction_order, fingerprint, hit_refreshes, identify};
+use si_cache::{CacheConfig, PolicyKind};
+
+use crate::json::{arr, obj, Json};
+use crate::{Experiment, RunCtx};
+
+pub struct IdentifyPolicy;
+
+impl Experiment for IdentifyPolicy {
+    fn id(&self) -> &'static str {
+        "identify-policy"
+    }
+
+    fn title(&self) -> &'static str {
+        "Black-box LLC replacement-policy identification (§4.2.2)"
+    }
+
+    fn run(&self, ctx: &RunCtx) -> Result<(Json, Json), String> {
+        let llc = ctx.machine().hierarchy.llc;
+        // Probe a small-set instance of the same policy (CacheQuery
+        // likewise probes individual sets).
+        let probe_cfg = CacheConfig::new(4, llc.ways, llc.policy);
+        let order = eviction_order(probe_cfg);
+        let refreshes = hit_refreshes(probe_cfg);
+        let observed = fingerprint(probe_cfg);
+        let matches = identify(&observed, 4, llc.ways);
+        let expected_found = matches.contains(&PolicyKind::qlru_h11_m1_r0_u0());
+        let result = obj([
+            ("ways", Json::from(llc.ways)),
+            ("eviction_order_after_fill", arr(order)),
+            (
+                "hit_protection_by_position",
+                arr(refreshes.into_iter().map(Json::from).collect::<Vec<_>>()),
+            ),
+            ("fingerprint_sequences", Json::from(observed.len())),
+            (
+                "candidates",
+                arr(matches
+                    .iter()
+                    .map(|m| format!("{m:?}"))
+                    .collect::<Vec<String>>()),
+            ),
+        ]);
+        let summary = obj([
+            ("candidates", Json::from(matches.len())),
+            ("identifies_qlru_h11_m1_r0_u0", Json::from(expected_found)),
+        ]);
+        Ok((result, summary))
+    }
+}

@@ -1,0 +1,56 @@
+//! The experiment registry: every figure/table of the paper as an
+//! [`Experiment`](crate::Experiment), plus the shared trial drivers.
+
+mod ablation;
+mod e2e;
+mod fig06;
+mod fig07;
+mod fig08;
+mod fig11;
+mod fig12;
+mod identify;
+mod occupancy;
+mod table1;
+mod timelines;
+
+use si_core::attacks::{Attack, AttackKind};
+use si_cpu::{MachineConfig, TraceEvent};
+use si_schemes::SchemeKind;
+
+use crate::Experiment;
+
+/// All experiments, in presentation order (the `sia list` order).
+pub fn all() -> Vec<Box<dyn Experiment>> {
+    vec![
+        Box::new(timelines::fig03()),
+        Box::new(timelines::fig04()),
+        Box::new(timelines::fig05()),
+        Box::new(fig06::Fig06),
+        Box::new(fig07::Fig07),
+        Box::new(fig08::Fig08),
+        Box::new(e2e::fig09()),
+        Box::new(e2e::fig10()),
+        Box::new(fig11::Fig11),
+        Box::new(fig12::Fig12),
+        Box::new(table1::Table1),
+        Box::new(ablation::Ablation),
+        Box::new(identify::IdentifyPolicy),
+        Box::new(occupancy::Occupancy),
+    ]
+}
+
+/// Runs one noise-free attack trial with pipeline tracing enabled and
+/// returns the victim core's trace — the raw material for the timeline
+/// figures (moved here from `si_core::experiments`).
+pub fn traced_trial(
+    kind: AttackKind,
+    scheme: SchemeKind,
+    machine: &MachineConfig,
+    secret: u64,
+) -> Vec<(u64, TraceEvent)> {
+    let mut cfg = machine.clone();
+    cfg.noise.dram_jitter = 0;
+    cfg.noise.background_period = 0;
+    let attack = Attack::new(kind, scheme, cfg);
+    attack.run_traced(secret)
+}

@@ -1,0 +1,93 @@
+//! Table 1 — the invisible-speculation vulnerability matrix, every
+//! (scheme × attack) cell run in parallel, plus the §5 defense check.
+
+use si_core::attacks::AttackKind;
+use si_core::matrix::{render_matrix, run_cell, MatrixCell};
+use si_schemes::SchemeKind;
+
+use crate::exec::parallel_map;
+use crate::json::{obj, Json};
+use crate::{Experiment, RunCtx};
+
+pub struct Table1;
+
+const DEFENSES: [SchemeKind; 3] = [
+    SchemeKind::FenceSpectre,
+    SchemeKind::FenceFuturistic,
+    SchemeKind::Advanced,
+];
+
+fn cells_json(cells: &[MatrixCell]) -> Vec<Json> {
+    cells
+        .iter()
+        .map(|c| {
+            obj([
+                ("scheme", Json::from(crate::scheme_slug(c.scheme))),
+                ("attack", Json::from(c.attack.label())),
+                ("leaks", Json::from(c.leaks)),
+                ("decoded_secret0", Json::from(c.decoded[0])),
+                ("decoded_secret1", Json::from(c.decoded[1])),
+            ])
+        })
+        .collect()
+}
+
+impl Experiment for Table1 {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Invisible-speculation vulnerability matrix + defense check (Table 1)"
+    }
+
+    fn run(&self, ctx: &RunCtx) -> Result<(Json, Json), String> {
+        let machine = ctx.machine();
+        let schemes = SchemeKind::invisible_schemes();
+        let attacks = AttackKind::interference_attacks();
+        // One unit per (scheme, attack) cell, defenses included.
+        let mut pairs: Vec<(SchemeKind, AttackKind)> = Vec::new();
+        for s in schemes.iter().chain(DEFENSES.iter()) {
+            for a in &attacks {
+                pairs.push((*s, *a));
+            }
+        }
+        let cells = parallel_map(pairs.len(), ctx.threads, |i| {
+            let (scheme, attack) = pairs[i];
+            run_cell(scheme, attack, &machine)
+        });
+        let matrix_cells: Vec<MatrixCell> = cells
+            .iter()
+            .filter(|c| schemes.contains(&c.scheme))
+            .copied()
+            .collect();
+        let defense_cells: Vec<MatrixCell> = cells
+            .iter()
+            .filter(|c| DEFENSES.contains(&c.scheme))
+            .copied()
+            .collect();
+        let vulnerable = matrix_cells.iter().filter(|c| c.leaks).count();
+        let every_scheme_vulnerable = schemes
+            .iter()
+            .all(|s| matrix_cells.iter().any(|c| c.scheme == *s && c.leaks));
+        let defense_leaks = defense_cells.iter().filter(|c| c.leaks).count();
+        let result = obj([
+            ("matrix", Json::Arr(cells_json(&matrix_cells))),
+            ("defense_check", Json::Arr(cells_json(&defense_cells))),
+            (
+                "rendered",
+                Json::from(render_matrix(&matrix_cells, &schemes, &attacks)),
+            ),
+        ]);
+        let summary = obj([
+            ("vulnerable_cells", Json::from(vulnerable)),
+            ("total_cells", Json::from(matrix_cells.len())),
+            (
+                "every_scheme_vulnerable",
+                Json::from(every_scheme_vulnerable),
+            ),
+            ("defense_leaking_cells", Json::from(defense_leaks)),
+        ]);
+        Ok((result, summary))
+    }
+}

@@ -1,0 +1,130 @@
+//! Summary statistics shared by the experiments' reporting — the
+//! harness-side home of what used to live in `si_core::experiments`.
+
+use crate::json::{arr, obj, Json};
+
+/// Mean of integer samples (0.0 for an empty slice).
+pub fn mean(v: &[u64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<u64>() as f64 / v.len() as f64
+}
+
+/// Population standard deviation (0.0 for fewer than two samples).
+pub fn stddev(v: &[u64]) -> f64 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v);
+    let var = v.iter().map(|s| (*s as f64 - m).powi(2)).sum::<f64>() / v.len() as f64;
+    var.sqrt()
+}
+
+/// Buckets samples into a histogram: `(bucket_start, count)` rows
+/// covering the sample range contiguously.
+pub fn histogram(samples: &[u64], bucket: u64) -> Vec<(u64, usize)> {
+    assert!(bucket > 0);
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let lo = samples.iter().min().copied().unwrap_or(0) / bucket * bucket;
+    let hi = samples.iter().max().copied().unwrap_or(0) / bucket * bucket;
+    let mut rows = Vec::new();
+    let mut start = lo;
+    while start <= hi {
+        let count = samples
+            .iter()
+            .filter(|s| **s >= start && **s < start + bucket)
+            .count();
+        rows.push((start, count));
+        start += bucket;
+    }
+    rows
+}
+
+/// Samples from the two conditions of an interference experiment: the
+/// target's completion time with the gadget active versus at baseline
+/// (Figure 7's two histogram modes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterferenceSamples {
+    /// Target latency samples with the gadget active (secret = 1).
+    pub with_gadget: Vec<u64>,
+    /// Target latency samples without interference (secret = 0).
+    pub baseline: Vec<u64>,
+}
+
+impl InterferenceSamples {
+    /// Mean of the gadget-active samples.
+    pub fn mean_with(&self) -> f64 {
+        mean(&self.with_gadget)
+    }
+
+    /// Mean of the baseline samples.
+    pub fn mean_baseline(&self) -> f64 {
+        mean(&self.baseline)
+    }
+
+    /// The mean interference delay (the paper reports ~80 cycles of
+    /// separation on its hardware; the simulator's separation depends on
+    /// the configured gadget depth).
+    pub fn separation(&self) -> f64 {
+        self.mean_with() - self.mean_baseline()
+    }
+}
+
+/// Serializes one sample set with its summary stats and histogram.
+pub fn samples_json(samples: &[u64], bucket: u64) -> Json {
+    obj([
+        ("n", Json::from(samples.len())),
+        ("mean", Json::from(mean(samples))),
+        ("stddev", Json::from(stddev(samples))),
+        ("samples", arr(samples.to_vec())),
+        (
+            "histogram",
+            Json::Arr(
+                histogram(samples, bucket)
+                    .into_iter()
+                    .map(|(start, count)| {
+                        obj([
+                            ("bucket_start", Json::from(start)),
+                            ("count", Json::from(count)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_the_range() {
+        let rows = histogram(&[10, 12, 19, 30], 10);
+        assert_eq!(rows, vec![(10, 3), (20, 0), (30, 1)]);
+    }
+
+    #[test]
+    fn histogram_handles_empty_input() {
+        assert!(histogram(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn interference_sample_stats() {
+        let s = InterferenceSamples {
+            with_gadget: vec![150, 160],
+            baseline: vec![100, 110],
+        };
+        assert!((s.mean_with() - 155.0).abs() < 1e-9);
+        assert!((s.separation() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stddev_of_constant_samples_is_zero() {
+        assert_eq!(stddev(&[5, 5, 5, 5]), 0.0);
+        assert!(stddev(&[1, 3]) > 0.9);
+    }
+}

@@ -264,7 +264,11 @@ impl fmt::Display for Instruction {
             | Opcode::Shr
             | Opcode::Mul
             | Opcode::Div => {
-                write!(f, "{} {}, {}, {}", self.opcode, self.dst, self.src1, self.src2)
+                write!(
+                    f,
+                    "{} {}, {}, {}",
+                    self.opcode, self.dst, self.src1, self.src2
+                )
             }
             Opcode::AddImm => write!(f, "addi {}, {}, {}", self.dst, self.src1, self.imm),
             Opcode::Sqrt => write!(f, "sqrt {}, {}", self.dst, self.src1),
@@ -316,7 +320,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Instruction::load(R3, R1, 16).to_string(), "ld r3, [r1 + 16]");
+        assert_eq!(
+            Instruction::load(R3, R1, 16).to_string(),
+            "ld r3, [r1 + 16]"
+        );
         assert_eq!(Instruction::store(R2, R1, 0).to_string(), "st r2, [r1 + 0]");
         assert_eq!(
             Instruction::branch(BranchCond::Ltu, R1, R2, 0x40).to_string(),

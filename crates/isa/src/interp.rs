@@ -371,6 +371,4 @@ mod tests {
         it.run(10).unwrap();
         assert_eq!(it.reg(R2), 100); // divide by max(0,1) = 1
     }
-
-
 }

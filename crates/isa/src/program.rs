@@ -165,7 +165,10 @@ impl ProgramBuilder {
     ///
     /// Panics if `addr` is not [`INSTR_BYTES`]-aligned.
     pub fn org(&mut self, addr: u64) {
-        assert!(addr.is_multiple_of(INSTR_BYTES), "org target must be aligned");
+        assert!(
+            addr.is_multiple_of(INSTR_BYTES),
+            "org target must be aligned"
+        );
         self.cursor = addr;
     }
 

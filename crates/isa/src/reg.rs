@@ -22,7 +22,9 @@ pub const NUM_REGS: usize = 32;
 /// assert_eq!(Reg::new(5), Some(R5));
 /// assert_eq!(Reg::new(99), None);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct Reg(u8);
 
 impl Reg {

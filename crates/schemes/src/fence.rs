@@ -96,7 +96,10 @@ mod tests {
 
     #[test]
     fn names_reflect_model() {
-        assert_eq!(FenceDefense::new(ShadowModel::Spectre).name(), "Fence-Spectre");
+        assert_eq!(
+            FenceDefense::new(ShadowModel::Spectre).name(),
+            "Fence-Spectre"
+        );
         assert_eq!(
             FenceDefense::new(ShadowModel::Futuristic).name(),
             "Fence-Futuristic"

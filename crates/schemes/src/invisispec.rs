@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn names_distinguish_modes() {
-        assert_eq!(InvisiSpec::new(ShadowModel::Spectre).name(), "InvisiSpec-Spectre");
+        assert_eq!(
+            InvisiSpec::new(ShadowModel::Spectre).name(),
+            "InvisiSpec-Spectre"
+        );
         assert_eq!(
             InvisiSpec::new(ShadowModel::Futuristic).name(),
             "InvisiSpec-Futuristic"

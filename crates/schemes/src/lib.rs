@@ -157,7 +157,9 @@ impl SchemeKind {
             SchemeKind::CleanupSpec => Box::new(CleanupSpec::new()),
             SchemeKind::FenceSpectre => Box::new(FenceDefense::new(ShadowModel::Spectre)),
             SchemeKind::FenceFuturistic => Box::new(FenceDefense::new(ShadowModel::Futuristic)),
-            SchemeKind::Advanced => Box::new(AdvancedDefense::new(ShadowModel::Spectre, true, true)),
+            SchemeKind::Advanced => {
+                Box::new(AdvancedDefense::new(ShadowModel::Spectre, true, true))
+            }
             SchemeKind::AdvancedHoldOnly => {
                 Box::new(AdvancedDefense::new(ShadowModel::Spectre, true, false))
             }

@@ -80,6 +80,9 @@ mod tests {
     #[test]
     fn names_reflect_wait_mode() {
         assert_eq!(SafeSpec::new(ShadowModel::Spectre).name(), "SafeSpec-WFB");
-        assert_eq!(SafeSpec::new(ShadowModel::Futuristic).name(), "SafeSpec-WFC");
+        assert_eq!(
+            SafeSpec::new(ShadowModel::Futuristic).name(),
+            "SafeSpec-WFC"
+        );
     }
 }

@@ -27,8 +27,7 @@ impl ShadowModel {
         match self {
             ShadowModel::Spectre => view.spectre_safe(pos),
             ShadowModel::NonTso => {
-                view.spectre_safe(pos)
-                    && (0..pos).all(|i| !view.flags(i).store_addr_unknown)
+                view.spectre_safe(pos) && (0..pos).all(|i| !view.flags(i).store_addr_unknown)
             }
             ShadowModel::Futuristic => view.futuristic_safe(pos),
         }
@@ -86,7 +85,11 @@ mod tests {
         let mut f = vec![flags(0), flags(1)];
         f[0].unresolved_branch = true;
         let v = SafetyView::new(f);
-        for m in [ShadowModel::Spectre, ShadowModel::NonTso, ShadowModel::Futuristic] {
+        for m in [
+            ShadowModel::Spectre,
+            ShadowModel::NonTso,
+            ShadowModel::Futuristic,
+        ] {
             assert!(!m.is_safe(&v, 1), "{m:?}");
             assert!(m.is_safe(&v, 0), "{m:?} head");
         }

@@ -390,7 +390,10 @@ impl std::fmt::Display for WorkloadError {
         match self {
             WorkloadError::Timeout(c) => write!(f, "kernel did not halt within {c} cycles"),
             WorkloadError::ChecksumMismatch { got, expected } => {
-                write!(f, "checksum mismatch: pipeline {got:#x}, reference {expected:#x}")
+                write!(
+                    f,
+                    "checksum mismatch: pipeline {got:#x}, reference {expected:#x}"
+                )
             }
         }
     }
@@ -532,7 +535,11 @@ mod tests {
             &cfg(),
         )
         .unwrap();
-        assert!(row.entries[0].2 > 1.1, "fence cost visible: {:?}", row.entries[0].2);
+        assert!(
+            row.entries[0].2 > 1.1,
+            "fence cost visible: {:?}",
+            row.entries[0].2
+        );
     }
 
     #[test]

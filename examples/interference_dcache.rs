@@ -22,7 +22,11 @@ use speculative_interference::schemes::SchemeKind;
 fn main() {
     let secret_byte: u8 = 0b1011_0010;
     println!("leaking secret byte {secret_byte:#010b} bit by bit under DoM...\n");
-    let attack = Attack::new(AttackKind::NpeuVdVd, SchemeKind::DomSpectre, MachineConfig::default());
+    let attack = Attack::new(
+        AttackKind::NpeuVdVd,
+        SchemeKind::DomSpectre,
+        MachineConfig::default(),
+    );
     let mut recovered: u8 = 0;
     let mut total_cycles = 0u64;
     for bit in 0..8 {
@@ -37,7 +41,10 @@ fn main() {
         );
     }
     println!("\nrecovered byte: {recovered:#010b}");
-    assert_eq!(recovered, secret_byte, "all bits must decode under zero noise");
+    assert_eq!(
+        recovered, secret_byte,
+        "all bits must decode under zero noise"
+    );
     let seconds = total_cycles as f64 / 3.6e9;
     println!(
         "{} simulated cycles total ({:.1} us at 3.6 GHz, {:.0} bits/s)",

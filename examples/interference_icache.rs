@@ -20,7 +20,11 @@ use speculative_interference::schemes::SchemeKind;
 fn main() {
     let secret_byte: u8 = 0b0110_1001;
     println!("leaking secret byte {secret_byte:#010b} through the I-cache under DoM...\n");
-    let attack = Attack::new(AttackKind::IrsICache, SchemeKind::DomSpectre, MachineConfig::default());
+    let attack = Attack::new(
+        AttackKind::IrsICache,
+        SchemeKind::DomSpectre,
+        MachineConfig::default(),
+    );
     let mut recovered: u8 = 0;
     for bit in 0..8 {
         let secret = u64::from((secret_byte >> bit) & 1);
@@ -29,7 +33,11 @@ fn main() {
         recovered |= (decoded as u8) << bit;
         println!(
             "bit {bit}: sent {secret} -> received {decoded}  (target line {})",
-            if decoded == 0 { "fetched" } else { "never fetched" }
+            if decoded == 0 {
+                "fetched"
+            } else {
+                "never fetched"
+            }
         );
     }
     println!("\nrecovered byte: {recovered:#010b}");

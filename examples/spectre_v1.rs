@@ -18,7 +18,10 @@ use speculative_interference::schemes::SchemeKind;
 
 fn main() {
     println!("Spectre v1 transient cache-fill channel, cross-core Flush+Reload receiver\n");
-    println!("{:<24} {:>10} {:>10} {:>10}", "scheme", "secret=0", "secret=1", "verdict");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10}",
+        "scheme", "secret=0", "secret=1", "verdict"
+    );
     for scheme in [
         SchemeKind::Unprotected,
         SchemeKind::DomSpectre,

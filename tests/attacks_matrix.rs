@@ -130,7 +130,11 @@ fn every_invisible_scheme_falls_to_at_least_one_attack() {
         let any = AttackKind::interference_attacks()
             .into_iter()
             .any(|a| leaks(scheme, a));
-        assert!(any, "{} must fall to some interference attack", scheme.label());
+        assert!(
+            any,
+            "{} must fall to some interference attack",
+            scheme.label()
+        );
     }
 }
 

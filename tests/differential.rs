@@ -132,7 +132,8 @@ fn run_both(program: &Program, scheme: SchemeKind) -> (u64, u64) {
     reference.run(4_000_000).expect("reference terminates");
     let mut m = Machine::new(MachineConfig::default());
     m.load_program_with_scheme(0, program, scheme.build());
-    m.run_core_to_halt(0, 4_000_000).expect("pipeline terminates");
+    m.run_core_to_halt(0, 4_000_000)
+        .expect("pipeline terminates");
     (reference.reg(R31), m.core(0).reg(R31))
 }
 
@@ -217,5 +218,3 @@ fn every_scheme_computes_a_fixed_program_identically() {
         assert_eq!(m.core(0).reg(R0), 0);
     }
 }
-
-

@@ -69,7 +69,10 @@ fn order_receiver_decodes_under_fifo_too() {
     let mut cfg = MachineConfig::default();
     cfg.hierarchy.llc = CacheConfig::new(1024, 16, PolicyKind::Fifo);
     let attack = Attack::new(AttackKind::NpeuVdVd, SchemeKind::DomSpectre, cfg);
-    assert!(leaks(&attack), "FIFO insertion order still encodes the pair order");
+    assert!(
+        leaks(&attack),
+        "FIFO insertion order still encodes the pair order"
+    );
 }
 
 // The exact-LRU case (the paper's "textbook" §3.3 example) needs the

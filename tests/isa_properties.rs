@@ -35,8 +35,12 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         (r(), r(), any::<i32>()).prop_map(|(d, a, i)| Instruction::add_imm(d, a, i64::from(i))),
         (r(), r(), any::<i32>()).prop_map(|(d, a, i)| Instruction::load(d, a, i64::from(i))),
         (r(), r(), any::<i32>()).prop_map(|(s, a, i)| Instruction::store(s, a, i64::from(i))),
-        (arb_cond(), r(), r(), 0u32..0x7fff_ffff)
-            .prop_map(|(c, a, b, t)| Instruction::branch(c, a, b, u64::from(t) & !7)),
+        (arb_cond(), r(), r(), 0u32..0x7fff_ffff).prop_map(|(c, a, b, t)| Instruction::branch(
+            c,
+            a,
+            b,
+            u64::from(t) & !7
+        )),
         (0u32..0x7fff_ffff).prop_map(|t| Instruction::jump(u64::from(t) & !7)),
         (r(), any::<i32>()).prop_map(|(a, i)| Instruction::flush(a, i64::from(i))),
         Just(Instruction::fence()),

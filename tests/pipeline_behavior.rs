@@ -47,7 +47,11 @@ fn loads_wait_for_unknown_older_store_addresses() {
     asm.load(R3, R1, 0); // same address, issued early in program order
     asm.halt();
     let m = run(&asm.assemble().unwrap(), SchemeKind::Unprotected);
-    assert_eq!(m.core(0).reg(R3), 99, "load must not bypass the older store");
+    assert_eq!(
+        m.core(0).reg(R3),
+        99,
+        "load must not bypass the older store"
+    );
 }
 
 fn si_isa_r0() -> speculative_interference::isa::Reg {
@@ -157,8 +161,7 @@ fn invisispec_loads_execute_invisibly_then_expose() {
 }
 
 #[test]
-fn squashed_transient_fills_are_invisible_under_invisispec_but_not_baseline()
-{
+fn squashed_transient_fills_are_invisible_under_invisispec_but_not_baseline() {
     // Mis-train a branch so a transient load runs and squashes; compare
     // the line's residency afterwards.
     let build = || {
@@ -171,7 +174,7 @@ fn squashed_transient_fills_are_invisible_under_invisispec_but_not_baseline()
         let body = asm.label("body");
         let join = asm.label("join");
         asm.load(R3, R1, 0); // bound (cached after first round)
-        // slow the comparison so the transient window is wide
+                             // slow the comparison so the transient window is wide
         asm.mov_imm(R4, 9);
         for _ in 0..6 {
             asm.mul(R4, R4, R4);
@@ -233,16 +236,36 @@ fn agent_timed_access_distinguishes_every_hierarchy_level() {
     let mut m = Machine::new(MachineConfig::default());
     let lat = m.config().hierarchy.latency;
     // Memory level.
-    let r = m.run_op(AgentOp::TimedAccess { core: 0, addr: 0xA000 }).unwrap();
+    let r = m
+        .run_op(AgentOp::TimedAccess {
+            core: 0,
+            addr: 0xA000,
+        })
+        .unwrap();
     assert_eq!((r.level, r.latency), (HitLevel::Memory, lat.dram));
     // L1 after the fill.
-    let r = m.run_op(AgentOp::TimedAccess { core: 0, addr: 0xA000 }).unwrap();
+    let r = m
+        .run_op(AgentOp::TimedAccess {
+            core: 0,
+            addr: 0xA000,
+        })
+        .unwrap();
     assert_eq!((r.level, r.latency), (HitLevel::L1, lat.l1));
     // LLC from the other core.
-    let r = m.run_op(AgentOp::TimedAccess { core: 1, addr: 0xA000 }).unwrap();
+    let r = m
+        .run_op(AgentOp::TimedAccess {
+            core: 1,
+            addr: 0xA000,
+        })
+        .unwrap();
     assert_eq!((r.level, r.latency), (HitLevel::Llc, lat.llc));
     // L1 again after its private fill, then flush -> Memory.
     m.run_op(AgentOp::Flush(0xA000));
-    let r = m.run_op(AgentOp::TimedAccess { core: 1, addr: 0xA000 }).unwrap();
+    let r = m
+        .run_op(AgentOp::TimedAccess {
+            core: 1,
+            addr: 0xA000,
+        })
+        .unwrap();
     assert_eq!(r.level, HitLevel::Memory);
 }

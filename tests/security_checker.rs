@@ -152,11 +152,7 @@ fn dom_pattern_is_secret_dependent() {
         let mut m = Machine::new(MachineConfig::default());
         m.load_program_with_scheme(0, &program, SchemeKind::DomSpectre.build());
         interference_driver(layout)(&mut m).expect("runs");
-        speculative_interference::attacks::llc_pattern(
-            &m.take_llc_log(),
-            PatternMode::DataOnly,
-            0,
-        )
+        speculative_interference::attacks::llc_pattern(&m.take_llc_log(), PatternMode::DataOnly, 0)
     };
     assert_ne!(collect(0), collect(1));
 }
