@@ -179,11 +179,15 @@ impl Hierarchy {
         });
     }
 
+    /// Removes an LLC eviction victim from every private cache. Counted as
+    /// `back_invalidations` (not `evictions`) in the private caches — the
+    /// eviction happened at the LLC, the private copies are inclusion
+    /// victims.
     fn back_invalidate(&mut self, line: u64) {
         for c in &mut self.cores {
-            c.l1i.invalidate(line);
-            c.l1d.invalidate(line);
-            c.l2.invalidate(line);
+            c.l1i.back_invalidate(line);
+            c.l1d.back_invalidate(line);
+            c.l2.back_invalidate(line);
         }
     }
 
@@ -336,9 +340,15 @@ impl Hierarchy {
 
     /// Evicts the line containing `addr` from every cache in the system
     /// (`clflush` analog; coherence-global like the real instruction).
+    /// Counted as plain `invalidations` everywhere — a flush is not an
+    /// inclusion back-invalidation.
     pub fn flush_addr(&mut self, addr: u64) {
         let line = line_of(addr);
-        self.back_invalidate(line);
+        for c in &mut self.cores {
+            c.l1i.invalidate(line);
+            c.l1d.invalidate(line);
+            c.l2.invalidate(line);
+        }
         self.llc.invalidate(line);
     }
 
@@ -346,11 +356,13 @@ impl Hierarchy {
     /// buffer walk would. The attacker agent uses this between prime
     /// rounds so that its eviction-set accesses reach the LLC (see
     /// DESIGN.md: modeled capability replacing thousands of thrash loads).
+    ///
+    /// Implemented as a generation-stamped arena reset — called once per
+    /// prime round, so it must not reallocate.
     pub fn clear_private(&mut self, core: usize) {
-        let cfg = self.config.clone();
-        self.cores[core].l1i = SetAssocCache::new(&format!("core{core}.L1I"), cfg.l1i);
-        self.cores[core].l1d = SetAssocCache::new(&format!("core{core}.L1D"), cfg.l1d);
-        self.cores[core].l2 = SetAssocCache::new(&format!("core{core}.L2"), cfg.l2);
+        self.cores[core].l1i.reset();
+        self.cores[core].l1d.reset();
+        self.cores[core].l2.reset();
     }
 
     /// The visible-LLC access log accumulated so far (`C(E)` of §5.1).

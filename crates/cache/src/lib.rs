@@ -34,6 +34,7 @@ pub mod evset;
 mod hierarchy;
 pub mod infer;
 mod mshr;
+pub mod reference;
 pub mod replacement;
 mod stats;
 

@@ -46,6 +46,9 @@ struct Entry {
 pub struct MshrFile {
     capacity: usize,
     entries: Vec<Option<Entry>>,
+    /// Live-entry count, maintained by allocate/drain/reset so the
+    /// per-cycle `is_full`/`in_flight` queries never rescan the file.
+    live: usize,
     high_water: usize,
 }
 
@@ -71,16 +74,22 @@ impl MshrFile {
         MshrFile {
             capacity,
             entries: vec![None; capacity],
+            live: 0,
             high_water: 0,
         }
     }
 
-    /// Number of entries currently in flight.
+    /// Number of entries currently in flight (O(1)).
     pub fn in_flight(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        debug_assert_eq!(
+            self.live,
+            self.entries.iter().filter(|e| e.is_some()).count(),
+            "occupancy counter out of sync"
+        );
+        self.live
     }
 
-    /// Whether every entry is occupied.
+    /// Whether every entry is occupied (O(1)).
     pub fn is_full(&self) -> bool {
         self.in_flight() == self.capacity
     }
@@ -116,13 +125,21 @@ impl MshrFile {
             self.lookup(line).is_none(),
             "duplicate MSHR allocation for line {line:#x}"
         );
-        let slot = self.entries.iter().position(|e| e.is_none())?;
+        if self.live == self.capacity {
+            return None;
+        }
+        let slot = self
+            .entries
+            .iter()
+            .position(|e| e.is_none())
+            .expect("live < capacity implies a free slot");
         self.entries[slot] = Some(Entry {
             line,
             ready_at,
             targets: vec![token],
         });
-        self.high_water = self.high_water.max(self.in_flight());
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
         Some(MshrId(slot))
     }
 
@@ -148,20 +165,29 @@ impl MshrFile {
         self.entries[id.0].as_ref().expect("live MSHR").ready_at
     }
 
-    /// Releases every entry whose fill is ready at `now`, returning them.
+    /// Releases every entry whose fill is ready at `now`, returning them
+    /// **sorted by `(ready_at, slot)`** — coalesced wake-ups are delivered
+    /// oldest-fill-first rather than in slot-scan order, so a consumer that
+    /// processes completions in sequence observes age-ordered wake-ups.
     pub fn drain_ready(&mut self, now: u64) -> Vec<CompletedMiss> {
-        let mut done = Vec::new();
-        for e in &mut self.entries {
+        let mut done: Vec<(u64, usize, CompletedMiss)> = Vec::new();
+        for (slot, e) in self.entries.iter_mut().enumerate() {
             if e.as_ref().is_some_and(|e| e.ready_at <= now) {
                 let entry = e.take().expect("checked above");
-                done.push(CompletedMiss {
-                    line: entry.line,
-                    ready_at: entry.ready_at,
-                    targets: entry.targets,
-                });
+                self.live -= 1;
+                done.push((
+                    entry.ready_at,
+                    slot,
+                    CompletedMiss {
+                        line: entry.line,
+                        ready_at: entry.ready_at,
+                        targets: entry.targets,
+                    },
+                ));
             }
         }
-        done
+        done.sort_by_key(|(ready_at, slot, _)| (*ready_at, *slot));
+        done.into_iter().map(|(_, _, c)| c).collect()
     }
 
     /// Removes a target token from all entries (e.g. when the requesting
@@ -175,7 +201,8 @@ impl MshrFile {
 
     /// Clears the file (used between experiment trials).
     pub fn reset(&mut self) {
-        self.entries = vec![None; self.capacity];
+        self.entries.iter_mut().for_each(|e| *e = None);
+        self.live = 0;
         self.high_water = 0;
     }
 }
@@ -237,6 +264,38 @@ mod tests {
         assert!(m.is_full(), "entry persists until the fill returns");
         let done = m.drain_ready(100);
         assert!(done[0].targets.is_empty());
+    }
+
+    #[test]
+    fn drain_orders_by_ready_time_then_slot() {
+        let mut m = MshrFile::new(4);
+        // Slot order 0..3, ready times deliberately out of order.
+        m.allocate(10, 300, 0).unwrap();
+        m.allocate(20, 100, 1).unwrap();
+        m.allocate(30, 200, 2).unwrap();
+        m.allocate(40, 100, 3).unwrap();
+        let done = m.drain_ready(300);
+        let order: Vec<u64> = done.iter().map(|c| c.line).collect();
+        // (100, slot1)=20, (100, slot3)=40, (200, slot2)=30, (300, slot0)=10
+        assert_eq!(order, vec![20, 40, 30, 10]);
+    }
+
+    #[test]
+    fn occupancy_counter_tracks_alloc_and_drain() {
+        let mut m = MshrFile::new(3);
+        assert_eq!(m.in_flight(), 0);
+        m.allocate(10, 50, 0).unwrap();
+        m.allocate(20, 60, 1).unwrap();
+        assert_eq!(m.in_flight(), 2);
+        assert!(!m.is_full());
+        m.allocate(30, 70, 2).unwrap();
+        assert!(m.is_full());
+        m.drain_ready(55);
+        assert_eq!(m.in_flight(), 2);
+        m.drain_ready(100);
+        assert_eq!(m.in_flight(), 0);
+        m.reset();
+        assert_eq!(m.in_flight(), 0);
     }
 
     #[test]

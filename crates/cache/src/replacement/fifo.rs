@@ -25,19 +25,13 @@ impl Fifo {
 
 impl SetPolicy for Fifo {
     fn on_insert(&mut self, way: usize) {
-        self.clock += 1;
-        self.inserted[way] = self.clock;
+        super::lru::stamp_touch(&mut self.clock, &mut self.inserted[way]);
     }
 
     fn on_hit(&mut self, _way: usize) {}
 
     fn choose_victim(&mut self) -> usize {
-        self.inserted
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| **s)
-            .map(|(w, _)| w)
-            .expect("set has at least one way")
+        super::lru::oldest_way(&self.inserted)
     }
 
     fn on_invalidate(&mut self, way: usize) {
@@ -45,13 +39,7 @@ impl SetPolicy for Fifo {
     }
 
     fn state(&self) -> Vec<u8> {
-        let mut order: Vec<usize> = (0..self.inserted.len()).collect();
-        order.sort_by_key(|w| std::cmp::Reverse(self.inserted[*w]));
-        let mut rank = vec![0u8; self.inserted.len()];
-        for (r, w) in order.into_iter().enumerate() {
-            rank[w] = r as u8;
-        }
-        rank
+        super::lru::recency_rank(&self.inserted)
     }
 }
 

@@ -1,0 +1,247 @@
+//! Flat, enum-dispatched replacement state — the fast-path counterpart of
+//! the boxed [`SetPolicy`](super::SetPolicy) objects.
+//!
+//! One `FlatPolicy` instance carries the replacement metadata of **every**
+//! set of a cache in contiguous arrays (`[set * ways + way]` layout), and
+//! dispatches on a plain enum instead of a vtable. The per-policy update
+//! rules are shared with the trait implementations through the slice-level
+//! helpers in each policy module, so the two representations cannot drift;
+//! `tests/cache_equivalence.rs` checks the equivalence over random traces.
+
+use super::qlru::{self, promote_on_hit, EvictSelect, QlruParams};
+use super::{lru, plru, random, srrip, PolicyKind};
+
+/// Per-way/per-set replacement metadata for a whole cache, selected and
+/// dispatched by [`PolicyKind`].
+#[derive(Debug, Clone)]
+pub(crate) struct FlatPolicy {
+    ways: usize,
+    kind: FlatKind,
+}
+
+#[derive(Debug, Clone)]
+enum FlatKind {
+    /// Per-way stamp + per-set logical clock.
+    Lru { stamp: Vec<u64>, clock: Vec<u64> },
+    /// Per-way insertion stamp + per-set logical clock.
+    Fifo { inserted: Vec<u64>, clock: Vec<u64> },
+    /// Per-set xorshift64* state.
+    Random { state: Vec<u64> },
+    /// Per-set heap-layout direction bits (`ways` bits per set).
+    TreePlru { bits: Vec<bool> },
+    /// Per-way 2-bit re-reference prediction values.
+    Srrip { rrpv: Vec<u8> },
+    /// Per-way 2-bit QLRU ages plus the family parameters.
+    Qlru { params: QlruParams, age: Vec<u8> },
+}
+
+impl FlatPolicy {
+    /// Builds the metadata arena for `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as the boxed policy constructors
+    /// (tree-PLRU associativity, QLRU parameter validation).
+    pub(crate) fn new(kind: PolicyKind, sets: usize, ways: usize) -> FlatPolicy {
+        let n = sets * ways;
+        let kind = match kind {
+            PolicyKind::Lru => FlatKind::Lru {
+                stamp: vec![0; n],
+                clock: vec![0; sets],
+            },
+            PolicyKind::Fifo => FlatKind::Fifo {
+                inserted: vec![0; n],
+                clock: vec![0; sets],
+            },
+            PolicyKind::Random => FlatKind::Random {
+                state: (0..sets as u64).map(random::seed_state).collect(),
+            },
+            PolicyKind::TreePlru => {
+                plru::check_ways(ways);
+                FlatKind::TreePlru {
+                    bits: vec![false; n],
+                }
+            }
+            PolicyKind::Srrip => FlatKind::Srrip {
+                rrpv: vec![srrip::MAX_RRPV; n],
+            },
+            PolicyKind::Qlru(params) => {
+                params
+                    .validate()
+                    .unwrap_or_else(|e| panic!("invalid QLRU parameters: {e}"));
+                FlatKind::Qlru {
+                    params,
+                    age: vec![qlru::MAX_AGE; n],
+                }
+            }
+        };
+        FlatPolicy { ways, kind }
+    }
+
+    /// Restores every set to its as-constructed state (no reallocation).
+    pub(crate) fn reset(&mut self) {
+        match &mut self.kind {
+            FlatKind::Lru { stamp, clock } => {
+                stamp.fill(0);
+                clock.fill(0);
+            }
+            FlatKind::Fifo { inserted, clock } => {
+                inserted.fill(0);
+                clock.fill(0);
+            }
+            FlatKind::Random { state } => {
+                for (set, s) in state.iter_mut().enumerate() {
+                    *s = random::seed_state(set as u64);
+                }
+            }
+            FlatKind::TreePlru { bits } => bits.fill(false),
+            FlatKind::Srrip { rrpv } => rrpv.fill(srrip::MAX_RRPV),
+            FlatKind::Qlru { age, .. } => age.fill(qlru::MAX_AGE),
+        }
+    }
+
+    #[inline]
+    fn base(&self, set: usize) -> usize {
+        set * self.ways
+    }
+
+    /// Notes that a new line has been inserted into `way` of `set`.
+    #[inline]
+    pub(crate) fn on_insert(&mut self, set: usize, way: usize) {
+        let base = self.base(set);
+        match &mut self.kind {
+            FlatKind::Lru { stamp, clock } => {
+                lru::stamp_touch(&mut clock[set], &mut stamp[base + way]);
+            }
+            FlatKind::Fifo { inserted, clock } => {
+                lru::stamp_touch(&mut clock[set], &mut inserted[base + way]);
+            }
+            FlatKind::Random { .. } => {}
+            FlatKind::TreePlru { bits } => {
+                plru::point_away(&mut bits[base..base + self.ways], self.ways, way);
+            }
+            FlatKind::Srrip { rrpv } => rrpv[base + way] = srrip::INSERT_RRPV,
+            FlatKind::Qlru { params, age } => age[base + way] = params.insert_age,
+        }
+    }
+
+    /// Notes a hit on `way` of `set`.
+    #[inline]
+    pub(crate) fn on_hit(&mut self, set: usize, way: usize) {
+        let base = self.base(set);
+        match &mut self.kind {
+            FlatKind::Lru { stamp, clock } => {
+                lru::stamp_touch(&mut clock[set], &mut stamp[base + way]);
+            }
+            FlatKind::Fifo { .. } | FlatKind::Random { .. } => {}
+            FlatKind::TreePlru { bits } => {
+                plru::point_away(&mut bits[base..base + self.ways], self.ways, way);
+            }
+            FlatKind::Srrip { rrpv } => rrpv[base + way] = srrip::HIT_RRPV,
+            FlatKind::Qlru { params, age } => promote_on_hit(params, &mut age[base + way]),
+        }
+    }
+
+    /// Picks the victim way of `set` (call only when every way is valid;
+    /// may normalize ages on demand like the boxed policies).
+    pub(crate) fn choose_victim(&mut self, set: usize) -> usize {
+        let base = self.base(set);
+        match &mut self.kind {
+            FlatKind::Lru { stamp, .. } => lru::oldest_way(&stamp[base..base + self.ways]),
+            FlatKind::Fifo { inserted, .. } => lru::oldest_way(&inserted[base..base + self.ways]),
+            FlatKind::Random { state } => {
+                (random::next_draw(&mut state[set]) % self.ways as u64) as usize
+            }
+            FlatKind::TreePlru { bits } => {
+                plru::victim_way(&bits[base..base + self.ways], self.ways)
+            }
+            FlatKind::Srrip { rrpv } => srrip::victim_way(&mut rrpv[base..base + self.ways]),
+            FlatKind::Qlru { params, age } => {
+                qlru::victim_way(params, &mut age[base..base + self.ways])
+            }
+        }
+    }
+
+    /// Notes that `way` of `set` no longer holds a valid line.
+    #[inline]
+    pub(crate) fn on_invalidate(&mut self, set: usize, way: usize) {
+        let base = self.base(set);
+        match &mut self.kind {
+            FlatKind::Lru { stamp, .. } => stamp[base + way] = 0,
+            FlatKind::Fifo { inserted, .. } => inserted[base + way] = 0,
+            FlatKind::Random { .. } | FlatKind::TreePlru { .. } => {}
+            FlatKind::Srrip { rrpv } => rrpv[base + way] = srrip::MAX_RRPV,
+            FlatKind::Qlru { age, .. } => age[base + way] = qlru::MAX_AGE,
+        }
+    }
+
+    /// Whether this policy places fresh fills at the leftmost invalid way —
+    /// the fast path: the cache's tag scan already knows that way, so
+    /// [`choose_insert_way`](FlatPolicy::choose_insert_way) need not rescan.
+    pub(crate) fn places_leftmost(&self) -> bool {
+        match &self.kind {
+            FlatKind::TreePlru { .. } => false,
+            FlatKind::Qlru { params, .. } => params.evict == EvictSelect::Leftmost,
+            _ => true,
+        }
+    }
+
+    /// Picks the way a fresh fill should land in when `set` is not full;
+    /// `valid(w)` reports way validity. Mirrors
+    /// [`SetPolicy::choose_insert_way`](super::SetPolicy::choose_insert_way).
+    pub(crate) fn choose_insert_way<F: Fn(usize) -> bool>(
+        &self,
+        set: usize,
+        valid: F,
+    ) -> Option<usize> {
+        let base = self.base(set);
+        match &self.kind {
+            FlatKind::TreePlru { bits } => {
+                plru::insert_way(&bits[base..base + self.ways], self.ways, valid)
+            }
+            FlatKind::Qlru { params, .. } => match params.evict {
+                EvictSelect::Leftmost => (0..self.ways).find(|w| !valid(*w)),
+                EvictSelect::Rightmost => (0..self.ways).rev().find(|w| !valid(*w)),
+            },
+            _ => (0..self.ways).find(|w| !valid(*w)),
+        }
+    }
+
+    /// [`choose_insert_way`](FlatPolicy::choose_insert_way) answering from
+    /// a bitmask of invalid ways (bit `w` set iff way `w` is invalid;
+    /// requires `ways <= 64`). The cache's tag scan produces the mask for
+    /// free, making non-leftmost placement O(1)/O(log ways).
+    pub(crate) fn choose_insert_way_mask(&self, set: usize, invalid: u64) -> Option<usize> {
+        debug_assert!(self.ways <= 64);
+        if invalid == 0 {
+            return None;
+        }
+        let base = self.base(set);
+        match &self.kind {
+            FlatKind::TreePlru { bits } => {
+                plru::insert_way_mask(&bits[base..base + self.ways], self.ways, invalid)
+            }
+            FlatKind::Qlru { params, .. } if params.evict == EvictSelect::Rightmost => {
+                Some(63 - invalid.leading_zeros() as usize)
+            }
+            _ => Some(invalid.trailing_zeros() as usize),
+        }
+    }
+
+    /// One diagnostic byte per way of `set` (same encoding as
+    /// [`SetPolicy::state`](super::SetPolicy::state)).
+    pub(crate) fn state_of_set(&self, set: usize) -> Vec<u8> {
+        let base = self.base(set);
+        match &self.kind {
+            FlatKind::Lru { stamp, .. } => lru::recency_rank(&stamp[base..base + self.ways]),
+            FlatKind::Fifo { inserted, .. } => lru::recency_rank(&inserted[base..base + self.ways]),
+            FlatKind::Random { .. } => vec![0; self.ways],
+            FlatKind::TreePlru { bits } => {
+                let victim = plru::victim_way(&bits[base..base + self.ways], self.ways);
+                (0..self.ways).map(|w| u8::from(w == victim)).collect()
+            }
+            FlatKind::Srrip { rrpv } => rrpv[base..base + self.ways].to_vec(),
+            FlatKind::Qlru { age, .. } => age[base..base + self.ways].to_vec(),
+        }
+    }
+}

@@ -24,9 +24,39 @@ impl Lru {
     }
 
     fn touch(&mut self, way: usize) {
-        self.clock += 1;
-        self.stamp[way] = self.clock;
+        stamp_touch(&mut self.clock, &mut self.stamp[way]);
     }
+}
+
+/// Advances a logical clock and stamps a way with it — the recency/
+/// insertion-order update shared by LRU (touch) and FIFO (insert) in both
+/// the boxed and flat representations.
+pub(crate) fn stamp_touch(clock: &mut u64, stamp: &mut u64) {
+    *clock += 1;
+    *stamp = *clock;
+}
+
+/// Leftmost way holding the minimum stamp — shared by LRU and FIFO victim
+/// selection (and their flat-storage counterparts).
+pub(crate) fn oldest_way(stamps: &[u64]) -> usize {
+    let (way, _) = stamps
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| **s)
+        .expect("set has at least one way");
+    way
+}
+
+/// Recency rank per way (0 = most recently stamped) — the diagnostic
+/// `state()` encoding shared by LRU and FIFO.
+pub(crate) fn recency_rank(stamps: &[u64]) -> Vec<u8> {
+    let mut order: Vec<usize> = (0..stamps.len()).collect();
+    order.sort_by_key(|w| std::cmp::Reverse(stamps[*w]));
+    let mut rank = vec![0u8; stamps.len()];
+    for (r, w) in order.into_iter().enumerate() {
+        rank[w] = r as u8;
+    }
+    rank
 }
 
 impl SetPolicy for Lru {
@@ -39,13 +69,7 @@ impl SetPolicy for Lru {
     }
 
     fn choose_victim(&mut self) -> usize {
-        let (way, _) = self
-            .stamp
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| **s)
-            .expect("set has at least one way");
-        way
+        oldest_way(&self.stamp)
     }
 
     fn on_invalidate(&mut self, way: usize) {
@@ -54,13 +78,7 @@ impl SetPolicy for Lru {
 
     fn state(&self) -> Vec<u8> {
         // Report recency rank: 0 = most recently used.
-        let mut order: Vec<usize> = (0..self.stamp.len()).collect();
-        order.sort_by_key(|w| std::cmp::Reverse(self.stamp[*w]));
-        let mut rank = vec![0u8; self.stamp.len()];
-        for (r, w) in order.into_iter().enumerate() {
-            rank[w] = r as u8;
-        }
-        rank
+        recency_rank(&self.stamp)
     }
 }
 

@@ -23,6 +23,7 @@
 //! [`Qlru`]: qlru::Qlru
 
 pub mod fifo;
+pub(crate) mod flat;
 pub mod lru;
 pub mod plru;
 pub mod qlru;
@@ -60,6 +61,20 @@ pub trait SetPolicy: fmt::Debug {
     /// QLRU/SRRIP, recency rank for LRU, ...). Purely diagnostic; used by
     /// the Figure 8 reproduction to print replacement state.
     fn state(&self) -> Vec<u8>;
+
+    /// Picks the way a fresh fill should land in when the set is not full
+    /// (`valid[w]` says whether way `w` currently holds a line). Returns
+    /// `None` iff every way is valid.
+    ///
+    /// Placement of fills into empty ways is policy-defined, not a cache
+    /// property: QLRU's `R` sub-policy places at the leftmost (`R0`) or
+    /// rightmost (`R1`) invalid way, tree-PLRU follows its direction bits
+    /// toward an invalid way, and the recency/insertion policies fill the
+    /// lowest-index invalid way (the way their victim selection would pick
+    /// among the invalid ways). The default covers the latter group.
+    fn choose_insert_way(&self, valid: &[bool]) -> Option<usize> {
+        valid.iter().position(|v| !*v)
+    }
 }
 
 /// Which replacement policy a cache uses; the factory for [`SetPolicy`]

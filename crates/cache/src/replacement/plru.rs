@@ -15,6 +15,105 @@ pub struct Plru {
     bits: Vec<bool>,
 }
 
+/// Asserts the tree-PLRU associativity constraint.
+pub(crate) fn check_ways(ways: usize) {
+    assert!(
+        ways.is_power_of_two() && ways >= 2,
+        "tree-PLRU needs a power-of-two associativity >= 2"
+    );
+}
+
+/// Points the direction bits along the path to `way` away from it.
+/// `bits` is one set's heap-layout tree (node 1 is the root).
+pub(crate) fn point_away(bits: &mut [bool], ways: usize, way: usize) {
+    let mut node = 1usize;
+    let mut lo = 0usize;
+    let mut width = ways;
+    while width > 1 {
+        width /= 2;
+        let go_right = way >= lo + width;
+        // Point the bit away from the accessed half.
+        bits[node] = !go_right;
+        node = node * 2 + usize::from(go_right);
+        if go_right {
+            lo += width;
+        }
+    }
+}
+
+/// Follows the direction bits from the root to the victim way.
+pub(crate) fn victim_way(bits: &[bool], ways: usize) -> usize {
+    let mut node = 1usize;
+    let mut lo = 0usize;
+    let mut width = ways;
+    while width > 1 {
+        width /= 2;
+        let go_right = bits[node];
+        node = node * 2 + usize::from(go_right);
+        if go_right {
+            lo += width;
+        }
+    }
+    lo
+}
+
+/// [`insert_way`] answering subtree-vacancy queries from a bitmask of
+/// invalid ways (bit `w` set iff way `w` is invalid; `ways <= 64`).
+/// Exactly equivalent to the predicate version — checked by unit test.
+pub(crate) fn insert_way_mask(bits: &[bool], ways: usize, invalid: u64) -> Option<usize> {
+    debug_assert!(ways <= 64);
+    if invalid == 0 {
+        return None;
+    }
+    let range = |lo: usize, width: usize| (u64::MAX >> (64 - width as u32)) << lo;
+    let mut node = 1usize;
+    let mut lo = 0usize;
+    let mut width = ways;
+    while width > 1 {
+        width /= 2;
+        let pointed_lo = if bits[node] { lo + width } else { lo };
+        let other_lo = if bits[node] { lo } else { lo + width };
+        let next_lo = if invalid & range(pointed_lo, width) != 0 {
+            pointed_lo
+        } else {
+            other_lo
+        };
+        node = node * 2 + usize::from(next_lo != lo);
+        lo = next_lo;
+    }
+    Some(lo)
+}
+
+/// Tree-guided placement into an invalid way: descend from the root,
+/// following the pointed direction whenever that half contains an invalid
+/// way and crossing over otherwise. Returns `None` iff every way is valid.
+pub(crate) fn insert_way<F: Fn(usize) -> bool>(
+    bits: &[bool],
+    ways: usize,
+    valid: F,
+) -> Option<usize> {
+    let any_invalid = |lo: usize, width: usize| (lo..lo + width).any(|w| !valid(w));
+    if !any_invalid(0, ways) {
+        return None;
+    }
+    let mut node = 1usize;
+    let mut lo = 0usize;
+    let mut width = ways;
+    while width > 1 {
+        width /= 2;
+        let pointed_lo = if bits[node] { lo + width } else { lo };
+        let other_lo = if bits[node] { lo } else { lo + width };
+        let next_lo = if any_invalid(pointed_lo, width) {
+            pointed_lo
+        } else {
+            other_lo
+        };
+        node = node * 2 + usize::from(next_lo != lo);
+        lo = next_lo;
+    }
+    Some(lo)
+}
+
 impl Plru {
     /// Creates tree-PLRU state for a set with `ways` ways.
     ///
@@ -22,56 +121,25 @@ impl Plru {
     ///
     /// Panics if `ways` is not a power of two or is smaller than 2.
     pub fn new(ways: usize) -> Plru {
-        assert!(
-            ways.is_power_of_two() && ways >= 2,
-            "tree-PLRU needs a power-of-two associativity >= 2"
-        );
+        check_ways(ways);
         Plru {
             ways,
             bits: vec![false; ways],
-        }
-    }
-
-    fn point_away(&mut self, way: usize) {
-        let leaves = self.ways;
-        let mut node = 1usize;
-        let mut lo = 0usize;
-        let mut width = leaves;
-        while width > 1 {
-            width /= 2;
-            let go_right = way >= lo + width;
-            // Point the bit away from the accessed half.
-            self.bits[node] = !go_right;
-            node = node * 2 + usize::from(go_right);
-            if go_right {
-                lo += width;
-            }
         }
     }
 }
 
 impl SetPolicy for Plru {
     fn on_insert(&mut self, way: usize) {
-        self.point_away(way);
+        point_away(&mut self.bits, self.ways, way);
     }
 
     fn on_hit(&mut self, way: usize) {
-        self.point_away(way);
+        point_away(&mut self.bits, self.ways, way);
     }
 
     fn choose_victim(&mut self) -> usize {
-        let mut node = 1usize;
-        let mut lo = 0usize;
-        let mut width = self.ways;
-        while width > 1 {
-            width /= 2;
-            let go_right = self.bits[node];
-            node = node * 2 + usize::from(go_right);
-            if go_right {
-                lo += width;
-            }
-        }
-        lo
+        victim_way(&self.bits, self.ways)
     }
 
     fn on_invalidate(&mut self, _way: usize) {}
@@ -79,21 +147,12 @@ impl SetPolicy for Plru {
     fn state(&self) -> Vec<u8> {
         // Report, per way, whether the tree currently points toward it
         // (1 = candidate path).
-        let victim = {
-            let mut node = 1usize;
-            let mut lo = 0usize;
-            let mut width = self.ways;
-            while width > 1 {
-                width /= 2;
-                let go_right = self.bits[node];
-                node = node * 2 + usize::from(go_right);
-                if go_right {
-                    lo += width;
-                }
-            }
-            lo
-        };
+        let victim = victim_way(&self.bits, self.ways);
         (0..self.ways).map(|w| u8::from(w == victim)).collect()
+    }
+
+    fn choose_insert_way(&self, valid: &[bool]) -> Option<usize> {
+        insert_way(&self.bits, self.ways, |w| valid[w])
     }
 }
 
@@ -130,6 +189,27 @@ mod tests {
     #[should_panic(expected = "power-of-two")]
     fn non_power_of_two_rejected() {
         Plru::new(6);
+    }
+
+    #[test]
+    fn mask_and_predicate_insert_way_agree() {
+        // Exhaustive over all direction-bit settings and vacancy patterns
+        // for a 4-way tree; sampled for 8 ways.
+        for ways in [4usize, 8] {
+            let bit_patterns = 1u32 << ways; // more than the tree uses; fine
+            let mask_patterns = 1u64 << ways;
+            for bp in 0..bit_patterns.min(256) {
+                let bits: Vec<bool> = (0..ways).map(|i| bp & (1 << i) != 0).collect();
+                for invalid in 0..mask_patterns.min(256) {
+                    let via_mask = insert_way_mask(&bits, ways, invalid);
+                    let via_pred = insert_way(&bits, ways, |w| invalid & (1 << w) == 0);
+                    assert_eq!(
+                        via_mask, via_pred,
+                        "ways={ways} bits={bp:b} inv={invalid:b}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -20,7 +20,45 @@
 use super::SetPolicy;
 
 /// Maximum 2-bit age.
-const MAX_AGE: u8 = 3;
+pub(crate) const MAX_AGE: u8 = 3;
+
+/// Victim selection over one set's age slice per the `R`/`U` sub-policies:
+/// take the `R`-selected age-3 way, normalizing ages until one qualifies.
+pub(crate) fn victim_way(params: &QlruParams, age: &mut [u8]) -> usize {
+    loop {
+        let candidate = match params.evict {
+            EvictSelect::Leftmost => age.iter().position(|a| *a == MAX_AGE),
+            EvictSelect::Rightmost => age.iter().rposition(|a| *a == MAX_AGE),
+        };
+        if let Some(way) = candidate {
+            return way;
+        }
+        for a in age.iter_mut() {
+            *a = (*a + 1).min(MAX_AGE);
+        }
+        if let AgeUpdate::SingleRound = params.update {
+            // One aging round per victim request; if still no candidate
+            // the loop continues (bounded by MAX_AGE rounds), matching
+            // the observable behaviour of single-round aging under
+            // back-to-back misses.
+        }
+    }
+}
+
+/// The `H` sub-policy's hit promotion, applied to one line's age — shared
+/// by the boxed and flat representations.
+pub(crate) fn promote_on_hit(params: &QlruParams, age: &mut u8) {
+    *age = params.hit_promote[*age as usize];
+}
+
+/// Placement of a fresh fill into an invalid way, following the `R`
+/// sub-policy's scan direction. Returns `None` iff every way is valid.
+pub(crate) fn insert_way(params: &QlruParams, valid: &[bool]) -> Option<usize> {
+    match params.evict {
+        EvictSelect::Leftmost => valid.iter().position(|v| !*v),
+        EvictSelect::Rightmost => valid.iter().rposition(|v| !*v),
+    }
+}
 
 /// Victim-selection sub-policy (`R`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -135,13 +173,6 @@ impl Qlru {
     pub fn ages(&self) -> &[u8] {
         &self.age
     }
-
-    fn candidate(&self) -> Option<usize> {
-        match self.params.evict {
-            EvictSelect::Leftmost => self.age.iter().position(|a| *a == MAX_AGE),
-            EvictSelect::Rightmost => self.age.iter().rposition(|a| *a == MAX_AGE),
-        }
-    }
 }
 
 impl SetPolicy for Qlru {
@@ -150,24 +181,11 @@ impl SetPolicy for Qlru {
     }
 
     fn on_hit(&mut self, way: usize) {
-        self.age[way] = self.params.hit_promote[self.age[way] as usize];
+        promote_on_hit(&self.params, &mut self.age[way]);
     }
 
     fn choose_victim(&mut self) -> usize {
-        loop {
-            if let Some(way) = self.candidate() {
-                return way;
-            }
-            for a in &mut self.age {
-                *a = (*a + 1).min(MAX_AGE);
-            }
-            if let AgeUpdate::SingleRound = self.params.update {
-                // One aging round per victim request; if still no candidate
-                // the loop continues (bounded by MAX_AGE rounds), matching
-                // the observable behaviour of single-round aging under
-                // back-to-back misses.
-            }
-        }
+        victim_way(&self.params, &mut self.age)
     }
 
     fn on_invalidate(&mut self, way: usize) {
@@ -176,6 +194,10 @@ impl SetPolicy for Qlru {
 
     fn state(&self) -> Vec<u8> {
         self.age.clone()
+    }
+
+    fn choose_insert_way(&self, valid: &[bool]) -> Option<usize> {
+        insert_way(&self.params, valid)
     }
 }
 

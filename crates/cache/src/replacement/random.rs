@@ -14,24 +14,33 @@ pub struct Random {
     state: u64,
 }
 
+/// Initial xorshift state for a set seeded with `seed` (its set index).
+pub(crate) fn seed_state(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// Advances the xorshift64* state and returns the next draw.
+pub(crate) fn next_draw(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
 impl Random {
     /// Creates random-replacement state for a set; `seed` is normally the
     /// set index so distinct sets draw distinct sequences.
     pub fn new(ways: usize, seed: u64) -> Random {
         Random {
             ways,
-            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            state: seed_state(seed),
         }
     }
 
     fn next(&mut self) -> u64 {
-        // xorshift64*
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        next_draw(&mut self.state)
     }
 }
 

@@ -15,7 +15,26 @@ pub struct Srrip {
 }
 
 /// Maximum RRPV with a 2-bit field.
-const MAX_RRPV: u8 = 3;
+pub(crate) const MAX_RRPV: u8 = 3;
+
+/// RRPV assigned to a newly inserted line ("long re-reference").
+pub(crate) const INSERT_RRPV: u8 = 2;
+
+/// RRPV assigned on a hit ("near-immediate re-reference").
+pub(crate) const HIT_RRPV: u8 = 0;
+
+/// Victim selection over one set's RRPV slice: leftmost way at
+/// [`MAX_RRPV`], aging every way until one qualifies.
+pub(crate) fn victim_way(rrpv: &mut [u8]) -> usize {
+    loop {
+        if let Some(way) = rrpv.iter().position(|r| *r == MAX_RRPV) {
+            return way;
+        }
+        for r in rrpv.iter_mut() {
+            *r += 1;
+        }
+    }
+}
 
 impl Srrip {
     /// Creates SRRIP state for a set with `ways` ways.
@@ -28,22 +47,15 @@ impl Srrip {
 
 impl SetPolicy for Srrip {
     fn on_insert(&mut self, way: usize) {
-        self.rrpv[way] = 2;
+        self.rrpv[way] = INSERT_RRPV;
     }
 
     fn on_hit(&mut self, way: usize) {
-        self.rrpv[way] = 0;
+        self.rrpv[way] = HIT_RRPV;
     }
 
     fn choose_victim(&mut self) -> usize {
-        loop {
-            if let Some(way) = self.rrpv.iter().position(|r| *r == MAX_RRPV) {
-                return way;
-            }
-            for r in &mut self.rrpv {
-                *r += 1;
-            }
-        }
+        victim_way(&mut self.rrpv)
     }
 
     fn on_invalidate(&mut self, way: usize) {

@@ -3,16 +3,28 @@
 use std::fmt;
 
 /// Hit/miss/eviction counters for one cache.
+///
+/// The accounting rules are spelled out on [`crate::SetAssocCache`]'s
+/// module documentation (and tested there): `hits`/`misses` are counted by
+/// demand accesses only; fills and touches never double-count an access;
+/// `evictions` are capacity/conflict victims of **this** level, while
+/// inclusion victims count under `invalidations` + `back_invalidations`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,
     /// Accesses that missed.
     pub misses: u64,
-    /// Valid lines displaced by fills.
+    /// Valid lines displaced by fills at this level.
     pub evictions: u64,
     /// Lines removed by flush or back-invalidation.
     pub invalidations: u64,
+    /// Subset of `invalidations` caused by inclusive-LLC back-invalidation
+    /// (the containing LLC line was evicted).
+    pub back_invalidations: u64,
+    /// Deferred replacement updates applied to resident lines (the
+    /// Delay-on-Miss `touch` path); never counted as hits.
+    pub touch_updates: u64,
 }
 
 impl CacheStats {
@@ -36,12 +48,15 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit rate), {} evictions, {} invalidations",
+            "{} hits / {} misses ({:.1}% hit rate), {} evictions, \
+             {} invalidations ({} back-inval), {} touch updates",
             self.hits,
             self.misses,
             self.hit_rate() * 100.0,
             self.evictions,
-            self.invalidations
+            self.invalidations,
+            self.back_invalidations,
+            self.touch_updates
         )
     }
 }

@@ -41,12 +41,14 @@ pub fn run_rounds(
     let deadline = m.cycle() + max_cycles;
     let mut release_cycles = Vec::with_capacity(rounds);
     for round in 0..rounds {
-        // Wait for the victim to park.
+        // Wait for the victim to park. `advance` skips idle stretches
+        // exactly; memory (the signal) can only change inside ticked
+        // cycles, so polling between advances observes every transition.
         while m.memory().read_u64(layout.signal_addr) != 1 {
             if m.cycle() >= deadline || m.core(victim_core).halted() {
                 return Err(Timeout { cycles: m.cycle() });
             }
-            m.step();
+            m.advance(deadline);
         }
         on_round(m, round);
         // Release: write the flag and flush its line so the spin load
@@ -59,7 +61,7 @@ pub fn run_rounds(
             if m.cycle() >= deadline || m.core(victim_core).halted() {
                 return Err(Timeout { cycles: m.cycle() });
             }
-            m.step();
+            m.advance(deadline);
         }
     }
     // Let the final episode run to completion.
@@ -67,7 +69,7 @@ pub fn run_rounds(
         if m.cycle() >= deadline {
             return Err(Timeout { cycles: m.cycle() });
         }
-        m.step();
+        m.advance(deadline);
     }
     Ok(release_cycles)
 }

@@ -239,6 +239,11 @@ pub struct MachineConfig {
     pub hierarchy: HierarchyConfig,
     /// Optional noise injection.
     pub noise: NoiseConfig,
+    /// Debug/test knob: force [`Machine::advance`](crate::Machine::advance)
+    /// to tick cycle-by-cycle instead of skipping idle-cycle runs. Results
+    /// are bit-identical either way (the equivalence tests drive both
+    /// modes); skipping is only a wall-clock optimization.
+    pub disable_idle_skip: bool,
 }
 
 impl Default for MachineConfig {
@@ -247,6 +252,7 @@ impl Default for MachineConfig {
             core: CoreConfig::default(),
             hierarchy: HierarchyConfig::kaby_lake_like(2),
             noise: NoiseConfig::default(),
+            disable_idle_skip: false,
         }
     }
 }

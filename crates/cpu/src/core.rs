@@ -24,7 +24,7 @@ use si_isa::{isqrt, FuClass, Instruction, Opcode, Program, Reg, INSTR_BYTES, NUM
 
 use crate::config::CoreConfig;
 use crate::exec::{ExecPayload, ExecUnits, InFlight};
-use crate::frontend::{FetchOutcome, Frontend};
+use crate::frontend::{FetchOutcome, Frontend, FrontendQuiet};
 use crate::memory::Memory;
 use crate::predictor::BranchPredictor;
 use crate::rob::{fresh_rat, EntryState, Rat, RegTag, Rob, RobEntry};
@@ -85,6 +85,29 @@ pub struct Core {
     next_seq: u64,
     stats: CoreStats,
     trace: Trace,
+    /// Reused allocation for per-cycle [`SafetyView`] snapshots.
+    view_scratch: Vec<SafetyFlags>,
+    /// Reused allocation for the issue stage's ready-candidate list.
+    issue_scratch: Vec<(u64, FuClass)>,
+    /// Reused allocation for the completion sweep.
+    done_scratch: Vec<InFlight>,
+    /// Reused allocation for the safe-promotion sweep.
+    seq_scratch: Vec<u64>,
+}
+
+/// A proof that ticking the core would be a pure stall for every cycle in
+/// `[now, until)`, carrying the per-cycle stall accounting the skipped
+/// ticks would have performed. Produced by [`Core::quiet_plan`]; replayed
+/// exactly by [`Core::apply_quiet_cycles`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QuietPlan {
+    /// First cycle at which the core may act again (`u64::MAX` when only
+    /// external input could wake it).
+    pub(crate) until: u64,
+    icache_stall: bool,
+    queue_stall: bool,
+    rob_stall: bool,
+    rs_stall: bool,
 }
 
 impl Core {
@@ -126,6 +149,10 @@ impl Core {
             next_seq: 0,
             stats: CoreStats::default(),
             trace: Trace::new(),
+            view_scratch: Vec::new(),
+            issue_scratch: Vec::new(),
+            done_scratch: Vec::new(),
+            seq_scratch: Vec::new(),
             program,
             config,
         }
@@ -198,9 +225,10 @@ impl Core {
         if self.halted {
             return;
         }
-        let view = self.safety_view();
+        let view = self.make_view();
         self.issue(now, &view);
         self.process_loads(now, ctx, &view);
+        self.recycle_view(view);
         self.writeback(now);
         self.handle_squash(now, ctx);
         self.promote_safe(now, ctx);
@@ -209,15 +237,173 @@ impl Core {
     }
 
     // ------------------------------------------------------------------
+    // Idle-cycle skipping
+    // ------------------------------------------------------------------
+
+    /// Proves (conservatively) that ticking this core at `now` — and at
+    /// every later cycle before the returned plan's `until` — would be a
+    /// pure stall: no pipeline phase would mutate core, cache, or memory
+    /// state, and the only per-cycle effects are the stall counters and
+    /// stall trace events captured in the plan. Returns `None` whenever any
+    /// phase might act, in which case the machine must tick cycle-by-cycle.
+    ///
+    /// The proof works because a quiet core can only be re-activated by a
+    /// *timed* internal event (an execution-unit completion, a load
+    /// completion, or the end of an I-fetch stall) — everything else in the
+    /// pipeline is demand-driven off those events. `until` is the earliest
+    /// such event; the machine additionally bounds the skip by scheduled
+    /// agent ops and background-noise cycles, which are the only external
+    /// inputs.
+    pub(crate) fn quiet_plan(&self, now: u64) -> Option<QuietPlan> {
+        let mut plan = QuietPlan {
+            until: u64::MAX,
+            icache_stall: false,
+            queue_stall: false,
+            rob_stall: false,
+            rs_stall: false,
+        };
+        if self.halted {
+            return Some(plan); // a halted tick is a no-op, forever
+        }
+        // O(1) rejections first — on busy cycles this function runs once
+        // per cycle, so the common path must not rescan the ROB/RS.
+        //
+        // Phase 5 (writeback) acts on anything queued.
+        if !self.wb_queue.is_empty() {
+            return None;
+        }
+        // Phase 2 (retire) acts once the head is done.
+        if self.rob.head().is_some_and(|h| h.state == EntryState::Done) {
+            return None;
+        }
+        // Phase 9 (fetch): stopped is silent; stalls are replayable
+        // per-cycle counters (+ trace events); anything else fetches.
+        match self.frontend.quiet_state(now) {
+            FrontendQuiet::Stopped => {}
+            FrontendQuiet::Stalled => {
+                plan.icache_stall = true;
+                plan.until = plan.until.min(self.frontend.stall_deadline());
+            }
+            FrontendQuiet::QueueFull => plan.queue_stall = true,
+            FrontendQuiet::Active => return None,
+        }
+        // Phase 8 (dispatch): either nothing is queued, or the stall is a
+        // per-cycle counter we can replay.
+        if let Some(next) = self.frontend.peek() {
+            if self.rob.is_full() {
+                plan.rob_stall = true;
+            } else if next.instr.opcode.fu_class() != FuClass::None && self.rs.is_full() {
+                plan.rs_stall = true;
+            } else {
+                return None; // would dispatch
+            }
+        }
+        // Phase 1 (completions): due events force a tick; pending ones
+        // bound the skip.
+        if let Some(t) = self.exec.next_done_at() {
+            if t <= now {
+                return None;
+            }
+            plan.until = plan.until.min(t);
+        }
+        for c in &self.load_completions {
+            if c.done_at <= now {
+                return None;
+            }
+            plan.until = plan.until.min(c.done_at);
+        }
+        // Phase 3 (issue): any ready candidate may issue — or, under a
+        // defense, accrue per-cycle issue-stall counters — so tick.
+        if self.rs.iter().any(|e| !e.issued && e.ready()) {
+            return None;
+        }
+        // Phase 4 (LSU): non-delayed pending loads retry (and may count
+        // MSHR stalls) every cycle; delayed loads park silently.
+        for seq in &self.pending_loads {
+            if self.rob.get(*seq).is_some_and(|e| !e.delayed) {
+                return None;
+            }
+        }
+        // Phase 6 (squash) acts on any unhandled resolved mispredict.
+        if self
+            .rob
+            .iter()
+            .any(|e| e.mispredicted && e.resolved && !e.squash_handled)
+        {
+            return None;
+        }
+        // Phase 7 (safe promotion) acts iff a deferred load is safe now.
+        // Safety can only change through events (which bound the skip), so
+        // checking once covers the whole window.
+        if self
+            .rob
+            .iter()
+            .any(|e| e.delayed || e.pending_safe_action.is_some())
+        {
+            let view = self.safety_view();
+            for (pos, e) in self.rob.iter().enumerate() {
+                let actionable =
+                    e.delayed || (e.pending_safe_action.is_some() && e.state == EntryState::Done);
+                if actionable && self.scheme.is_safe(&view, pos) {
+                    return None;
+                }
+            }
+        }
+        debug_assert!(plan.until > now);
+        Some(plan)
+    }
+
+    /// Replays the per-cycle effects of `count` skipped quiet cycles
+    /// starting at `from`, exactly as `count` calls to [`Core::tick`]
+    /// would have under `plan`'s conditions.
+    pub(crate) fn apply_quiet_cycles(&mut self, from: u64, count: u64, plan: &QuietPlan) {
+        if self.halted || count == 0 {
+            return;
+        }
+        self.stats.cycles += count;
+        if plan.icache_stall {
+            self.stats.fetch_stall_icache += count;
+            if self.trace.enabled() {
+                for cycle in from..from + count {
+                    self.trace.record(
+                        cycle,
+                        TraceEvent::FetchStall {
+                            reason: crate::trace::StallReason::ICacheMiss,
+                        },
+                    );
+                }
+            }
+        } else if plan.queue_stall {
+            self.stats.fetch_stall_queue += count;
+            if self.trace.enabled() {
+                for cycle in from..from + count {
+                    self.trace.record(
+                        cycle,
+                        TraceEvent::FetchStall {
+                            reason: crate::trace::StallReason::QueueFull,
+                        },
+                    );
+                }
+            }
+        }
+        if plan.rob_stall {
+            self.stats.rob_full_stalls += count;
+        } else if plan.rs_stall {
+            self.stats.rs_full_stalls += count;
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Phase 1: completions
     // ------------------------------------------------------------------
 
     fn collect_completions(&mut self, now: u64) {
         let hold = self.scheme.holds_resources_until_safe();
-        let done = self.exec.collect_done(now);
-        if hold {
-            let view = self.safety_view();
-            for op in done {
+        let mut done = std::mem::take(&mut self.done_scratch);
+        self.exec.drain_done_into(now, &mut done);
+        if hold && !done.is_empty() {
+            let view = self.make_view();
+            for op in done.drain(..) {
                 if op.non_pipelined && !self.op_is_safe(&view, op.seq) {
                     // §5.4 rule 1: the unit (and the result) are held while
                     // the occupant is speculative.
@@ -227,11 +413,13 @@ impl Core {
                     self.wb_queue.push((op.seq, op.payload));
                 }
             }
+            self.recycle_view(view);
         } else {
-            for op in done {
+            for op in done.drain(..) {
                 self.wb_queue.push((op.seq, op.payload));
             }
         }
+        self.done_scratch = done;
         self.mshrs.drain_ready(now);
         let mut i = 0;
         while i < self.load_completions.len() {
@@ -308,16 +496,10 @@ impl Core {
                 if self.rat[dst.index()] == RegTag::Rob(entry.seq) {
                     self.rat[dst.index()] = RegTag::Value(result);
                 }
-                // Patch stale references in outstanding branch checkpoints.
-                for e in self.rob.iter_mut() {
-                    if let Some(cp) = &mut e.rat_checkpoint {
-                        for tag in cp.iter_mut() {
-                            if *tag == RegTag::Rob(entry.seq) {
-                                *tag = RegTag::Value(result);
-                            }
-                        }
-                    }
-                }
+                // Stale `Rob(seq)` references in outstanding branch
+                // checkpoints are resolved lazily when a checkpoint is
+                // restored (see handle_squash) — patching every resident
+                // checkpoint here would rescan the ROB per retirement.
             }
             if self.scheme.holds_resources_until_safe() {
                 self.rs.release(entry.seq);
@@ -340,32 +522,46 @@ impl Core {
     // Phase 3: issue (age-ordered, before writeback)
     // ------------------------------------------------------------------
 
+    fn entry_flags(e: &RobEntry) -> SafetyFlags {
+        SafetyFlags {
+            seq: e.seq,
+            unresolved_branch: e.is_branch() && !e.resolved,
+            load_incomplete: e.is_load() && e.state != EntryState::Done,
+            store_addr_unknown: e.is_store_like() && e.state != EntryState::Done,
+            fence: e.instr.opcode == Opcode::Fence,
+        }
+    }
+
     fn safety_view(&self) -> SafetyView {
-        let flags = self
-            .rob
-            .iter()
-            .map(|e| SafetyFlags {
-                seq: e.seq,
-                unresolved_branch: e.is_branch() && !e.resolved,
-                load_incomplete: e.is_load() && e.state != EntryState::Done,
-                store_addr_unknown: e.is_store_like() && e.state != EntryState::Done,
-                fence: e.instr.opcode == Opcode::Fence,
-            })
-            .collect();
+        SafetyView::new(self.rob.iter().map(Self::entry_flags).collect())
+    }
+
+    /// [`safety_view`](Core::safety_view) into the reused scratch
+    /// allocation; pair with [`recycle_view`](Core::recycle_view).
+    fn make_view(&mut self) -> SafetyView {
+        let mut flags = std::mem::take(&mut self.view_scratch);
+        flags.clear();
+        flags.extend(self.rob.iter().map(Self::entry_flags));
         SafetyView::new(flags)
     }
 
+    fn recycle_view(&mut self, view: SafetyView) {
+        self.view_scratch = view.into_flags();
+    }
+
     fn issue(&mut self, now: u64, view: &SafetyView) {
-        let mut candidates: Vec<(u64, FuClass)> = self
-            .rs
-            .iter()
-            .filter(|e| !e.issued && e.ready())
-            .map(|e| (e.seq, e.fu))
-            .collect();
+        let mut candidates = std::mem::take(&mut self.issue_scratch);
+        candidates.clear();
+        candidates.extend(
+            self.rs
+                .iter()
+                .filter(|e| !e.issued && e.ready())
+                .map(|e| (e.seq, e.fu)),
+        );
         candidates.sort_by_key(|(seq, _)| *seq);
         let strict_age = self.scheme.strict_age_priority();
         let hold = self.scheme.holds_resources_until_safe();
-        for (seq, class) in candidates {
+        for &(seq, class) in &candidates {
             let Some(pos) = view.position_of(seq) else {
                 continue;
             };
@@ -383,17 +579,20 @@ impl Core {
             let Some(port) = self.exec.free_port(&self.config.fu, class, now) else {
                 continue;
             };
-            let operands: Vec<u64> = self
+            let mut operands = [0u64; 2];
+            let mut n_operands = 0;
+            for o in &self
                 .rs
                 .iter()
                 .find(|e| e.seq == seq)
                 .expect("candidate exists")
                 .operands
-                .iter()
-                .map(|o| o.value().expect("candidate is ready"))
-                .collect();
+            {
+                operands[n_operands] = o.value().expect("candidate is ready");
+                n_operands += 1;
+            }
             let entry = self.rob.get(seq).expect("RS entry has a ROB entry");
-            let payload = Self::make_payload(&entry.instr, entry.pc, &operands);
+            let payload = Self::make_payload(&entry.instr, entry.pc, &operands[..n_operands]);
             self.exec
                 .issue(&self.config.fu, class, port, seq, now, payload);
             let entry = self.rob.get_mut(seq).expect("checked above");
@@ -403,6 +602,7 @@ impl Core {
             self.stats.issued += 1;
             self.trace.record(now, TraceEvent::Issue { seq, port });
         }
+        self.issue_scratch = candidates;
     }
 
     fn make_payload(instr: &Instruction, pc: u64, ops: &[u64]) -> ExecPayload {
@@ -672,13 +872,13 @@ impl Core {
 
     fn writeback(&mut self, now: u64) {
         self.wb_queue.sort_by_key(|(seq, _)| *seq);
+        // Process a prefix bounded by the CDB width; anything past it stays
+        // queued (sorted) for next cycle — no reallocation per cycle.
         let mut granted = 0;
-        let mut rest = Vec::new();
-        for (seq, payload) in std::mem::take(&mut self.wb_queue) {
-            if granted >= self.config.cdb_width {
-                rest.push((seq, payload));
-                continue;
-            }
+        let mut idx = 0;
+        while idx < self.wb_queue.len() && granted < self.config.cdb_width {
+            let (seq, payload) = self.wb_queue[idx];
+            idx += 1;
             let Some(entry) = self.rob.get_mut(seq) else {
                 continue; // squashed in flight: result dropped, no CDB slot
             };
@@ -718,7 +918,7 @@ impl Core {
                 }
             }
         }
-        self.wb_queue = rest;
+        self.wb_queue.drain(..idx);
     }
 
     // ------------------------------------------------------------------
@@ -747,6 +947,19 @@ impl Core {
         };
         let removed = self.rob.squash_after(branch_seq);
         self.rat = checkpoint;
+        // Resolve checkpoint references to producers that retired after the
+        // checkpoint was taken: a missing ROB entry here can only mean
+        // "retired" (an older squash removing it would have removed this
+        // branch too), and no post-branch writer can have retired before
+        // this branch resolved, so the architectural register still holds
+        // exactly that producer's result.
+        for (reg, tag) in self.rat.iter_mut().enumerate() {
+            if let RegTag::Rob(seq) = *tag {
+                if self.rob.position(seq).is_none() {
+                    *tag = RegTag::Value(self.arch_regs[reg]);
+                }
+            }
+        }
         self.rs.squash_after(branch_seq);
         self.pending_loads.retain(|s| *s <= branch_seq);
         self.load_completions.retain(|c| c.seq <= branch_seq);
@@ -790,9 +1003,18 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn promote_safe(&mut self, now: u64, ctx: &mut TickCtx<'_>) {
-        let view = self.safety_view();
-        let seqs: Vec<u64> = self.rob.iter().map(|e| e.seq).collect();
-        for seq in seqs {
+        if !self
+            .rob
+            .iter()
+            .any(|e| e.delayed || e.pending_safe_action.is_some())
+        {
+            return; // nothing deferred: skip the snapshot entirely
+        }
+        let view = self.make_view();
+        let mut seqs = std::mem::take(&mut self.seq_scratch);
+        seqs.clear();
+        seqs.extend(self.rob.iter().map(|e| e.seq));
+        for &seq in &seqs {
             let pos = view.position_of(seq).expect("just listed");
             let entry = self.rob.get(seq).expect("just listed");
             let delayed = entry.delayed;
@@ -812,6 +1034,8 @@ impl Core {
                 }
             }
         }
+        self.seq_scratch = seqs;
+        self.recycle_view(view);
     }
 
     fn apply_safe_action(

@@ -131,6 +131,15 @@ impl ExecUnits {
     /// oldest sequence first.
     pub fn collect_done(&mut self, now: u64) -> Vec<InFlight> {
         let mut done: Vec<InFlight> = Vec::new();
+        self.drain_done_into(now, &mut done);
+        done
+    }
+
+    /// [`collect_done`](ExecUnits::collect_done) into a caller-owned
+    /// buffer (cleared first), so the per-cycle completion sweep reuses
+    /// one allocation.
+    pub fn drain_done_into(&mut self, now: u64, done: &mut Vec<InFlight>) {
+        done.clear();
         self.in_flight.retain(|op| {
             if op.done_at <= now {
                 done.push(*op);
@@ -140,7 +149,11 @@ impl ExecUnits {
             }
         });
         done.sort_by_key(|op| op.seq);
-        done
+    }
+
+    /// Earliest completion cycle among in-flight operations.
+    pub fn next_done_at(&self) -> Option<u64> {
+        self.in_flight.iter().map(|op| op.done_at).min()
     }
 
     /// Extends the port reservation of a completed-but-held non-pipelined

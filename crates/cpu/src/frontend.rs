@@ -107,6 +107,27 @@ impl Frontend {
         std::mem::take(&mut self.ifetch_fills)
     }
 
+    /// The cycle an in-progress I-cache stall ends (fetch resumes then).
+    pub(crate) fn stall_deadline(&self) -> u64 {
+        self.stalled_until
+    }
+
+    /// Classifies what [`Frontend::tick`] would do at `now` **without
+    /// doing it** — same check order as `tick` (stopped, then stalled,
+    /// then queue-full). Used by the idle-cycle skip to prove a fetch
+    /// cycle is a pure stall and to replay its exact stall accounting.
+    pub(crate) fn quiet_state(&self, now: u64) -> FrontendQuiet {
+        if self.stopped {
+            FrontendQuiet::Stopped
+        } else if now < self.stalled_until {
+            FrontendQuiet::Stalled
+        } else if self.queue.len() >= self.capacity {
+            FrontendQuiet::QueueFull
+        } else {
+            FrontendQuiet::Active
+        }
+    }
+
     /// Redirects fetch after a squash: clears the queue, restarts at
     /// `target`.
     pub fn redirect(&mut self, target: u64, now: u64) {
@@ -232,6 +253,20 @@ impl Frontend {
         }
         FetchOutcome::Fetched(fetched)
     }
+}
+
+/// What [`Frontend::tick`] would do this cycle (see
+/// [`Frontend::quiet_state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FrontendQuiet {
+    /// Fetch has stopped; a tick records nothing.
+    Stopped,
+    /// Stalled on an I-cache fill; a tick records one stall per cycle.
+    Stalled,
+    /// Decode queue full; a tick records one stall per cycle.
+    QueueFull,
+    /// Fetch would make progress (mutating state).
+    Active,
 }
 
 /// What fetch accomplished in one cycle.

@@ -58,7 +58,7 @@ pub use machine::{AgentOp, AgentTiming, Machine, Timeout};
 pub use memory::Memory;
 pub use predictor::{BranchPredictor, Prediction};
 pub use rob::{fresh_rat, EntryState, Rat, RegTag, Rob, RobEntry};
-pub use rs::{Operand, ReservationStation, RsEntry};
+pub use rs::{Operand, OperandList, ReservationStation, RsEntry};
 pub use scheme::{
     LoadPlan, SafeAction, SafetyFlags, SafetyView, SpeculationScheme, Unprotected, UnsafeLoadCtx,
 };

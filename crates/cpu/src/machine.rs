@@ -10,7 +10,7 @@ use si_cache::{AccessClass, AccessResult, Hierarchy, LlcEvent, Visibility, WayVi
 use si_isa::Program;
 
 use crate::config::MachineConfig;
-use crate::core::{Core, TickCtx};
+use crate::core::{Core, QuietPlan, TickCtx};
 use crate::memory::Memory;
 use crate::scheme::{SpeculationScheme, Unprotected};
 
@@ -114,6 +114,8 @@ pub struct Machine {
     scheduled: BTreeMap<u64, Vec<AgentOp>>,
     agent_timings: Vec<AgentTiming>,
     noise_rng: StdRng,
+    /// Reused allocation for [`Machine::advance`]'s per-core quiet plans.
+    quiet_plans: Vec<QuietPlan>,
 }
 
 impl Machine {
@@ -149,6 +151,7 @@ impl Machine {
             scheduled: BTreeMap::new(),
             agent_timings: Vec::new(),
             noise_rng: StdRng::seed_from_u64(config.noise.seed ^ 0xbadc_0ffe),
+            quiet_plans: Vec::new(),
             config,
         }
     }
@@ -286,9 +289,16 @@ impl Machine {
     /// noise, then each core.
     pub fn step(&mut self) {
         let now = self.cycle;
-        if let Some(ops) = self.scheduled.remove(&now) {
-            for op in ops {
-                self.run_op(op);
+        // first_key_value guard: avoid a BTreeMap::remove probe per cycle.
+        if self
+            .scheduled
+            .first_key_value()
+            .is_some_and(|(&at, _)| at <= now)
+        {
+            if let Some(ops) = self.scheduled.remove(&now) {
+                for op in ops {
+                    self.run_op(op);
+                }
             }
         }
         self.background_noise(now);
@@ -344,28 +354,90 @@ impl Machine {
         }
     }
 
-    /// Steps until core `idx` halts.
+    /// Advances at least one cycle and at most to `limit`, skipping runs of
+    /// idle cycles in one jump.
+    ///
+    /// When every core proves its tick would be a pure stall
+    /// ([`Core::quiet_plan`]) and no scheduled agent op or background-noise
+    /// cycle falls in the window, the machine jumps `cycle` straight to the
+    /// earliest wake-up event and replays the skipped cycles' stall
+    /// accounting exactly — cycle numbers, statistics, and trace events are
+    /// bit-identical to stepping cycle-by-cycle. Otherwise it performs one
+    /// normal [`step`](Machine::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `limit <= cycle`.
+    pub fn advance(&mut self, limit: u64) {
+        let now = self.cycle;
+        debug_assert!(now < limit, "advance needs headroom");
+        if self.config.disable_idle_skip {
+            return self.step();
+        }
+        let mut bound = limit;
+        // Scheduled agent ops: one due now forces a step; the next one
+        // bounds the skip.
+        match self.scheduled.first_key_value() {
+            Some((&at, _)) if at <= now => return self.step(),
+            Some((&at, _)) => bound = bound.min(at),
+            None => {}
+        }
+        // Background noise runs on period multiples; never skip those.
+        let period = self.config.noise.background_period;
+        if period > 0 {
+            if now.is_multiple_of(period) {
+                return self.step();
+            }
+            bound = bound.min(now.next_multiple_of(period));
+        }
+        let mut plans = std::mem::take(&mut self.quiet_plans);
+        plans.clear();
+        for core in &self.cores {
+            match core.quiet_plan(now) {
+                Some(plan) => {
+                    bound = bound.min(plan.until);
+                    plans.push(plan);
+                }
+                None => {
+                    self.quiet_plans = plans;
+                    return self.step();
+                }
+            }
+        }
+        debug_assert!(bound > now, "quiet plans always look forward");
+        let count = bound - now;
+        for (core, plan) in self.cores.iter_mut().zip(&plans) {
+            core.apply_quiet_cycles(now, count, plan);
+        }
+        self.cycle = bound;
+        self.quiet_plans = plans;
+    }
+
+    /// Steps until core `idx` halts, skipping idle cycles (see
+    /// [`Machine::advance`]; the result is bit-identical to stepping).
     ///
     /// # Errors
     ///
     /// Returns [`Timeout`] if the core does not halt within `max_cycles`.
     pub fn run_core_to_halt(&mut self, idx: usize, max_cycles: u64) -> Result<u64, Timeout> {
         let start = self.cycle;
+        let deadline = start + max_cycles;
         while !self.cores[idx].halted() {
-            if self.cycle - start >= max_cycles {
+            if self.cycle >= deadline {
                 return Err(Timeout {
                     cycles: self.cycle - start,
                 });
             }
-            self.step();
+            self.advance(deadline);
         }
         Ok(self.cycle - start)
     }
 
-    /// Steps a fixed number of cycles.
+    /// Advances a fixed number of cycles (idle runs skipped exactly).
     pub fn run_cycles(&mut self, cycles: u64) {
-        for _ in 0..cycles {
-            self.step();
+        let end = self.cycle + cycles;
+        while self.cycle < end {
+            self.advance(end);
         }
     }
 }

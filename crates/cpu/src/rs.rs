@@ -28,6 +28,63 @@ impl Operand {
     }
 }
 
+/// An instruction's source operands, stored inline (0–2 of them) so the
+/// per-cycle issue scan and CDB wakeup never chase a heap pointer per
+/// entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OperandList {
+    ops: [Option<Operand>; 2],
+}
+
+impl OperandList {
+    /// An empty operand list.
+    pub fn new() -> OperandList {
+        OperandList::default()
+    }
+
+    /// Appends an operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list already holds two operands.
+    pub fn push(&mut self, op: Operand) {
+        let slot = self
+            .ops
+            .iter_mut()
+            .find(|o| o.is_none())
+            .expect("at most two source operands");
+        *slot = Some(op);
+    }
+
+    /// Iterates the operands.
+    pub fn iter(&self) -> impl Iterator<Item = &Operand> {
+        self.ops.iter().flatten()
+    }
+
+    /// Mutable iteration.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Operand> {
+        self.ops.iter_mut().flatten()
+    }
+}
+
+impl FromIterator<Operand> for OperandList {
+    fn from_iter<I: IntoIterator<Item = Operand>>(iter: I) -> OperandList {
+        let mut list = OperandList::new();
+        for op in iter {
+            list.push(op);
+        }
+        list
+    }
+}
+
+impl<'a> IntoIterator for &'a OperandList {
+    type Item = &'a Operand;
+    type IntoIter = std::iter::Flatten<std::slice::Iter<'a, Option<Operand>>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter().flatten()
+    }
+}
+
 /// One reservation-station entry.
 #[derive(Debug, Clone)]
 pub struct RsEntry {
@@ -35,8 +92,8 @@ pub struct RsEntry {
     pub seq: u64,
     /// The functional-unit class it needs.
     pub fu: FuClass,
-    /// Source operands (0–2 of them).
-    pub operands: Vec<Operand>,
+    /// Source operands.
+    pub operands: OperandList,
     /// Set once issued. Issued entries normally leave the pool immediately;
     /// under the §5.4 "hold resources until non-speculative" defense they
     /// stay (occupying capacity) until retirement.
@@ -90,7 +147,7 @@ impl ReservationStation {
     /// ready (the common-data-bus wakeup).
     pub fn wake(&mut self, seq: u64, value: u64) {
         for e in &mut self.entries {
-            for op in &mut e.operands {
+            for op in e.operands.iter_mut() {
                 if let Operand::Waiting(s) = op {
                     if *s == seq {
                         *op = Operand::Ready(value);
@@ -106,20 +163,24 @@ impl ReservationStation {
         self.entries.iter()
     }
 
-    /// Marks `seq` issued; removes it unless `hold` is set.
+    /// Marks `seq` issued; removes it unless `hold` is set. (Pool order is
+    /// not significant — schedulers sort by `seq` — so removal is a
+    /// swap-remove, not a shift.)
     pub fn mark_issued(&mut self, seq: u64, hold: bool) {
         if hold {
             if let Some(e) = self.entries.iter_mut().find(|e| e.seq == seq) {
                 e.issued = true;
             }
-        } else {
-            self.entries.retain(|e| e.seq != seq);
+        } else if let Some(i) = self.entries.iter().position(|e| e.seq == seq) {
+            self.entries.swap_remove(i);
         }
     }
 
     /// Releases a held entry at retirement.
     pub fn release(&mut self, seq: u64) {
-        self.entries.retain(|e| e.seq != seq);
+        if let Some(i) = self.entries.iter().position(|e| e.seq == seq) {
+            self.entries.swap_remove(i);
+        }
     }
 
     /// Drops every entry younger than `branch_seq` (squash path).
@@ -144,7 +205,7 @@ mod tests {
         RsEntry {
             seq,
             fu,
-            operands: ops,
+            operands: ops.into_iter().collect(),
             issued: false,
         }
     }
@@ -161,7 +222,7 @@ mod tests {
         rs.wake(0, 37);
         let e = rs.iter().next().unwrap();
         assert!(e.ready());
-        assert_eq!(e.operands[0].value(), Some(37));
+        assert_eq!(e.operands.iter().next().unwrap().value(), Some(37));
     }
 
     #[test]

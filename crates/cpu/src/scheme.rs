@@ -45,6 +45,12 @@ impl SafetyView {
         SafetyView { flags }
     }
 
+    /// Recovers the flags vector so per-cycle callers can reuse its
+    /// allocation for the next snapshot.
+    pub fn into_flags(self) -> Vec<SafetyFlags> {
+        self.flags
+    }
+
     /// Number of ROB entries in the snapshot.
     pub fn len(&self) -> usize {
         self.flags.len()

@@ -1,0 +1,344 @@
+//! `sia bench` — the repo's wall-clock microbenchmark suite and the
+//! producer of the schema-versioned `BENCH_baseline.json` perf snapshot.
+//!
+//! Three tiers, mirroring the simulation hot path bottom-up:
+//!
+//! * **policy** — per-access cost of the set-associative cache under each
+//!   replacement policy, on both the flat enum-dispatched storage
+//!   (`policy_flat/*`) and the boxed-trait reference storage
+//!   (`policy_boxed/*`, the pre-flat representation) — their ratio is the
+//!   storage-rewrite speedup;
+//! * **pipeline** — cycles/second of the out-of-order core on an ALU loop,
+//!   driven through [`Machine::advance`] (`pipeline_advance`, the
+//!   idle-cycle-skipping path) and through per-cycle [`Machine::step`]
+//!   (`pipeline_step`) — their ratio is the event-skip speedup on a
+//!   compute-bound kernel (memory-bound kernels skip far more);
+//! * **trial** — one end-to-end covert-channel attack trial, the unit of
+//!   every Monte-Carlo figure in the paper.
+//!
+//! Wall-clock numbers are machine-dependent and are **not** covered by the
+//! determinism contract; everything else in the emitted document is.
+
+use std::time::Instant;
+
+use si_cache::reference::ReferenceCache;
+use si_cache::{CacheConfig, PolicyKind, SetAssocCache};
+use si_core::attacks::{Attack, AttackKind};
+use si_cpu::{Machine, MachineConfig};
+use si_isa::{Assembler, Program, R1, R2, R3};
+use si_schemes::SchemeKind;
+
+use crate::json::{arr, obj, Json};
+
+/// Version stamp of the `BENCH_baseline.json` schema.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Default output path for the benchmark snapshot.
+pub const BENCH_DEFAULT_PATH: &str = "BENCH_baseline.json";
+
+/// One measured benchmark.
+struct Measured {
+    id: String,
+    samples: usize,
+    mean_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    /// Work units per sample (accesses, cycles, or trials) for the
+    /// normalized `ns_per_unit` figure.
+    units: u64,
+    unit: &'static str,
+}
+
+impl Measured {
+    fn ns_per_unit(&self) -> f64 {
+        self.mean_ns as f64 / self.units.max(1) as f64
+    }
+
+    fn to_json(&self) -> Json {
+        obj([
+            ("id", Json::from(self.id.as_str())),
+            ("samples", Json::from(self.samples)),
+            ("mean_ns", Json::from(self.mean_ns)),
+            ("min_ns", Json::from(self.min_ns)),
+            ("max_ns", Json::from(self.max_ns)),
+            ("units_per_sample", Json::from(self.units)),
+            ("unit", Json::from(self.unit)),
+            ("ns_per_unit", Json::from(self.ns_per_unit())),
+        ])
+    }
+}
+
+/// Times `work` (after one untimed warmup) `samples` times.
+fn measure(
+    id: impl Into<String>,
+    samples: usize,
+    units: u64,
+    unit: &'static str,
+    mut work: impl FnMut(),
+) -> Measured {
+    work(); // warmup, untimed
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        work();
+        times.push(start.elapsed().as_nanos() as u64);
+    }
+    let sum: u64 = times.iter().sum();
+    Measured {
+        id: id.into(),
+        samples,
+        mean_ns: sum / samples.max(1) as u64,
+        min_ns: times.iter().copied().min().unwrap_or(0),
+        max_ns: times.iter().copied().max().unwrap_or(0),
+        units,
+        unit,
+    }
+}
+
+/// The policy benchmark runs `POLICY_REPS` cold-start passes of the
+/// 1000-access mixed pattern from `benches/replacement.rs` per sample
+/// (more work per sample keeps the statistics stable on noisy machines).
+const POLICY_REPS: u64 = 10;
+const POLICY_ACCESSES: u64 = POLICY_REPS * 1000;
+
+fn policy_trace(mut access: impl FnMut(u64)) {
+    for i in 0..1000u64 {
+        access(i * 17 % 2048);
+    }
+}
+
+fn policy_geometry(policy: PolicyKind) -> CacheConfig {
+    CacheConfig::new(64, 16, policy)
+}
+
+fn bench_policies(samples: usize, out: &mut Vec<Measured>) {
+    let policies = [
+        ("lru", PolicyKind::Lru),
+        ("qlru_h11_m1_r0_u0", PolicyKind::qlru_h11_m1_r0_u0()),
+        ("srrip", PolicyKind::Srrip),
+        ("tree_plru", PolicyKind::TreePlru),
+    ];
+    for (name, policy) in policies {
+        // Each rep starts from an empty cache (the miss/fill-heavy shape of
+        // a prime round): the flat storage resets its arena in place; the
+        // boxed reference reconstructs per-set vectors and trait objects,
+        // exactly as the pre-flat storage had to.
+        let mut flat = SetAssocCache::new("bench", policy_geometry(policy));
+        out.push(measure(
+            format!("policy_flat/{name}"),
+            samples,
+            POLICY_ACCESSES,
+            "access",
+            || {
+                for _ in 0..POLICY_REPS {
+                    flat.reset();
+                    policy_trace(|line| {
+                        flat.access(line);
+                    });
+                }
+            },
+        ));
+        out.push(measure(
+            format!("policy_boxed/{name}"),
+            samples,
+            POLICY_ACCESSES,
+            "access",
+            || {
+                for _ in 0..POLICY_REPS {
+                    let mut boxed = ReferenceCache::new(policy_geometry(policy));
+                    policy_trace(|line| {
+                        boxed.access(line);
+                    });
+                }
+            },
+        ));
+    }
+}
+
+fn alu_loop_program() -> Program {
+    let mut asm = Assembler::new(0);
+    asm.mov_imm(R1, 0);
+    asm.mov_imm(R2, 2000);
+    let top = asm.here("top");
+    asm.add_imm(R1, R1, 1);
+    asm.mul(R3, R1, R1);
+    asm.branch_ltu(R1, R2, top);
+    asm.halt();
+    asm.assemble().expect("static program assembles")
+}
+
+/// A dependent pointer chase: each load's address is the previous load's
+/// data, so exactly one miss is outstanding and the core idles for the
+/// full memory latency between loads — the shape of every prime/probe
+/// phase, and the case idle-cycle skipping exists for.
+fn pointer_chase_program() -> Program {
+    let mut asm = Assembler::new(0);
+    const NODES: u64 = 64;
+    const STRIDE: u64 = 4096;
+    const BASE: u64 = 0x10_0000;
+    for i in 0..NODES {
+        asm.data_u64(BASE + i * STRIDE, BASE + ((i + 1) % NODES) * STRIDE);
+    }
+    asm.mov_imm(R1, BASE as i64);
+    asm.mov_imm(R2, 200); // chase steps
+    asm.mov_imm(R3, 0);
+    let top = asm.here("top");
+    asm.load(R1, R1, 0);
+    asm.add_imm(R3, R3, 1);
+    asm.branch_ltu(R3, R2, top);
+    asm.halt();
+    asm.assemble().expect("static program assembles")
+}
+
+fn bench_pipeline(samples: usize, out: &mut Vec<Measured>) {
+    for (name, program) in [
+        ("alu_loop_2k", alu_loop_program()),
+        ("pointer_chase_200", pointer_chase_program()),
+    ] {
+        let cycles = {
+            let mut m = Machine::new(MachineConfig::default());
+            m.load_program(0, &program);
+            m.run_core_to_halt(0, 1_000_000).expect("kernel halts")
+        };
+        out.push(measure(
+            format!("pipeline_advance/{name}"),
+            samples,
+            cycles,
+            "cycle",
+            || {
+                let mut m = Machine::new(MachineConfig::default());
+                m.load_program(0, &program);
+                m.run_core_to_halt(0, 1_000_000).expect("kernel halts");
+            },
+        ));
+        out.push(measure(
+            format!("pipeline_step/{name}"),
+            samples,
+            cycles,
+            "cycle",
+            || {
+                // Same driver, skipping disabled — bounded so a divergence
+                // between the two modes fails fast instead of spinning.
+                let mut m = Machine::new(MachineConfig {
+                    disable_idle_skip: true,
+                    ..MachineConfig::default()
+                });
+                m.load_program(0, &program);
+                m.run_core_to_halt(0, 1_000_000).expect("kernel halts");
+            },
+        ));
+    }
+}
+
+fn bench_trials(samples: usize, out: &mut Vec<Measured>) {
+    for (name, kind, scheme) in [
+        (
+            "dcache_npeu_dom",
+            AttackKind::NpeuVdVd,
+            SchemeKind::DomSpectre,
+        ),
+        (
+            "spectre_v1_unprotected",
+            AttackKind::SpectreV1,
+            SchemeKind::Unprotected,
+        ),
+    ] {
+        let attack = Attack::new(kind, scheme, MachineConfig::default());
+        out.push(measure(
+            format!("trial_e2e/{name}"),
+            samples,
+            1,
+            "trial",
+            || {
+                attack.run_trial(1);
+            },
+        ));
+    }
+}
+
+fn speedup_ratios<'a>(
+    benches: &'a [Measured],
+    slow_prefix: &str,
+    fast_prefix: &str,
+) -> Option<(f64, Vec<(&'a str, f64)>)> {
+    let mut per_pair = Vec::new();
+    for fast in benches.iter().filter(|b| b.id.starts_with(fast_prefix)) {
+        let suffix = &fast.id[fast_prefix.len()..];
+        let slow_id = format!("{slow_prefix}{suffix}");
+        if let Some(slow) = benches.iter().find(|b| b.id == slow_id) {
+            // Ratio of minima: on a noisy shared machine the best observed
+            // sample approximates the undisturbed cost far better than the
+            // mean, which soaks up scheduler interference.
+            per_pair.push((
+                fast.id.as_str(),
+                slow.min_ns as f64 / fast.min_ns.max(1) as f64,
+            ));
+        }
+    }
+    if per_pair.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = per_pair.iter().map(|(_, r)| r.ln()).sum();
+    Some(((log_sum / per_pair.len() as f64).exp(), per_pair))
+}
+
+/// Runs the benchmark suite and returns the `BENCH_baseline.json` document.
+///
+/// `quick` shrinks sample counts for CI smoke runs (the schema and bench
+/// set are identical; only the statistics get noisier).
+pub fn run_benches(quick: bool) -> Json {
+    let (policy_samples, pipeline_samples, trial_samples) =
+        if quick { (5, 3, 2) } else { (30, 10, 6) };
+    let mut benches = Vec::new();
+    bench_policies(policy_samples, &mut benches);
+    bench_pipeline(pipeline_samples, &mut benches);
+    bench_trials(trial_samples, &mut benches);
+
+    let mut speedups = obj([]);
+    if let Some((geomean, pairs)) = speedup_ratios(&benches, "policy_boxed/", "policy_flat/") {
+        let mut details = obj([]);
+        for (id, r) in pairs {
+            details.push(id.trim_start_matches("policy_flat/"), Json::from(r));
+        }
+        speedups.push("policy_flat_over_boxed_geomean", Json::from(geomean));
+        speedups.push("policy_flat_over_boxed", details);
+    }
+    if let Some((geomean, _)) = speedup_ratios(&benches, "pipeline_step/", "pipeline_advance/") {
+        speedups.push("pipeline_advance_over_step", Json::from(geomean));
+    }
+
+    obj([
+        ("schema_version", Json::from(BENCH_SCHEMA_VERSION)),
+        ("kind", Json::from("bench")),
+        ("quick", Json::from(quick)),
+        (
+            "benches",
+            arr(benches.iter().map(Measured::to_json).collect::<Vec<_>>()),
+        ),
+        ("speedups", speedups),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn quick_bench_emits_valid_versioned_json() {
+        let doc = run_benches(true);
+        let text = doc.to_pretty();
+        let parsed = parse(&text).expect("bench document parses");
+        assert_eq!(
+            parsed.get("schema_version"),
+            Some(&Json::from(BENCH_SCHEMA_VERSION))
+        );
+        match parsed.get("benches") {
+            Some(Json::Arr(items)) => assert!(items.len() >= 10, "bench set present"),
+            other => panic!("benches not an array: {other:?}"),
+        }
+        let speedups = parsed.get("speedups").expect("speedups present");
+        assert!(speedups.get("policy_flat_over_boxed_geomean").is_some());
+        assert!(speedups.get("pipeline_advance_over_step").is_some());
+    }
+}

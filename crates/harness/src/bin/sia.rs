@@ -4,6 +4,7 @@
 //! sia list                          # every registered experiment
 //! sia run fig07 --scheme dom        # one experiment
 //! sia run --all --trials 5          # CI smoke: everything, small
+//! sia bench                         # microbenchmarks -> BENCH_baseline.json
 //! ```
 //!
 //! Each run writes one validated JSON document per experiment to the
@@ -23,8 +24,13 @@ USAGE:
     sia list
     sia run <EXPERIMENT>... [OPTIONS]
     sia run --all [OPTIONS]
+    sia bench [--quick] [--out <FILE>]
 
-OPTIONS:
+BENCH OPTIONS:
+    --quick            fewer samples (CI smoke); same schema and bench set
+    --out <FILE>       output file (default: BENCH_baseline.json)
+
+RUN OPTIONS:
     --all              run every registered experiment
     --trials <N>       sample-size knob (per-experiment meaning; default varies)
     --threads <N>      worker threads (default: available parallelism)
@@ -201,10 +207,55 @@ fn cmd_run(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_bench(argv: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut out = si_harness::bench::BENCH_DEFAULT_PATH.to_owned();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("error: --out needs a value\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown bench option '{other}'\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let start = Instant::now();
+    let doc = si_harness::bench::run_benches(quick);
+    let text = doc.to_pretty();
+    if let Err(e) = parse(&text) {
+        eprintln!("bench            FAILED: emitted malformed JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&out, &text) {
+        eprintln!("bench            FAILED: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let speedups = doc
+        .get("speedups")
+        .map(|s| s.to_compact())
+        .unwrap_or_default();
+    println!(
+        "bench            ok  {:>7}ms  {}  -> {}",
+        start.elapsed().as_millis(),
+        speedups,
+        out
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("list") => cmd_list(),
+        Some("bench") => cmd_bench(&argv[1..]),
         Some("run") => match parse_args(&argv[1..]) {
             Ok(args) => cmd_run(&args),
             Err(e) => {

@@ -36,6 +36,7 @@
 //! }
 //! ```
 
+pub mod bench;
 pub mod exec;
 pub mod experiments;
 pub mod json;

@@ -1,0 +1,170 @@
+//! Differential equivalence: the flat, enum-dispatched cache storage
+//! against the boxed-trait reference model, over random operation traces.
+//!
+//! Every observable must agree after every operation — outcomes, victims,
+//! occupancy — and the full per-set views plus statistics must agree at
+//! the end. This is the safety net under the storage rewrite: the boxed
+//! policies are the semantic oracle, the flat arrays are the fast path.
+
+use proptest::prelude::*;
+
+use speculative_interference::cache::reference::ReferenceCache;
+use speculative_interference::cache::replacement::qlru::{EvictSelect, QlruParams};
+use speculative_interference::cache::{CacheConfig, PolicyKind, SetAssocCache};
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Access(u64),
+    Touch(u64),
+    Probe(u64),
+    Fill(u64),
+    Invalidate(u64),
+    BackInvalidate(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        (0u64..256).prop_map(CacheOp::Access),
+        (0u64..256).prop_map(CacheOp::Touch),
+        (0u64..256).prop_map(CacheOp::Probe),
+        (0u64..256).prop_map(CacheOp::Fill),
+        (0u64..256).prop_map(CacheOp::Invalidate),
+        (0u64..256).prop_map(CacheOp::BackInvalidate),
+    ]
+}
+
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Lru,
+        PolicyKind::Fifo,
+        PolicyKind::Random,
+        PolicyKind::TreePlru,
+        PolicyKind::Srrip,
+        PolicyKind::qlru_h11_m1_r0_u0(),
+        PolicyKind::Qlru(QlruParams {
+            evict: EvictSelect::Rightmost,
+            ..QlruParams::H11_M1_R0_U0
+        }),
+        PolicyKind::Qlru(QlruParams::H21_M2_R0_U0),
+    ]
+}
+
+fn drive_equivalence(cfg: CacheConfig, ops: &[CacheOp]) -> Result<(), String> {
+    let mut fast = SetAssocCache::new("fast", cfg);
+    let mut oracle = ReferenceCache::new(cfg);
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            CacheOp::Access(l) => {
+                prop_assert_eq!(fast.access(*l), oracle.access(*l), "op {} {:?}", i, op);
+            }
+            CacheOp::Touch(l) => {
+                prop_assert_eq!(fast.touch(*l), oracle.touch(*l), "op {} {:?}", i, op);
+            }
+            CacheOp::Probe(l) => {
+                prop_assert_eq!(fast.probe(*l), oracle.probe(*l), "op {} {:?}", i, op);
+            }
+            CacheOp::Fill(l) => {
+                prop_assert_eq!(fast.fill(*l), oracle.fill(*l), "op {} {:?}", i, op);
+            }
+            CacheOp::Invalidate(l) => {
+                prop_assert_eq!(
+                    fast.invalidate(*l),
+                    oracle.invalidate(*l),
+                    "op {} {:?}",
+                    i,
+                    op
+                );
+            }
+            CacheOp::BackInvalidate(l) => {
+                prop_assert_eq!(
+                    fast.back_invalidate(*l),
+                    oracle.back_invalidate(*l),
+                    "op {} {:?}",
+                    i,
+                    op
+                );
+            }
+        }
+        prop_assert_eq!(fast.occupancy(), oracle.occupancy(), "op {} {:?}", i, op);
+    }
+    prop_assert_eq!(fast.stats(), oracle.stats());
+    for set in 0..cfg.sets {
+        prop_assert_eq!(fast.set_view(set), oracle.set_view(set), "set {}", set);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn flat_storage_matches_boxed_oracle_8x4(
+        ops in proptest::collection::vec(op_strategy(), 1..250)
+    ) {
+        for policy in policies() {
+            drive_equivalence(CacheConfig::new(8, 4, policy), &ops)?;
+        }
+    }
+
+    #[test]
+    fn flat_storage_matches_boxed_oracle_4x16(
+        ops in proptest::collection::vec(op_strategy(), 1..250)
+    ) {
+        for policy in policies() {
+            drive_equivalence(CacheConfig::new(4, 16, policy), &ops)?;
+        }
+    }
+
+    #[test]
+    fn reset_equals_fresh_construction(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        // Generation-stamped reset must be observationally identical to a
+        // brand-new cache: replay the trace on a reset arena and on a fresh
+        // instance and demand identical outcomes and views.
+        for policy in policies() {
+            let cfg = CacheConfig::new(8, 4, policy);
+            let mut reused = SetAssocCache::new("reused", cfg);
+            for op in &ops {
+                match op {
+                    CacheOp::Access(l) => { reused.access(*l); }
+                    CacheOp::Touch(l) => { reused.touch(*l); }
+                    CacheOp::Probe(l) => { reused.probe(*l); }
+                    CacheOp::Fill(l) => { reused.fill(*l); }
+                    CacheOp::Invalidate(l) => { reused.invalidate(*l); }
+                    CacheOp::BackInvalidate(l) => { reused.back_invalidate(*l); }
+                }
+            }
+            reused.reset();
+            let mut fresh = SetAssocCache::new("fresh", cfg);
+            for op in &ops {
+                match op {
+                    CacheOp::Access(l) => {
+                        prop_assert_eq!(reused.access(*l), fresh.access(*l), "{:?}", policy);
+                    }
+                    CacheOp::Touch(l) => {
+                        prop_assert_eq!(reused.touch(*l), fresh.touch(*l), "{:?}", policy);
+                    }
+                    CacheOp::Probe(l) => {
+                        prop_assert_eq!(reused.probe(*l), fresh.probe(*l), "{:?}", policy);
+                    }
+                    CacheOp::Fill(l) => {
+                        prop_assert_eq!(reused.fill(*l), fresh.fill(*l), "{:?}", policy);
+                    }
+                    CacheOp::Invalidate(l) => {
+                        prop_assert_eq!(reused.invalidate(*l), fresh.invalidate(*l), "{:?}", policy);
+                    }
+                    CacheOp::BackInvalidate(l) => {
+                        prop_assert_eq!(
+                            reused.back_invalidate(*l), fresh.back_invalidate(*l), "{:?}", policy
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(reused.stats(), fresh.stats(), "{:?}", policy);
+            for set in 0..cfg.sets {
+                prop_assert_eq!(reused.set_view(set), fresh.set_view(set), "{:?}", policy);
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Idle-cycle skipping must be invisible: driving a machine through
+//! `Machine::advance` (which jumps over provably-quiet cycle runs) must
+//! produce bit-identical traces, statistics, cycle counts, and
+//! architectural state to ticking every cycle with `Machine::step`.
+
+use speculative_interference::attacks::attacks::{Attack, AttackKind};
+use speculative_interference::cpu::{Machine, MachineConfig, TraceEvent};
+use speculative_interference::isa::{Assembler, Program, R1, R2, R3};
+use speculative_interference::schemes::SchemeKind;
+
+/// A memory-bound kernel with real idle windows: a dependent pointer
+/// chase through DRAM, plus a branchy counter loop.
+fn chase_program() -> Program {
+    let mut asm = Assembler::new(0);
+    const NODES: u64 = 32;
+    const STRIDE: u64 = 4096;
+    const BASE: u64 = 0x8_0000;
+    for i in 0..NODES {
+        asm.data_u64(BASE + i * STRIDE, BASE + ((i + 1) % NODES) * STRIDE);
+    }
+    asm.mov_imm(R1, BASE as i64);
+    asm.mov_imm(R2, 80);
+    asm.mov_imm(R3, 0);
+    let top = asm.here("top");
+    asm.load(R1, R1, 0);
+    asm.add_imm(R3, R3, 1);
+    asm.branch_ltu(R3, R2, top);
+    asm.store(R1, R2, 0x400);
+    asm.halt();
+    asm.assemble().unwrap()
+}
+
+fn run_with_step(program: &Program, scheme: SchemeKind) -> (Machine, u64) {
+    let mut m = Machine::new(MachineConfig::default());
+    m.load_program_with_scheme(0, program, scheme.build());
+    m.core_mut(0).set_trace_enabled(true);
+    let start = m.cycle();
+    while !m.core(0).halted() {
+        m.step();
+        assert!(m.cycle() - start < 1_000_000, "kernel must halt");
+    }
+    let cycles = m.cycle() - start;
+    (m, cycles)
+}
+
+fn run_with_advance(program: &Program, scheme: SchemeKind) -> (Machine, u64) {
+    let mut m = Machine::new(MachineConfig::default());
+    m.load_program_with_scheme(0, program, scheme.build());
+    m.core_mut(0).set_trace_enabled(true);
+    let cycles = m.run_core_to_halt(0, 1_000_000).unwrap();
+    (m, cycles)
+}
+
+fn assert_identical(stepped: (Machine, u64), skipped: (Machine, u64)) {
+    let (a, a_cycles) = stepped;
+    let (b, b_cycles) = skipped;
+    assert_eq!(a_cycles, b_cycles, "halt cycle must match");
+    assert_eq!(a.cycle(), b.cycle(), "final machine cycle must match");
+    assert_eq!(
+        a.core(0).stats(),
+        b.core(0).stats(),
+        "core stats must match"
+    );
+    assert_eq!(
+        a.core(0).reg(R1),
+        b.core(0).reg(R1),
+        "architectural state must match"
+    );
+    let ta: &[(u64, TraceEvent)] = a.core(0).trace().events();
+    let tb: &[(u64, TraceEvent)] = b.core(0).trace().events();
+    assert_eq!(ta.len(), tb.len(), "trace lengths must match");
+    for (i, (ea, eb)) in ta.iter().zip(tb).enumerate() {
+        assert_eq!(ea, eb, "trace event {i} diverged");
+    }
+}
+
+#[test]
+fn skipping_is_cycle_identical_on_memory_bound_kernel() {
+    let program = chase_program();
+    for scheme in [
+        SchemeKind::Unprotected,
+        SchemeKind::DomSpectre,
+        SchemeKind::FenceSpectre,
+        SchemeKind::InvisiSpecSpectre,
+    ] {
+        let stepped = run_with_step(&program, scheme);
+        assert!(stepped.1 > 1_000, "kernel long enough to have idle runs");
+        let skipped = run_with_advance(&program, scheme);
+        assert_identical(stepped, skipped);
+    }
+}
+
+#[test]
+fn skipping_is_cycle_identical_on_fig03_fig04_timeline_trials() {
+    // The fig03/fig04 timeline reproductions are traced attack trials
+    // (NPEU reordering and MSHR exhaustion); the recorded TraceEvent
+    // streams must be bit-identical with skipping on and off.
+    for kind in [AttackKind::NpeuVdVd, AttackKind::MshrVdAd] {
+        for secret in [0u64, 1] {
+            let mut with_skip = Attack::new(kind, SchemeKind::DomSpectre, MachineConfig::default());
+            with_skip.trace = true;
+            let mut no_skip = with_skip.clone();
+            no_skip.machine.disable_idle_skip = true;
+
+            let fast = with_skip.run_trial(secret);
+            let slow = no_skip.run_trial(secret);
+            assert_eq!(fast.decoded, slow.decoded, "{kind:?} secret {secret}");
+            assert_eq!(fast.cycles, slow.cycles, "{kind:?} secret {secret}");
+            assert_eq!(
+                fast.trace.len(),
+                slow.trace.len(),
+                "{kind:?} secret {secret}: trace lengths"
+            );
+            for (i, (a, b)) in fast.trace.iter().zip(&slow.trace).enumerate() {
+                assert_eq!(a, b, "{kind:?} secret {secret}: trace event {i}");
+            }
+            assert!(!fast.trace.is_empty(), "timeline trials record events");
+        }
+    }
+}
+
+/// The skip must respect scheduled agent ops and background noise: both
+/// are external inputs that pin exact cycles.
+#[test]
+fn skipping_respects_scheduled_ops_and_noise() {
+    use speculative_interference::cpu::AgentOp;
+    let program = chase_program();
+    let mut cfg = MachineConfig::default();
+    cfg.noise.background_period = 37;
+    cfg.noise.dram_jitter = 9;
+    let drive = |skip: bool| {
+        let mut cfg = cfg.clone();
+        cfg.disable_idle_skip = !skip;
+        let mut m = Machine::new(cfg);
+        m.load_program(0, &program);
+        for at in [100u64, 777, 3000] {
+            m.schedule_op(
+                at,
+                AgentOp::TimedAccess {
+                    core: 1,
+                    addr: 0x9000 + at,
+                },
+            );
+        }
+        m.run_core_to_halt(0, 1_000_000).unwrap();
+        (
+            m.cycle(),
+            m.core(0).stats(),
+            m.take_agent_timings(),
+            m.take_llc_log(),
+        )
+    };
+    let fast = drive(true);
+    let slow = drive(false);
+    assert_eq!(fast.0, slow.0, "cycles");
+    assert_eq!(fast.1, slow.1, "stats");
+    assert_eq!(fast.2, slow.2, "agent timings");
+    assert_eq!(fast.3.len(), slow.3.len(), "llc log length");
+    assert_eq!(fast.3, slow.3, "llc log");
+}
