@@ -42,6 +42,7 @@ mod frontend;
 mod machine;
 mod memory;
 mod predictor;
+mod preset;
 mod rob;
 mod rs;
 mod scheme;
@@ -57,6 +58,7 @@ pub use frontend::{FetchOutcome, FetchedInstr, Frontend};
 pub use machine::{AgentOp, AgentTiming, Machine, Timeout};
 pub use memory::Memory;
 pub use predictor::{BranchPredictor, Prediction};
+pub use preset::{GeometryPreset, NoisePreset, PredictorPreset};
 pub use rob::{fresh_rat, EntryState, Rat, RegTag, Rob, RobEntry};
 pub use rs::{Operand, OperandList, ReservationStation, RsEntry};
 pub use scheme::{

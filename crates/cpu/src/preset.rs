@@ -1,0 +1,259 @@
+//! Named machine-configuration presets — the cache-geometry, noise, and
+//! predictor axes of the harness's scenario sweeps (`sia sweep`).
+//!
+//! Each preset enum is **enumerable** (`all()`, in presentation order)
+//! and **parsable** (`slug()` / `parse()` round-trip), so a sweep grid
+//! can name its axis values declaratively and record them in result
+//! JSON. [`MachineConfig::from_presets`] assembles a validated machine
+//! from one value per axis; the default machine is
+//! `from_presets(KabyLake, Quiet, P1k)`.
+
+use si_cache::{CacheConfig, HierarchyConfig, PolicyKind};
+
+use crate::config::{MachineConfig, NoiseConfig};
+
+/// Cache-geometry presets: variations of the Kaby-Lake-like hierarchy
+/// that stress different points of the attack surface (LLC capacity,
+/// LLC associativity, private-L2 reach). All keep the paper's
+/// `QLRU_H11_M1_R0_U0` LLC policy and two cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum GeometryPreset {
+    /// The default experimental machine (32 KB 8-way L1s, 128 KB 8-way
+    /// L2, 1 MB 16-way LLC) — `HierarchyConfig::kaby_lake_like(2)`.
+    KabyLake,
+    /// A capacity-starved LLC (256 KB, 16-way): eviction pressure rises,
+    /// so occupancy-style channels and back-invalidations become louder.
+    SmallLlc,
+    /// A low-associativity LLC (512 KB, 4-way over 2048 sets): eviction
+    /// sets are cheap to build, conflict-based receivers get easier.
+    LowAssocLlc,
+    /// A doubled private L2 (256 KB, 8-way): more speculative state is
+    /// absorbed before it reaches the shared level.
+    BigL2,
+}
+
+impl GeometryPreset {
+    /// All presets, in presentation order.
+    pub fn all() -> Vec<GeometryPreset> {
+        use GeometryPreset::*;
+        vec![KabyLake, SmallLlc, LowAssocLlc, BigL2]
+    }
+
+    /// Canonical CLI/JSON slug.
+    pub fn slug(self) -> &'static str {
+        match self {
+            GeometryPreset::KabyLake => "kaby-lake",
+            GeometryPreset::SmallLlc => "small-llc",
+            GeometryPreset::LowAssocLlc => "low-assoc",
+            GeometryPreset::BigL2 => "big-l2",
+        }
+    }
+
+    /// Parses a slug (case-insensitive), as printed by [`slug`](Self::slug).
+    pub fn parse(text: &str) -> Option<GeometryPreset> {
+        let needle = text.to_ascii_lowercase();
+        GeometryPreset::all()
+            .into_iter()
+            .find(|g| g.slug() == needle)
+    }
+
+    /// Builds the hierarchy this preset names.
+    pub fn hierarchy(self) -> HierarchyConfig {
+        let mut h = HierarchyConfig::kaby_lake_like(2);
+        match self {
+            GeometryPreset::KabyLake => {}
+            GeometryPreset::SmallLlc => {
+                h.llc = CacheConfig::new(256, 16, PolicyKind::qlru_h11_m1_r0_u0());
+            }
+            GeometryPreset::LowAssocLlc => {
+                h.llc = CacheConfig::new(2048, 4, PolicyKind::qlru_h11_m1_r0_u0());
+            }
+            GeometryPreset::BigL2 => {
+                h.l2 = CacheConfig::new(512, 8, PolicyKind::Lru);
+            }
+        }
+        h
+    }
+}
+
+/// Noise presets: the seeded timing-noise environments the covert-channel
+/// figures run under (see `NoiseConfig`; the per-trial RNG seed is set by
+/// the harness, not the preset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum NoisePreset {
+    /// No injected noise (deterministic timing).
+    Quiet,
+    /// Light DRAM jitter (uniform 0..=12 extra cycles per DRAM access) —
+    /// the Figure 7 measurement environment.
+    Jitter,
+    /// Hostile co-tenant: DRAM jitter 40 plus a background agent walking
+    /// conflict bursts through random LLC sets every 16 cycles — the
+    /// Figure 11 environment.
+    Bursty,
+}
+
+impl NoisePreset {
+    /// All presets, in presentation order.
+    pub fn all() -> Vec<NoisePreset> {
+        use NoisePreset::*;
+        vec![Quiet, Jitter, Bursty]
+    }
+
+    /// Canonical CLI/JSON slug.
+    pub fn slug(self) -> &'static str {
+        match self {
+            NoisePreset::Quiet => "quiet",
+            NoisePreset::Jitter => "jitter",
+            NoisePreset::Bursty => "bursty",
+        }
+    }
+
+    /// Parses a slug (case-insensitive), as printed by [`slug`](Self::slug).
+    pub fn parse(text: &str) -> Option<NoisePreset> {
+        let needle = text.to_ascii_lowercase();
+        NoisePreset::all().into_iter().find(|n| n.slug() == needle)
+    }
+
+    /// Builds the noise configuration this preset names (default seed;
+    /// callers that need per-trial noise derive their own seed).
+    pub fn noise(self) -> NoiseConfig {
+        let mut n = NoiseConfig::default();
+        match self {
+            NoisePreset::Quiet => {}
+            NoisePreset::Jitter => n.dram_jitter = 12,
+            NoisePreset::Bursty => {
+                n.dram_jitter = 40;
+                n.background_period = 16;
+                n.burst_sets = true;
+            }
+        }
+        n
+    }
+}
+
+/// Branch-predictor presets (counter-table size; power of two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PredictorPreset {
+    /// The default 1024-entry table.
+    P1k,
+    /// A tiny 64-entry table: heavy aliasing, frequent mispredicts —
+    /// more squashes, more speculative windows.
+    P64,
+    /// A generous 8192-entry table: near-alias-free prediction.
+    P8k,
+}
+
+impl PredictorPreset {
+    /// All presets, in presentation order.
+    pub fn all() -> Vec<PredictorPreset> {
+        use PredictorPreset::*;
+        vec![P1k, P64, P8k]
+    }
+
+    /// Canonical CLI/JSON slug.
+    pub fn slug(self) -> &'static str {
+        match self {
+            PredictorPreset::P1k => "p1k",
+            PredictorPreset::P64 => "p64",
+            PredictorPreset::P8k => "p8k",
+        }
+    }
+
+    /// Parses a slug (case-insensitive), as printed by [`slug`](Self::slug).
+    pub fn parse(text: &str) -> Option<PredictorPreset> {
+        let needle = text.to_ascii_lowercase();
+        PredictorPreset::all()
+            .into_iter()
+            .find(|p| p.slug() == needle)
+    }
+
+    /// The counter-table size this preset names.
+    pub fn entries(self) -> usize {
+        match self {
+            PredictorPreset::P1k => 1024,
+            PredictorPreset::P64 => 64,
+            PredictorPreset::P8k => 8192,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Assembles a machine from one value per preset axis. The result
+    /// always validates; `from_presets(KabyLake, Quiet, P1k)` is the
+    /// default machine.
+    pub fn from_presets(
+        geometry: GeometryPreset,
+        noise: NoisePreset,
+        predictor: PredictorPreset,
+    ) -> MachineConfig {
+        let mut cfg = MachineConfig {
+            hierarchy: geometry.hierarchy(),
+            noise: noise.noise(),
+            ..MachineConfig::default()
+        };
+        cfg.core.predictor_entries = predictor.entries();
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_combination_validates() {
+        for g in GeometryPreset::all() {
+            for n in NoisePreset::all() {
+                for p in PredictorPreset::all() {
+                    MachineConfig::from_presets(g, n, p)
+                        .validate()
+                        .unwrap_or_else(|e| panic!("{g:?}/{n:?}/{p:?}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slugs_round_trip() {
+        for g in GeometryPreset::all() {
+            assert_eq!(GeometryPreset::parse(g.slug()), Some(g), "{g:?}");
+        }
+        for n in NoisePreset::all() {
+            assert_eq!(NoisePreset::parse(n.slug()), Some(n), "{n:?}");
+        }
+        for p in PredictorPreset::all() {
+            assert_eq!(PredictorPreset::parse(p.slug()), Some(p), "{p:?}");
+        }
+        assert_eq!(
+            GeometryPreset::parse("KABY-LAKE"),
+            Some(GeometryPreset::KabyLake)
+        );
+        assert_eq!(NoisePreset::parse("nope"), None);
+    }
+
+    #[test]
+    fn default_presets_reproduce_the_default_machine() {
+        let preset = MachineConfig::from_presets(
+            GeometryPreset::KabyLake,
+            NoisePreset::Quiet,
+            PredictorPreset::P1k,
+        );
+        assert_eq!(preset, MachineConfig::default());
+    }
+
+    #[test]
+    fn presets_differ_from_the_default_machine() {
+        let base = MachineConfig::default();
+        for g in [
+            GeometryPreset::SmallLlc,
+            GeometryPreset::LowAssocLlc,
+            GeometryPreset::BigL2,
+        ] {
+            assert_ne!(g.hierarchy(), base.hierarchy, "{g:?}");
+        }
+        for n in [NoisePreset::Jitter, NoisePreset::Bursty] {
+            assert_ne!(n.noise(), base.noise, "{n:?}");
+        }
+        assert_ne!(PredictorPreset::P64.entries(), base.core.predictor_entries);
+    }
+}

@@ -30,8 +30,10 @@ use si_schemes::SchemeKind;
 
 use crate::json::{arr, obj, Json};
 
-/// Version stamp of the `BENCH_baseline.json` schema.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// Version stamp of the `BENCH_baseline.json` schema — the shared
+/// result-file version ([`crate::json::SCHEMA_VERSION`]); the bench
+/// document has carried its `kind: "bench"` discriminator since v1.
+pub const BENCH_SCHEMA_VERSION: u64 = crate::json::SCHEMA_VERSION;
 
 /// Default output path for the benchmark snapshot.
 pub const BENCH_DEFAULT_PATH: &str = "BENCH_baseline.json";

@@ -4,6 +4,8 @@
 //! sia list                          # every registered experiment
 //! sia run fig07 --scheme dom        # one experiment
 //! sia run --all --trials 5          # CI smoke: everything, small
+//! sia sweep --grid defense          # declarative scenario sweep
+//! sia report results/               # results/*.json -> markdown tables
 //! sia bench                         # microbenchmarks -> BENCH_baseline.json
 //! ```
 //!
@@ -15,6 +17,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use si_harness::json::{parse, Json};
+use si_harness::render::{render_report, splice_report, REPORT_BEGIN, REPORT_END};
+use si_harness::sweep::{run_sweep, GridSpec, GRID_NAMES};
 use si_harness::{parse_scheme, registry, run_experiment, Experiment, RunConfig};
 
 const USAGE: &str = "\
@@ -24,11 +28,9 @@ USAGE:
     sia list
     sia run <EXPERIMENT>... [OPTIONS]
     sia run --all [OPTIONS]
+    sia sweep [SWEEP OPTIONS]
+    sia report [PATH...] [REPORT OPTIONS]
     sia bench [--quick] [--out <FILE>]
-
-BENCH OPTIONS:
-    --quick            fewer samples (CI smoke); same schema and bench set
-    --out <FILE>       output file (default: BENCH_baseline.json)
 
 RUN OPTIONS:
     --all              run every registered experiment
@@ -41,7 +43,44 @@ RUN OPTIONS:
     --print            also print each result document to stdout
     --no-wall-time     omit wall_time_ms from result files (bit-stable output)
     -h, --help         show this help
+
+SWEEP OPTIONS:
+    --grid <NAME>      grid to run: defense (default), schemes, geometry,
+                       noise, full
+    --filter <A=V,..>  restrict an axis (repeatable); axes: scheme, workload,
+                       geometry, noise, predictor. Scheme values match as
+                       family prefixes: --filter scheme=dom,fence
+    --quick            CI smoke: scale 16, one trial per cell
+    --scale <N>        workload problem scale override
+    --trials <N>       trials per cell override
+    --threads/--seed   as for run
+    --out <FILE>       output file (default: results/sweep-<grid>.json)
+    --print            also print the result document to stdout
+    --no-wall-time     omit wall_time_ms (bit-stable output)
+
+REPORT OPTIONS:
+    PATH...            result files or directories of *.json
+                       (default: results/)
+    --out <FILE>       write the markdown report to FILE instead of stdout
+    --update <FILE>    splice the report between the sia:report markers
+                       of FILE (e.g. EXPERIMENTS.md)
+    --check <FILE>     verify FILE's marked region matches the report;
+                       exit non-zero on drift
+
+BENCH OPTIONS:
+    --quick            fewer samples (CI smoke); same schema and bench set
+    --out <FILE>       output file (default: BENCH_baseline.json)
 ";
+
+/// Parses a `--seed` value: decimal or `0x`-prefixed hex. Shared by
+/// `run` and `sweep` so the accepted syntax can never diverge.
+fn parse_seed(text: &str) -> Result<u64, String> {
+    match text.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => text.parse(),
+    }
+    .map_err(|e| format!("--seed: {e}"))
+}
 
 struct Args {
     ids: Vec<String>,
@@ -82,14 +121,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
-            "--seed" => {
-                let text = value("--seed")?;
-                args.cfg.seed = match text.strip_prefix("0x") {
-                    Some(hex) => u64::from_str_radix(hex, 16),
-                    None => text.parse(),
-                }
-                .map_err(|e| format!("--seed: {e}"))?;
-            }
+            "--seed" => args.cfg.seed = parse_seed(&value("--seed")?)?,
             "--scheme" => {
                 let text = value("--scheme")?;
                 args.cfg.scheme =
@@ -127,6 +159,10 @@ fn cmd_list() -> ExitCode {
     println!("         safespec-wfb, safespec-wfc, muontrap, condspec, cleanupspec,");
     println!(
         "         unprotected, fence, fence-futuristic, advanced, advanced-hold, advanced-age"
+    );
+    println!(
+        "\nsweep grids (`sia sweep --grid`): {}",
+        GRID_NAMES.join(", ")
     );
     ExitCode::SUCCESS
 }
@@ -207,6 +243,192 @@ fn cmd_run(args: &Args) -> ExitCode {
     }
 }
 
+fn cmd_sweep(argv: &[String]) -> Result<ExitCode, String> {
+    let mut grid_name = "defense".to_owned();
+    let mut filters: Vec<String> = Vec::new();
+    let mut quick = false;
+    let mut scale: Option<usize> = None;
+    let mut trials: Option<usize> = None;
+    let mut threads = RunConfig::default().threads;
+    let mut seed = RunConfig::default().seed;
+    let mut out: Option<String> = None;
+    let mut print = false;
+    let mut wall_time = true;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--grid" => grid_name = value("--grid")?,
+            "--filter" => filters.push(value("--filter")?),
+            "--quick" => quick = true,
+            "--scale" => {
+                scale = Some(
+                    value("--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?,
+                );
+            }
+            "--trials" => {
+                trials = Some(
+                    value("--trials")?
+                        .parse()
+                        .map_err(|e| format!("--trials: {e}"))?,
+                );
+            }
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--seed" => seed = parse_seed(&value("--seed")?)?,
+            "--out" => out = Some(value("--out")?),
+            "--print" => print = true,
+            "--no-wall-time" => wall_time = false,
+            other => return Err(format!("unknown sweep option '{other}'")),
+        }
+    }
+    let mut grid = GridSpec::named(&grid_name)?;
+    if quick {
+        grid.quick();
+    }
+    for f in &filters {
+        grid.apply_filter(f)?;
+    }
+    if let Some(s) = scale {
+        grid.scale = s;
+    }
+    if let Some(t) = trials {
+        grid.trials = t;
+    }
+    let path = out.unwrap_or_else(|| format!("results/sweep-{grid_name}.json"));
+    let start = Instant::now();
+    let mut envelope = run_sweep(&grid, seed, threads)?;
+    let wall_ms = start.elapsed().as_millis();
+    if wall_time {
+        envelope.push("wall_time_ms", Json::from(wall_ms as u64));
+    }
+    let text = envelope.to_pretty();
+    parse(&text).map_err(|e| format!("emitted malformed JSON: {e}"))?;
+    if let Some(dir) = std::path::Path::new(&path)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    }
+    std::fs::write(&path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+    if print {
+        print!("{text}");
+    }
+    println!(
+        "sweep:{:<10} ok  {:>7}ms  {}  -> {}",
+        grid_name,
+        wall_ms,
+        summary_line(&envelope),
+        path
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Expands report paths: a directory yields its `*.json` files sorted by
+/// name; a file yields itself. Returns `(stem, parsed document)` pairs.
+fn collect_docs(paths: &[String]) -> Result<Vec<(String, Json)>, String> {
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for p in paths {
+        let path = std::path::Path::new(p);
+        if path.is_dir() {
+            let mut inside: Vec<_> = std::fs::read_dir(path)
+                .map_err(|e| format!("reading {p}: {e}"))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|f| f.extension().is_some_and(|x| x == "json"))
+                .collect();
+            inside.sort();
+            files.extend(inside);
+        } else {
+            files.push(path.to_owned());
+        }
+    }
+    if files.is_empty() {
+        return Err("no result files to report on".into());
+    }
+    let mut docs = Vec::with_capacity(files.len());
+    for f in files {
+        let stem = f
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("result")
+            .to_owned();
+        let text =
+            std::fs::read_to_string(&f).map_err(|e| format!("reading {}: {e}", f.display()))?;
+        let doc = parse(&text).map_err(|e| format!("{}: {e}", f.display()))?;
+        docs.push((stem, doc));
+    }
+    Ok(docs)
+}
+
+fn cmd_report(argv: &[String]) -> Result<ExitCode, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut update: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--out" => out = Some(value("--out")?),
+            "--update" => update = Some(value("--update")?),
+            "--check" => check = Some(value("--check")?),
+            flag if flag.starts_with('-') => return Err(format!("unknown report option '{flag}'")),
+            path => paths.push(path.to_owned()),
+        }
+    }
+    if paths.is_empty() {
+        paths.push("results".to_owned());
+    }
+    let docs = collect_docs(&paths)?;
+    let generated = render_report(&docs)?;
+    if let Some(target) = &update {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+        let spliced = splice_report(&text, &generated)?;
+        std::fs::write(target, &spliced).map_err(|e| format!("writing {target}: {e}"))?;
+        println!("report: updated {target} ({} sections)", docs.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+    if let Some(target) = &check {
+        let text = std::fs::read_to_string(target).map_err(|e| format!("reading {target}: {e}"))?;
+        let spliced = splice_report(&text, &generated)?;
+        if spliced != text {
+            eprintln!(
+                "report: {target} has drifted from the committed results — the region between \
+                 '{REPORT_BEGIN}' and '{REPORT_END}' no longer matches `sia report`.\n\
+                 Regenerate with: sia report {} --update {target}",
+                paths.join(" ")
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        println!(
+            "report: {target} matches the committed results ({} sections)",
+            docs.len()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    match &out {
+        Some(file) => {
+            std::fs::write(file, &generated).map_err(|e| format!("writing {file}: {e}"))?;
+            println!("report: wrote {file} ({} sections)", docs.len());
+        }
+        None => print!("{generated}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn cmd_bench(argv: &[String]) -> ExitCode {
     let mut quick = false;
     let mut out = si_harness::bench::BENCH_DEFAULT_PATH.to_owned();
@@ -256,6 +478,14 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("bench") => cmd_bench(&argv[1..]),
+        Some("sweep") => cmd_sweep(&argv[1..]).unwrap_or_else(|e| {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }),
+        Some("report") => cmd_report(&argv[1..]).unwrap_or_else(|e| {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }),
         Some("run") => match parse_args(&argv[1..]) {
             Ok(args) => cmd_run(&args),
             Err(e) => {

@@ -9,6 +9,56 @@
 
 use std::fmt::Write as _;
 
+/// Version stamp of the result-file schema.
+///
+/// **v2** (current): every document carries a `kind` discriminator right
+/// after `schema_version` — `"experiment"` (one `sia run` result),
+/// `"sweep"` (a `sia sweep` grid), or `"bench"` (the `sia bench`
+/// snapshot) — so downstream consumers (`sia report`, CI validators)
+/// dispatch without guessing from filenames. Experiment and sweep
+/// documents share the `config` / `result` / `summary` envelope.
+///
+/// **v1**: experiment envelopes without `kind`. [`doc_kind`] still
+/// classifies v1 documents so `sia report` renders old result files.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The kind of a result document (the schema-v2 `kind` discriminator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DocKind {
+    /// One experiment run (`sia run`).
+    Experiment,
+    /// A scenario-sweep grid (`sia sweep`).
+    Sweep,
+    /// A microbenchmark snapshot (`sia bench`).
+    Bench,
+}
+
+impl DocKind {
+    /// The `kind` string this variant serializes as.
+    pub fn slug(self) -> &'static str {
+        match self {
+            DocKind::Experiment => "experiment",
+            DocKind::Sweep => "sweep",
+            DocKind::Bench => "bench",
+        }
+    }
+}
+
+/// Classifies a result document. Reads the v2 `kind` field; falls back
+/// to structural sniffing for v1 documents (an `experiment` id field ⇒
+/// experiment). Returns `None` for documents this harness never wrote.
+pub fn doc_kind(doc: &Json) -> Option<DocKind> {
+    match doc.get("kind") {
+        Some(Json::Str(k)) => match k.as_str() {
+            "experiment" => Some(DocKind::Experiment),
+            "sweep" => Some(DocKind::Sweep),
+            "bench" => Some(DocKind::Bench),
+            _ => None,
+        },
+        _ => doc.get("experiment").map(|_| DocKind::Experiment),
+    }
+}
+
 /// A JSON value with order-preserving objects.
 ///
 /// Equality treats `I64`/`U64` as one numeric domain (the parser cannot

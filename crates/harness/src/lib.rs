@@ -8,7 +8,14 @@
 //! sia list
 //! sia run fig07 --scheme dom
 //! sia run --all --trials 5 --out results/
+//! sia sweep --grid defense --filter scheme=dom,fence
+//! sia report results/ --check EXPERIMENTS.md
 //! ```
+//!
+//! Beyond the fixed figure/table experiments, [`sweep`] runs declarative
+//! scenario grids (scheme × workload × geometry × noise × predictor) and
+//! [`render`] turns any result document into deterministic markdown —
+//! the generated sections of EXPERIMENTS.md.
 //!
 //! ## Determinism contract
 //!
@@ -27,7 +34,8 @@
 //!
 //! ```text
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
+//!   "kind": "experiment",
 //!   "experiment": "fig07",
 //!   "title": "...",
 //!   "config": { "trials": 60, "seed": 1369251873, "scheme": "dom" },
@@ -42,13 +50,13 @@ pub mod experiments;
 pub mod json;
 pub mod render;
 pub mod report;
+pub mod sweep;
 
 use json::{obj, Json};
 use si_cpu::MachineConfig;
 use si_schemes::SchemeKind;
 
-/// Version stamp of the result-file schema.
-pub const SCHEMA_VERSION: u64 = 1;
+pub use json::{DocKind, SCHEMA_VERSION};
 
 /// Everything a single experiment run is parameterized by. The payload
 /// an experiment produces must be a pure function of this struct (plus
@@ -158,6 +166,7 @@ pub fn run_experiment(exp: &dyn Experiment, cfg: &RunConfig) -> Result<Json, Str
     }
     Ok(obj([
         ("schema_version", Json::from(SCHEMA_VERSION)),
+        ("kind", Json::from(DocKind::Experiment.slug())),
         ("experiment", Json::from(exp.id())),
         ("title", Json::from(exp.title())),
         ("config", config),

@@ -1,0 +1,482 @@
+//! Declarative scenario sweeps (`sia sweep`): a grid spec over the
+//! evaluation axes — defense scheme (× shadow model), workload kernel,
+//! cache geometry, noise environment, and branch-predictor size — that
+//! flattens into independent seeded trial units and runs through
+//! [`exec::parallel_map`], so 1-thread and N-thread sweeps stay
+//! bit-identical.
+//!
+//! ## Grid → trial-unit flattening
+//!
+//! A [`GridSpec`] is five axis lists plus a workload `scale` and a
+//! `trials` count. The cross product of (geometry × noise × predictor ×
+//! workload) forms the sweep's **rows**; each row measures the
+//! [`SchemeKind::Unprotected`] baseline plus one **cell** per scheme in
+//! the grid. Every `(row, column, trial)` triple becomes one unit at a
+//! fixed index — row-major, then column (baseline first), then trial —
+//! and the unit's noise seed is `mix_seed(base_seed, unit_index)`.
+//! Because the index is assigned before fan-out and results reassemble
+//! in index order, the emitted JSON is a pure function of
+//! `(grid, seed)`, never of thread count or completion order.
+//!
+//! ## Output (schema v2, `kind: "sweep"`)
+//!
+//! ```text
+//! {
+//!   "schema_version": 2,
+//!   "kind": "sweep",
+//!   "grid": "defense",
+//!   "title": "...",
+//!   "config": { scale, trials, seed, schemes, workloads, geometries, noises, predictors },
+//!   "result": { "rows": [ { workload, geometry, noise, predictor,
+//!                           baseline: {mean_cycles, ...},
+//!                           cells: [ {scheme, mean_cycles, slowdown, ...} | {scheme, error} ] } ] },
+//!   "summary": { units, errors, "geomean_<scheme>": ... }
+//! }
+//! ```
+//!
+//! Failed cells (timeout, checksum mismatch) carry an `error` string
+//! instead of numbers; renderers show them as placeholder cells so
+//! tables stay rectangular.
+
+use si_cpu::{GeometryPreset, MachineConfig, NoisePreset, PredictorPreset};
+use si_schemes::SchemeKind;
+use si_workloads::WorkloadKind;
+
+use crate::exec::{mix_seed, parallel_map};
+use crate::json::{arr, obj, DocKind, Json, SCHEMA_VERSION};
+use crate::scheme_slug;
+
+/// The named grids `sia sweep --grid` accepts, in presentation order.
+pub const GRID_NAMES: [&str; 5] = ["defense", "schemes", "geometry", "noise", "full"];
+
+/// A declarative sweep grid: axis value lists plus the sample knobs.
+///
+/// The `schemes` axis never contains [`SchemeKind::Unprotected`] — the
+/// baseline is measured for every row regardless, so each cell can
+/// report its slowdown against the matching unprotected run.
+#[derive(Debug, Clone)]
+pub struct GridSpec {
+    /// The grid's name (recorded in the output envelope).
+    pub name: String,
+    /// Scheme columns (baseline excluded; it is always measured).
+    pub schemes: Vec<SchemeKind>,
+    /// Workload kernels.
+    pub workloads: Vec<WorkloadKind>,
+    /// Cache-geometry presets.
+    pub geometries: Vec<GeometryPreset>,
+    /// Noise-environment presets.
+    pub noises: Vec<NoisePreset>,
+    /// Branch-predictor presets.
+    pub predictors: Vec<PredictorPreset>,
+    /// Workload problem scale (see `si_workloads::WorkloadKind::program`).
+    pub scale: usize,
+    /// Trials per cell (mean-aggregated; >1 only matters under noise).
+    pub trials: usize,
+}
+
+impl GridSpec {
+    /// Looks up a named grid.
+    ///
+    /// * `defense` — the Figure 12 neighbourhood: DoM, both fence
+    ///   models, and the §5.4 advanced defense over all eight kernels.
+    /// * `schemes` — every protected scheme over four representative
+    ///   kernels.
+    /// * `geometry` — two schemes × four memory-shaped kernels across
+    ///   every cache-geometry preset.
+    /// * `noise` — two schemes × two kernels across the noise presets,
+    ///   three trials per cell (noise is the point).
+    /// * `full` — every protected scheme × every kernel.
+    pub fn named(name: &str) -> Result<GridSpec, String> {
+        use SchemeKind::*;
+        use WorkloadKind::*;
+        let spec = match name {
+            "defense" => GridSpec {
+                name: name.to_owned(),
+                schemes: vec![DomSpectre, FenceSpectre, FenceFuturistic, Advanced],
+                workloads: WorkloadKind::all(),
+                geometries: vec![GeometryPreset::KabyLake],
+                noises: vec![NoisePreset::Quiet],
+                predictors: vec![PredictorPreset::P1k],
+                scale: 48,
+                trials: 1,
+            },
+            "schemes" => GridSpec {
+                name: name.to_owned(),
+                schemes: SchemeKind::all()
+                    .into_iter()
+                    .filter(|s| *s != Unprotected)
+                    .collect(),
+                workloads: vec![PointerChase, Stream, BranchySort, Mixed],
+                geometries: vec![GeometryPreset::KabyLake],
+                noises: vec![NoisePreset::Quiet],
+                predictors: vec![PredictorPreset::P1k],
+                scale: 32,
+                trials: 1,
+            },
+            "geometry" => GridSpec {
+                name: name.to_owned(),
+                schemes: vec![DomSpectre, FenceSpectre],
+                workloads: vec![PointerChase, Stream, CacheThrash, Mixed],
+                geometries: GeometryPreset::all(),
+                noises: vec![NoisePreset::Quiet],
+                predictors: vec![PredictorPreset::P1k],
+                scale: 32,
+                trials: 1,
+            },
+            "noise" => GridSpec {
+                name: name.to_owned(),
+                schemes: vec![DomSpectre, FenceSpectre],
+                workloads: vec![PointerChase, Mixed],
+                geometries: vec![GeometryPreset::KabyLake],
+                noises: NoisePreset::all(),
+                predictors: vec![PredictorPreset::P1k],
+                scale: 32,
+                trials: 3,
+            },
+            "full" => GridSpec {
+                name: name.to_owned(),
+                schemes: SchemeKind::all()
+                    .into_iter()
+                    .filter(|s| *s != Unprotected)
+                    .collect(),
+                workloads: WorkloadKind::all(),
+                geometries: vec![GeometryPreset::KabyLake],
+                noises: vec![NoisePreset::Quiet],
+                predictors: vec![PredictorPreset::P1k],
+                scale: 48,
+                trials: 1,
+            },
+            other => {
+                return Err(format!(
+                    "unknown grid '{other}' (grids: {})",
+                    GRID_NAMES.join(", ")
+                ))
+            }
+        };
+        Ok(spec)
+    }
+
+    /// Shrinks the grid for CI smoke runs: scale 16, one trial per cell.
+    /// Axis lists are untouched, so `--quick` exercises the same cells.
+    pub fn quick(&mut self) {
+        self.scale = 16;
+        self.trials = 1;
+    }
+
+    /// Applies one `--filter axis=v1,v2,…` spec. Axes: `scheme`,
+    /// `workload`, `geometry`, `noise`, `predictor`. A scheme value
+    /// matches its slug exactly or as a family prefix (`dom` matches
+    /// `dom`, `dom-nontso`, `dom-futuristic`); the other axes match
+    /// slugs exactly. A value matching nothing, or a filter emptying an
+    /// axis, is an error.
+    pub fn apply_filter(&mut self, spec: &str) -> Result<(), String> {
+        let (axis, values) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("filter '{spec}' is not of the form axis=v1,v2"))?;
+        let values: Vec<String> = values
+            .split(',')
+            .map(|v| v.trim().to_ascii_lowercase())
+            .filter(|v| !v.is_empty())
+            .collect();
+        if values.is_empty() {
+            return Err(format!("filter '{spec}' names no values"));
+        }
+        fn retain<T: Copy>(
+            axis: &str,
+            items: &mut Vec<T>,
+            values: &[String],
+            matches: impl Fn(T, &str) -> bool,
+        ) -> Result<(), String> {
+            for v in values {
+                if !items.iter().any(|i| matches(*i, v)) {
+                    return Err(format!(
+                        "filter value '{v}' matches nothing on axis '{axis}'"
+                    ));
+                }
+            }
+            items.retain(|i| values.iter().any(|v| matches(*i, v)));
+            if items.is_empty() {
+                return Err(format!("filter emptied axis '{axis}'"));
+            }
+            Ok(())
+        }
+        match axis.trim() {
+            "scheme" => {
+                if values.iter().any(|v| v == "unprotected") {
+                    return Err(
+                        "the unprotected baseline always runs; filter protected schemes".into(),
+                    );
+                }
+                retain("scheme", &mut self.schemes, &values, |s, v| {
+                    let slug = scheme_slug(s);
+                    slug == v || slug.starts_with(&format!("{v}-"))
+                })
+            }
+            "workload" => retain("workload", &mut self.workloads, &values, |w, v| {
+                w.label() == v
+            }),
+            "geometry" => retain("geometry", &mut self.geometries, &values, |g, v| {
+                g.slug() == v
+            }),
+            "noise" => retain("noise", &mut self.noises, &values, |n, v| n.slug() == v),
+            "predictor" => retain("predictor", &mut self.predictors, &values, |p, v| {
+                p.slug() == v
+            }),
+            other => Err(format!(
+                "unknown filter axis '{other}' (axes: scheme, workload, geometry, noise, predictor)"
+            )),
+        }
+    }
+
+    /// The sweep's rows: the (geometry × noise × predictor × workload)
+    /// cross product, in presentation order.
+    fn rows(&self) -> Vec<RowKey> {
+        let mut rows = Vec::new();
+        for &geometry in &self.geometries {
+            for &noise in &self.noises {
+                for &predictor in &self.predictors {
+                    for &workload in &self.workloads {
+                        rows.push(RowKey {
+                            geometry,
+                            noise,
+                            predictor,
+                            workload,
+                        });
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    /// Number of trial units the grid flattens into (baseline included).
+    pub fn unit_count(&self) -> usize {
+        self.rows().len() * (self.schemes.len() + 1) * self.trials.max(1)
+    }
+}
+
+/// One sweep row: a machine configuration plus the kernel it runs.
+#[derive(Debug, Clone, Copy)]
+struct RowKey {
+    geometry: GeometryPreset,
+    noise: NoisePreset,
+    predictor: PredictorPreset,
+    workload: WorkloadKind,
+}
+
+/// One flattened trial unit.
+struct Unit {
+    row: usize,
+    /// Column index: 0 is the unprotected baseline, `1 + i` is scheme `i`.
+    col: usize,
+}
+
+/// Runs a sweep and returns the schema-v2 result document. The document
+/// is a pure function of `(grid, seed)`; `threads` only changes wall
+/// time.
+pub fn run_sweep(grid: &GridSpec, seed: u64, threads: usize) -> Result<Json, String> {
+    if grid.scale == 0 {
+        return Err("workload scale must be non-zero".into());
+    }
+    let trials = grid.trials.max(1);
+    let rows = grid.rows();
+    if rows.is_empty() {
+        return Err("grid has no rows (an axis is empty)".into());
+    }
+    let columns: Vec<SchemeKind> = std::iter::once(SchemeKind::Unprotected)
+        .chain(grid.schemes.iter().copied())
+        .collect();
+
+    // Flatten row-major, baseline column first, trials innermost. The
+    // unit index doubles as the per-unit seed derivation input.
+    let mut units = Vec::with_capacity(rows.len() * columns.len() * trials);
+    for row in 0..rows.len() {
+        for col in 0..columns.len() {
+            for _trial in 0..trials {
+                units.push(Unit { row, col });
+            }
+        }
+    }
+
+    let outcomes = parallel_map(units.len(), threads, |i| {
+        let u = &units[i];
+        let k = &rows[u.row];
+        let mut cfg = MachineConfig::from_presets(k.geometry, k.noise, k.predictor);
+        cfg.noise.seed = mix_seed(seed, i as u64);
+        si_workloads::run(k.workload, grid.scale, columns[u.col], &cfg)
+            .map(|m| m.cycles)
+            .map_err(|e| e.to_string())
+    });
+
+    // Aggregate per (row, column): mean cycles over successful trials.
+    let mut json_rows = Vec::with_capacity(rows.len());
+    let mut errors = 0usize;
+    // Per-scheme ln-slowdown accumulators for the geomean summary.
+    let mut geo = vec![(0.0f64, 0usize); grid.schemes.len()];
+    for (r, key) in rows.iter().enumerate() {
+        let cell_of = |col: usize| -> (Option<f64>, usize, Option<String>) {
+            let base = (r * columns.len() + col) * trials;
+            let slice = &outcomes[base..base + trials];
+            let ok: Vec<u64> = slice
+                .iter()
+                .filter_map(|o| o.as_ref().ok().copied())
+                .collect();
+            let failed = trials - ok.len();
+            let first_err = slice.iter().find_map(|o| o.as_ref().err().cloned());
+            let mean = (!ok.is_empty()).then(|| ok.iter().sum::<u64>() as f64 / ok.len() as f64);
+            (mean, failed, first_err)
+        };
+        let (base_mean, base_failed, base_err) = cell_of(0);
+        errors += base_failed;
+        let mut baseline = obj([("trials", Json::from(trials))]);
+        match base_mean {
+            Some(m) => baseline.push("mean_cycles", Json::from(m)),
+            None => baseline.push("error", Json::from(base_err.unwrap_or_default())),
+        }
+        let mut cells = Vec::with_capacity(grid.schemes.len());
+        for (i, scheme) in grid.schemes.iter().enumerate() {
+            let (mean, failed, first_err) = cell_of(1 + i);
+            errors += failed;
+            let mut cell = obj([("scheme", Json::from(scheme_slug(*scheme)))]);
+            match mean {
+                Some(m) => {
+                    cell.push("mean_cycles", Json::from(m));
+                    if let Some(b) = base_mean {
+                        let slowdown = m / b;
+                        cell.push("slowdown", Json::from(slowdown));
+                        let (sum, n) = geo[i];
+                        geo[i] = (sum + slowdown.ln(), n + 1);
+                    }
+                }
+                None => cell.push("error", Json::from(first_err.unwrap_or_default())),
+            }
+            cells.push(cell);
+        }
+        json_rows.push(obj([
+            ("workload", Json::from(key.workload.label())),
+            ("geometry", Json::from(key.geometry.slug())),
+            ("noise", Json::from(key.noise.slug())),
+            ("predictor", Json::from(key.predictor.slug())),
+            ("baseline", baseline),
+            ("cells", Json::Arr(cells)),
+        ]));
+    }
+
+    let config = obj([
+        ("scale", Json::from(grid.scale)),
+        ("trials", Json::from(trials)),
+        ("seed", Json::from(seed)),
+        (
+            "schemes",
+            arr(grid
+                .schemes
+                .iter()
+                .map(|s| scheme_slug(*s))
+                .collect::<Vec<_>>()),
+        ),
+        (
+            "workloads",
+            arr(grid.workloads.iter().map(|w| w.label()).collect::<Vec<_>>()),
+        ),
+        (
+            "geometries",
+            arr(grid.geometries.iter().map(|g| g.slug()).collect::<Vec<_>>()),
+        ),
+        (
+            "noises",
+            arr(grid.noises.iter().map(|n| n.slug()).collect::<Vec<_>>()),
+        ),
+        (
+            "predictors",
+            arr(grid.predictors.iter().map(|p| p.slug()).collect::<Vec<_>>()),
+        ),
+    ]);
+    let mut summary = obj([
+        ("rows", Json::from(json_rows.len())),
+        ("units", Json::from(units.len())),
+        ("errors", Json::from(errors)),
+    ]);
+    for (i, scheme) in grid.schemes.iter().enumerate() {
+        let (sum, n) = geo[i];
+        if n > 0 {
+            summary.push(
+                &format!("geomean_{}", scheme_slug(*scheme)),
+                Json::from((sum / n as f64).exp()),
+            );
+        }
+    }
+    Ok(obj([
+        ("schema_version", Json::from(SCHEMA_VERSION)),
+        ("kind", Json::from(DocKind::Sweep.slug())),
+        ("grid", Json::from(grid.name.as_str())),
+        (
+            "title",
+            Json::from(format!("Scenario sweep '{}'", grid.name)),
+        ),
+        ("config", config),
+        ("result", obj([("rows", Json::Arr(json_rows))])),
+        ("summary", summary),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_named_grid_resolves_and_counts_units() {
+        for name in GRID_NAMES {
+            let grid = GridSpec::named(name).expect(name);
+            assert!(grid.unit_count() > 0, "{name}");
+            assert!(
+                !grid.schemes.contains(&SchemeKind::Unprotected),
+                "{name}: baseline must not be a scheme column"
+            );
+        }
+        assert!(GridSpec::named("nope").is_err());
+    }
+
+    #[test]
+    fn filters_narrow_axes_with_family_prefixes() {
+        let mut grid = GridSpec::named("schemes").expect("grid");
+        grid.apply_filter("scheme=dom,fence").expect("filter");
+        let slugs: Vec<&str> = grid.schemes.iter().map(|s| scheme_slug(*s)).collect();
+        assert_eq!(
+            slugs,
+            [
+                "dom",
+                "dom-nontso",
+                "dom-futuristic",
+                "fence",
+                "fence-futuristic"
+            ]
+        );
+        grid.apply_filter("workload=ptr-chase").expect("filter");
+        assert_eq!(grid.workloads, [WorkloadKind::PointerChase]);
+    }
+
+    #[test]
+    fn bad_filters_are_rejected() {
+        let mut grid = GridSpec::named("defense").expect("grid");
+        assert!(grid.apply_filter("scheme").is_err());
+        assert!(grid.apply_filter("scheme=nope").is_err());
+        assert!(grid.apply_filter("scheme=unprotected").is_err());
+        assert!(grid.apply_filter("planet=earth").is_err());
+        // Valid values absent from *this* grid are errors too (defense
+        // has no invisispec column).
+        assert!(grid.apply_filter("scheme=invisispec").is_err());
+    }
+
+    #[test]
+    fn quick_shrinks_knobs_but_not_axes() {
+        let mut grid = GridSpec::named("noise").expect("grid");
+        let cells = grid.workloads.len() * grid.schemes.len() * grid.noises.len();
+        grid.quick();
+        assert_eq!(grid.scale, 16);
+        assert_eq!(grid.trials, 1);
+        assert_eq!(
+            grid.workloads.len() * grid.schemes.len() * grid.noises.len(),
+            cells
+        );
+    }
+}

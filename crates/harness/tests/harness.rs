@@ -74,6 +74,12 @@ fn every_registered_experiment_runs_with_one_trial() {
             "{}: schema version missing",
             exp.id()
         );
+        assert_eq!(
+            parsed.get("kind"),
+            Some(&Json::from("experiment")),
+            "{}: v2 envelopes carry a kind discriminator",
+            exp.id()
+        );
         for key in ["title", "config", "result", "summary"] {
             assert!(
                 parsed.get(key).is_some(),

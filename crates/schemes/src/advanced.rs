@@ -19,8 +19,34 @@ use crate::ShadowModel;
 ///    instruction with higher priority"), implemented as a conservative
 ///    look-ahead reservation.
 ///
-/// Together the rules remove the `G^D_NPEU` interference channel: the
-/// gadget can no longer slip into port 0 ahead of the older target chain.
+/// **Paper reference:** §5.4 (the sketch); `sia run ablation`
+/// reproduces the rule-by-rule study, and the `defense` sweep grid
+/// measures the workload cost.
+///
+/// **Mechanism.** The load policy underneath is DoM's hit filter; the
+/// novelty is in the scheduler hooks `holds_resources_until_safe` and
+/// `strict_age_priority`, which the reservation station and the
+/// non-pipelined units consult each issue cycle. Together the rules
+/// remove the `G^D_NPEU` interference channel: the gadget can no longer
+/// slip into port 0 ahead of the older target chain, so the victim's
+/// timing stops depending on transiently-computed operands.
+///
+/// # Example
+///
+/// The two rules toggle independently (the ablation's three arms):
+///
+/// ```
+/// use si_cpu::SpeculationScheme;
+/// use si_schemes::{AdvancedDefense, ShadowModel};
+///
+/// let both = AdvancedDefense::new(ShadowModel::Spectre, true, true);
+/// assert!(both.holds_resources_until_safe() && both.strict_age_priority());
+/// assert_eq!(both.name(), "Advanced-Spectre+hold+age");
+///
+/// let age_only = AdvancedDefense::new(ShadowModel::Spectre, false, true);
+/// assert!(!age_only.holds_resources_until_safe());
+/// assert_eq!(age_only.name(), "Advanced-Spectre+age");
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct AdvancedDefense {
     shadow: ShadowModel,

@@ -9,12 +9,35 @@ use crate::ShadowModel;
 /// fills), and on a squash the occupancy changes are *undone* — every line
 /// filled by a squashed load is invalidated from the hierarchy.
 ///
-/// The paper (§6) notes CleanupSpec "does not block speculative
-/// interference but makes its exploitation more challenging": rollback
-/// restores occupancy, not the precise replacement ages, and the original
-/// design leans on randomized L1 replacement to blunt what remains. Pair
-/// this scheme with [`si_cache::PolicyKind::Random`] in the L1 to model
-/// that configuration.
+/// **Paper reference:** §2.2 (scheme zoo; Table 1 row "CleanupSpec"),
+/// §6 (the occupancy-channel discussion).
+///
+/// **Mechanism.** A rollback scheme rather than an invisibility scheme:
+/// `plan_unsafe_load` always answers [`LoadPlan::Visible`], and the
+/// core records which LLC lines each speculative load filled; on squash
+/// the scheme flushes exactly those lines (`on_squash`). The paper (§6)
+/// notes CleanupSpec "does not block speculative interference but makes
+/// its exploitation more challenging": rollback restores *occupancy*,
+/// not the precise replacement ages, and the original design leans on
+/// randomized L1 replacement to blunt what remains. Pair this scheme
+/// with [`si_cache::PolicyKind::Random`] in the L1 to model that
+/// configuration — the `occupancy` experiment attacks exactly this
+/// pairing.
+///
+/// # Example
+///
+/// Fills are visible; the squash hook is where the protection lives:
+///
+/// ```
+/// use si_cache::HitLevel;
+/// use si_cpu::{LoadPlan, SpeculationScheme, UnsafeLoadCtx};
+/// use si_schemes::CleanupSpec;
+///
+/// let mut cs = CleanupSpec::new();
+/// let ctx = UnsafeLoadCtx { core: 0, addr: 0x5000, level: HitLevel::Memory, cycle: 0 };
+/// assert_eq!(cs.plan_unsafe_load(&ctx), LoadPlan::Visible);
+/// assert_eq!(cs.undone(), 0); // counts lines rolled back at squashes
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct CleanupSpec {
     shadow: ShadowModel,

@@ -10,9 +10,32 @@ use crate::ShadowModel;
 /// no state leaks), while suspect loads — speculative misses — wait until
 /// they are no longer speculative under a conservative shadow model.
 ///
-/// Table 1 groups CondSpec with the designs that unprotect a load "only
-/// when it becomes the oldest load or the oldest instruction in the ROB",
-/// hence the Futuristic shadow here.
+/// **Paper reference:** §2.2 (scheme zoo; Table 1 row "CondSpec"),
+/// §3.3.1 (unprotection point).
+///
+/// **Mechanism.** The load policy is Delay-on-Miss's hit filter — L1
+/// hits execute invisibly with a deferred replacement touch, misses are
+/// held — but under the stricter **Futuristic** shadow: Table 1 groups
+/// CondSpec with the designs that unprotect a load "only when it
+/// becomes the oldest load or the oldest instruction in the ROB". It
+/// also covers instruction fetch (`protects_ifetch`), so the I-cache
+/// PoCs need the interference channel rather than direct I-state.
+///
+/// # Example
+///
+/// Same hit filter as DoM, stricter shadow than DoM-Spectre:
+///
+/// ```
+/// use si_cache::HitLevel;
+/// use si_cpu::{LoadPlan, SpeculationScheme, UnsafeLoadCtx};
+/// use si_schemes::ConditionalSpeculation;
+///
+/// let mut cs = ConditionalSpeculation::new();
+/// let hit = UnsafeLoadCtx { core: 0, addr: 0x3000, level: HitLevel::L1, cycle: 0 };
+/// assert!(matches!(cs.plan_unsafe_load(&hit), LoadPlan::Invisible { .. }));
+/// let miss = UnsafeLoadCtx { level: HitLevel::L2, ..hit };
+/// assert_eq!(cs.plan_unsafe_load(&miss), LoadPlan::Delay);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct ConditionalSpeculation {
     shadow: ShadowModel,

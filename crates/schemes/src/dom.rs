@@ -10,8 +10,43 @@ use crate::ShadowModel;
 /// is safe; speculative L1 misses are delayed outright and re-issued when
 /// safe.
 ///
-/// This is the scheme both PoCs in §4 are demonstrated against (emulated
-/// there, actually enforced here).
+/// **Paper reference:** §2.2 (the illustrative invisible-speculation
+/// scheme), §3.3.1 (shadow-model variants), §4 (both PoCs are
+/// demonstrated against DoM — emulated there, actually enforced here).
+///
+/// **Mechanism.** The core consults the scheme before every speculative
+/// data access. A probe first asks the hierarchy where the line would
+/// hit *without* changing state; on an L1 hit DoM returns the data at
+/// honest latency but defers the replacement-state touch
+/// ([`SafeAction::TouchReplacement`]) until the load leaves its shadow,
+/// so a squashed load leaves the LRU/QLRU ages exactly as it found
+/// them. On any miss the access is held back entirely and re-issued
+/// visibly once safe — the "delay" that the paper's interference
+/// gadgets turn into a timing transmitter (the *latency* of the
+/// delayed-then-reissued load still depends on transient state).
+///
+/// # Example
+///
+/// A speculative L1 hit executes invisibly with a deferred touch; a
+/// speculative miss — any level past L1 — is delayed outright:
+///
+/// ```
+/// use si_cache::HitLevel;
+/// use si_cpu::{LoadPlan, SafeAction, SpeculationScheme, UnsafeLoadCtx};
+/// use si_schemes::{DelayOnMiss, ShadowModel};
+///
+/// let mut dom = DelayOnMiss::new(ShadowModel::Spectre);
+/// let hit = UnsafeLoadCtx { core: 0, addr: 0x1000, level: HitLevel::L1, cycle: 0 };
+/// assert_eq!(
+///     dom.plan_unsafe_load(&hit),
+///     LoadPlan::Invisible {
+///         on_safe: Some(SafeAction::TouchReplacement),
+///         latency_override: None,
+///     },
+/// );
+/// let miss = UnsafeLoadCtx { level: HitLevel::Llc, ..hit };
+/// assert_eq!(dom.plan_unsafe_load(&miss), LoadPlan::Delay);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct DelayOnMiss {
     shadow: ShadowModel,

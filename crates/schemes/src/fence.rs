@@ -11,16 +11,41 @@ use crate::ShadowModel;
 /// instructions to be inserted into the ROB, but prevents them from being
 /// issued until the instruction before the fence becomes non-speculative."
 ///
-/// Implemented as an issue-stage gate: an instruction may not issue while
-/// it is speculative under the configured model — `Spectre` places the
-/// implicit fence after every branch; `Futuristic` after every squashable
-/// instruction. Frontend fetch is *not* gated (the fence allows dispatch),
-/// so wrong-path instruction fetches still occur; they can no longer be
-/// secret-dependent because no transmitter ever issues (see DESIGN.md and
-/// the checker's two modes).
+/// **Paper reference:** §5.2 (the defense), §5.3 (its SPEC2017 cost,
+/// reproduced in Figure 12 / the `defense` sweep grid).
 ///
-/// This achieves ideal invisible speculation on the data side at the §5.3
-/// performance cost (reproduced in Figure 12).
+/// **Mechanism.** Implemented as an issue-stage gate (`blocks_issue`):
+/// an instruction may not issue while it is speculative under the
+/// configured model — `Spectre` places the implicit fence after every
+/// branch; `Futuristic` after every squashable instruction. Frontend
+/// fetch is *not* gated (the fence allows dispatch), so wrong-path
+/// instruction fetches still occur; they can no longer be
+/// secret-dependent because no transmitter ever issues (see DESIGN.md
+/// and the checker's two modes). This achieves ideal invisible
+/// speculation on the data side at the §5.3 performance cost.
+///
+/// # Example
+///
+/// Nothing younger than an unresolved branch may issue; the branch
+/// itself may:
+///
+/// ```
+/// use si_cpu::{SafetyFlags, SafetyView, SpeculationScheme};
+/// use si_schemes::{FenceDefense, ShadowModel};
+///
+/// let fence = FenceDefense::new(ShadowModel::Spectre);
+/// let branch = SafetyFlags {
+///     seq: 0,
+///     unresolved_branch: true,
+///     load_incomplete: false,
+///     store_addr_unknown: false,
+///     fence: false,
+/// };
+/// let younger = SafetyFlags { seq: 1, unresolved_branch: false, ..branch };
+/// let view = SafetyView::new(vec![branch, younger]);
+/// assert!(!fence.blocks_issue(&view, 0));
+/// assert!(fence.blocks_issue(&view, 1));
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct FenceDefense {
     model: ShadowModel,

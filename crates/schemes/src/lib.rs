@@ -14,10 +14,18 @@
 //! | [`FenceDefense`] | §5.2 basic defense | younger instructions cannot issue while speculative |
 //! | [`AdvancedDefense`] | §5.4 sketch | resource holding + strict age priority |
 //!
-//! Shadow models (what counts as *speculative*) are factored into
+//! Each scheme's type documentation carries its paper §-reference, a
+//! mechanism summary, and a doc-tested example; the table above is the
+//! index. Shadow models (what counts as *speculative*) are factored into
 //! [`ShadowModel`]: `Spectre` (only unresolved branches cast shadows) and
 //! `Futuristic` (anything that may squash), matching the two threat models
 //! the paper evaluates, plus `NonTso` for DoM on weaker memory models.
+//!
+//! [`SchemeKind`] enumerates every `(scheme, shadow)` configuration as a
+//! flat, parsable axis — the rows/columns the harness sweeps over in
+//! Table 1, Figure 12, and `sia sweep` grids; `SchemeKind::build()`
+//! instantiates the scheme and `SchemeKind::shadow_model()` reports the
+//! threat model a kind is configured with.
 //!
 //! # Example
 //!
@@ -141,6 +149,31 @@ impl SchemeKind {
         ]
     }
 
+    /// The shadow model this kind is built with, or `None` for the
+    /// unprotected baseline (which has no notion of a shadow). The
+    /// harness's sweep reporting uses this to group scheme columns by
+    /// threat model.
+    pub fn shadow_model(self) -> Option<ShadowModel> {
+        match self {
+            SchemeKind::Unprotected => None,
+            SchemeKind::DomSpectre
+            | SchemeKind::InvisiSpecSpectre
+            | SchemeKind::SafeSpecWfb
+            | SchemeKind::MuonTrap
+            | SchemeKind::CleanupSpec
+            | SchemeKind::FenceSpectre
+            | SchemeKind::Advanced
+            | SchemeKind::AdvancedHoldOnly
+            | SchemeKind::AdvancedAgeOnly => Some(ShadowModel::Spectre),
+            SchemeKind::DomNonTso => Some(ShadowModel::NonTso),
+            SchemeKind::DomFuturistic
+            | SchemeKind::InvisiSpecFuturistic
+            | SchemeKind::SafeSpecWfc
+            | SchemeKind::ConditionalSpeculation
+            | SchemeKind::FenceFuturistic => Some(ShadowModel::Futuristic),
+        }
+    }
+
     /// Instantiates a fresh scheme of this kind.
     pub fn build(self) -> Box<dyn SpeculationScheme> {
         match self {
@@ -201,6 +234,34 @@ mod tests {
         for kind in SchemeKind::all() {
             let scheme = kind.build();
             assert!(!scheme.name().is_empty(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn shadow_models_match_the_built_schemes() {
+        // Only the baseline lacks a shadow model…
+        for kind in SchemeKind::all() {
+            assert_eq!(
+                kind.shadow_model().is_none(),
+                kind == SchemeKind::Unprotected
+            );
+        }
+        // …and where the scheme name spells out its model, they agree.
+        for kind in [
+            SchemeKind::DomSpectre,
+            SchemeKind::DomNonTso,
+            SchemeKind::DomFuturistic,
+            SchemeKind::InvisiSpecSpectre,
+            SchemeKind::InvisiSpecFuturistic,
+            SchemeKind::FenceSpectre,
+            SchemeKind::FenceFuturistic,
+        ] {
+            let name = kind.build().name();
+            let model = kind.shadow_model().expect("protected scheme");
+            assert!(
+                name.ends_with(model.suffix()),
+                "{kind:?}: name {name} vs model {model:?}"
+            );
         }
     }
 

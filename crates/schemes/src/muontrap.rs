@@ -10,10 +10,39 @@ use crate::ShadowModel;
 /// (so mis-speculated fills leave no trace) and its lines are promoted into
 /// the real hierarchy when the owning load becomes safe.
 ///
-/// A speculative load hitting the filter is serviced at L1 speed without
-/// touching the hierarchy — which is why MuonTrap still appears in Table 1:
-/// the *timing* of speculative loads (filter hit vs. slow invisible fetch)
+/// **Paper reference:** §2.2 (scheme zoo; Table 1 row "MuonTrap").
+///
+/// **Mechanism.** The filter is a real set-associative cache private to
+/// the scheme (default 2 KB, 8 sets × 4 ways, LRU). A speculative load
+/// probes it first: a filter hit is serviced at L1 speed
+/// (`latency_override`) without touching the hierarchy; a filter miss
+/// fetches the data invisibly from wherever it lives and installs the
+/// line in the filter for later speculative reuse. On squash the whole
+/// filter is flushed; on safety the line is promoted (exposed) into the
+/// real hierarchy. MuonTrap still appears in Table 1 because the
+/// *timing* of speculative loads (filter hit vs. slow invisible fetch)
 /// stays secret-dependent, feeding the interference gadgets.
+///
+/// # Example
+///
+/// The first speculative access installs the line; a repeat hits the
+/// filter and is served at the configured L1-like latency; a squash
+/// empties it again:
+///
+/// ```
+/// use si_cache::HitLevel;
+/// use si_cpu::{LoadPlan, SpeculationScheme, UnsafeLoadCtx};
+/// use si_schemes::{MuonTrap, ShadowModel};
+///
+/// let mut mt = MuonTrap::new(ShadowModel::Spectre);
+/// let ctx = UnsafeLoadCtx { core: 0, addr: 0x4000, level: HitLevel::Memory, cycle: 0 };
+/// mt.plan_unsafe_load(&ctx);                   // miss: fills the filter
+/// assert_eq!(mt.filter_occupancy(), 1);
+/// match mt.plan_unsafe_load(&ctx) {            // repeat: filter hit
+///     LoadPlan::Invisible { latency_override: Some(lat), .. } => assert_eq!(lat, 4),
+///     other => panic!("expected a fast filter hit, got {other:?}"),
+/// }
+/// ```
 #[derive(Debug)]
 pub struct MuonTrap {
     shadow: ShadowModel,

@@ -8,11 +8,31 @@ use crate::ShadowModel;
 /// caches; shadow contents move into the real hierarchy when the load
 /// commits.
 ///
-/// At this crate's modeling granularity the observable policy coincides
-/// with InvisiSpec's (invisible execution + exposure when safe); the type
-/// is kept separate because Table 1 tracks it separately — `WFB`
-/// (wait-for-branch) maps to [`ShadowModel::Spectre`] and wait-for-commit
-/// to [`ShadowModel::Futuristic`].
+/// **Paper reference:** §2.2 (scheme zoo; Table 1 rows "SafeSpec-WFB" /
+/// "SafeSpec-WFC"), §3.3.1 (unprotection points).
+///
+/// **Mechanism.** SafeSpec adds per-load shadow caches next to the L1:
+/// a speculative load that misses the real hierarchy fills the shadow
+/// structure, and the line is promoted into the caches only when the
+/// load commits. At this crate's modeling granularity the observable
+/// policy coincides with InvisiSpec's (invisible execution + exposure
+/// when safe, covering the I-side too); the type is kept separate
+/// because Table 1 tracks it separately — `WFB` (wait-for-branch) maps
+/// to [`ShadowModel::Spectre`] and wait-for-commit (`WFC`) to
+/// [`ShadowModel::Futuristic`].
+///
+/// # Example
+///
+/// The two Table 1 rows are the same policy under different shadows:
+///
+/// ```
+/// use si_cpu::SpeculationScheme;
+/// use si_schemes::{SafeSpec, ShadowModel};
+///
+/// assert_eq!(SafeSpec::new(ShadowModel::Spectre).name(), "SafeSpec-WFB");
+/// assert_eq!(SafeSpec::new(ShadowModel::Futuristic).name(), "SafeSpec-WFC");
+/// assert!(SafeSpec::new(ShadowModel::Spectre).protects_ifetch());
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct SafeSpec {
     shadow: ShadowModel,

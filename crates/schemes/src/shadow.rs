@@ -3,6 +3,36 @@
 use si_cpu::SafetyView;
 
 /// When a load stops being speculative, per the threat models of §2.2/§5.2.
+///
+/// **Paper reference:** §2.1 (Spectre vs Futuristic threat models),
+/// §3.3.1 (the non-TSO variant of DoM's unsafety condition).
+///
+/// The models are strictly ordered: everything `Futuristic` considers
+/// safe is also `NonTso`-safe, and everything `NonTso`-safe is
+/// `Spectre`-safe.
+///
+/// # Example
+///
+/// An older load still in flight separates the models — only
+/// `Futuristic` keeps the younger instruction in its shadow:
+///
+/// ```
+/// use si_cpu::{SafetyFlags, SafetyView};
+/// use si_schemes::ShadowModel;
+///
+/// let older = SafetyFlags {
+///     seq: 0,
+///     unresolved_branch: false,
+///     load_incomplete: true,
+///     store_addr_unknown: false,
+///     fence: false,
+/// };
+/// let younger = SafetyFlags { seq: 1, load_incomplete: false, ..older };
+/// let view = SafetyView::new(vec![older, younger]);
+/// assert!(ShadowModel::Spectre.is_safe(&view, 1));
+/// assert!(ShadowModel::NonTso.is_safe(&view, 1));
+/// assert!(!ShadowModel::Futuristic.is_safe(&view, 1));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum ShadowModel {
     /// Only unresolved branches cast shadows: a load is safe iff it is

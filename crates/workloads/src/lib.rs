@@ -86,6 +86,15 @@ impl WorkloadKind {
         }
     }
 
+    /// Parses a kernel label (as printed by [`label`](Self::label)),
+    /// case-insensitive — the workload axis of `sia sweep` grids.
+    pub fn parse(text: &str) -> Option<WorkloadKind> {
+        let needle = text.to_ascii_lowercase();
+        WorkloadKind::all()
+            .into_iter()
+            .find(|k| k.label() == needle)
+    }
+
     /// Builds the kernel program at the given problem scale (elements /
     /// iterations; each kernel interprets it sensibly).
     pub fn program(self, scale: usize, seed: u64) -> Program {
@@ -540,6 +549,15 @@ mod tests {
             "fence cost visible: {:?}",
             row.entries[0].2
         );
+    }
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for kind in WorkloadKind::all() {
+            assert_eq!(WorkloadKind::parse(kind.label()), Some(kind), "{kind:?}");
+        }
+        assert_eq!(WorkloadKind::parse("STREAM"), Some(WorkloadKind::Stream));
+        assert_eq!(WorkloadKind::parse("nope"), None);
     }
 
     #[test]

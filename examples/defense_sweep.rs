@@ -1,43 +1,70 @@
-//! The defense trade-off (§5, Figure 12): sweep every workload kernel
-//! across the unprotected baseline, the §5.2 fence defenses, and the §5.4
-//! advanced defense, printing normalized execution time.
+//! The defense trade-off (§5, Figure 12) on the declarative sweep API:
+//! run the `defense` grid — every workload kernel against the
+//! unprotected baseline, DoM, the §5.2 fence defenses, and the §5.4
+//! advanced defense — and print normalized execution time.
 //!
 //! ```text
 //! cargo run --release --example defense_sweep
 //! ```
+//!
+//! This is the same engine behind `sia sweep --grid defense`; the CLI
+//! additionally writes the schema-v2 JSON document that `sia report`
+//! renders into EXPERIMENTS.md. Failed cells (a kernel timing out or
+//! failing its checksum under a scheme) print as `-` placeholders so
+//! the table stays rectangular.
 
-use speculative_interference::cpu::MachineConfig;
-use speculative_interference::schemes::SchemeKind;
-use speculative_interference::workloads::{slowdown, WorkloadKind};
+use si_harness::json::Json;
+use si_harness::sweep::{run_sweep, GridSpec};
+
+/// Width of one scheme column.
+const COL: usize = 18;
 
 fn main() {
-    let machine = MachineConfig::default();
-    let schemes = [
-        SchemeKind::DomSpectre,
-        SchemeKind::FenceSpectre,
-        SchemeKind::FenceFuturistic,
-        SchemeKind::Advanced,
-    ];
+    let grid = GridSpec::named("defense").expect("built-in grid");
+    let doc = run_sweep(&grid, 0x51A0_2021, 1).expect("sweep runs");
+
     println!("normalized execution time (1.00 = unprotected baseline)\n");
     print!("{:<10}", "workload");
-    for s in schemes {
-        print!(" {:>18}", s.label());
+    for scheme in &grid.schemes {
+        print!(" {:>COL$}", scheme.label());
     }
     println!();
-    for kind in WorkloadKind::all() {
-        match slowdown(kind, 48, &schemes, &machine) {
-            Ok(row) => {
-                print!("{:<10}", kind.label());
-                for (_, _, factor) in &row.entries {
-                    print!(" {:>17.2}x", factor);
-                }
-                println!();
+
+    let rows = match doc.get("result").and_then(|r| r.get("rows")) {
+        Some(Json::Arr(rows)) => rows.as_slice(),
+        _ => &[],
+    };
+    for row in rows {
+        let workload = match row.get("workload") {
+            Some(Json::Str(w)) => w.clone(),
+            _ => continue,
+        };
+        print!("{workload:<10}");
+        let cells = match row.get("cells") {
+            Some(Json::Arr(cells)) => cells.as_slice(),
+            _ => &[],
+        };
+        // One column per scheme, in grid order; a cell that carries an
+        // error (or is somehow absent) renders as a placeholder so the
+        // columns stay aligned whatever failed.
+        for (i, _) in grid.schemes.iter().enumerate() {
+            match cells.get(i).and_then(|c| c.get("slowdown")) {
+                Some(Json::F64(s)) => print!(" {:>width$.2}x", s, width = COL - 1),
+                _ => print!(" {:>COL$}", "-"),
             }
-            Err(e) => println!("{:<10} failed: {e}", kind.label()),
         }
+        let first_err = cells.iter().find_map(|c| match c.get("error") {
+            Some(Json::Str(e)) => Some(e.as_str()),
+            _ => None,
+        });
+        if let Some(e) = first_err {
+            print!("  ({e})");
+        }
+        println!();
     }
+
     println!("\nSecurity recap: DoM leaves the interference channel open while costing");
     println!("less than fences on most kernels; the fence defenses close it at the §5.3");
     println!("price; the advanced defense closes it through scheduler rules at modest");
-    println!("cost (see --bin ablation_defense).");
+    println!("cost (see `sia run ablation`). Full grids: `sia sweep --grid full`.");
 }

@@ -43,5 +43,5 @@ fn main() {
     println!("\nrecovered byte: {recovered:#010b}");
     assert_eq!(recovered, secret_byte);
     println!("\nThe same attack against InvisiSpec also leaks; against SafeSpec/MuonTrap");
-    println!("(shadow/filter I-caches) it is blocked — run `--bin table1` for the matrix.");
+    println!("(shadow/filter I-caches) it is blocked — run `sia run table1` for the matrix.");
 }
