@@ -1,0 +1,252 @@
+//! Leakage metrics: from raw bit trials to channel numbers.
+//!
+//! Three figures of merit per (scheme × variant × geometry) cell, all
+//! derived from a batch of [`BitTrial`]s:
+//!
+//! * **bit accuracy** — correctly decoded bits over all trials.
+//!   Abstentions (undecodable receiver state) count as failures, so a
+//!   channel that never decodes scores 0 and a blind guesser scores
+//!   ≈ 0.5 on a balanced bit sequence; a working channel scores ≫ 0.5.
+//! * **trials-to-95%-confidence** — the smallest odd repetition count
+//!   `n` such that majority voting over `n` independent trials decodes
+//!   a bit correctly with probability ≥ 0.95 (exact binomial tail, no
+//!   normal approximation). `None` when per-trial accuracy ≤ 0.5: no
+//!   amount of repetition concentrates a coin flip.
+//! * **channel bandwidth** — secret bits per second at the paper's
+//!   3.6 GHz clock (§4.4): raw (one trial per bit) and confident
+//!   (`raw / n₉₅`).
+
+use crate::BitTrial;
+
+/// Simulated clock for cycle→second conversion (re-exported from the
+/// covert-channel evaluation, §4.1).
+pub const CLOCK_GHZ: f64 = si_core::channel::CLOCK_GHZ;
+
+/// Target decode confidence for the repetition metric.
+pub const CONFIDENCE_TARGET: f64 = 0.95;
+
+/// Accuracy at or above which a cell is reported as leaking. Half-way
+/// between a coin flip and a perfect channel: far enough above 0.5 that
+/// no amount of balanced-sequence luck reaches it at the trial counts
+/// the harness runs, and any channel this accurate amplifies to
+/// arbitrary confidence with a handful of repetitions.
+pub const LEAK_THRESHOLD: f64 = 0.75;
+
+/// Repetition cap for [`trials_to_confidence`]: channels needing more
+/// are reported as not concentrating.
+const MAX_REPS: u64 = 999;
+
+/// A deterministic, **exactly balanced** secret bit sequence — the bits
+/// a scenario transmits: `⌈n/2⌉` ones and `⌊n/2⌋` zeros in a
+/// seed-derived Fisher–Yates order. Exact balance makes the accuracy
+/// metric calibrated: a receiver that always decodes the same bit
+/// scores exactly 0.5 (for even `n`) instead of inheriting the
+/// sequence's imbalance, so "≈ 0.5" reads as "no channel" and nothing
+/// else.
+pub fn secret_bits(n: usize, seed: u64) -> Vec<u64> {
+    let mut bits: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+    let mut state = splitmix(seed);
+    for i in (1..n).rev() {
+        state = splitmix(state);
+        let j = (state % (i as u64 + 1)) as usize;
+        bits.swap(i, j);
+    }
+    bits
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The scored leakage of one scenario cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakageScore {
+    /// Trials scored.
+    pub trials: usize,
+    /// Trials whose decode matched the transmitted bit.
+    pub correct: usize,
+    /// Trials whose decode was the wrong bit.
+    pub wrong: usize,
+    /// Trials the receiver classified as undecodable.
+    pub abstained: usize,
+    /// `correct / trials` (abstentions are failures).
+    pub accuracy: f64,
+    /// Mean simulated cycles per trial.
+    pub mean_cycles: f64,
+    /// Majority-vote repetitions for ≥ 95% per-bit confidence.
+    pub trials_to_95: Option<u64>,
+    /// One-trial-per-bit bandwidth in bits/s at [`CLOCK_GHZ`].
+    pub raw_bandwidth_bps: f64,
+    /// Bandwidth at 95% per-bit confidence (`raw / n₉₅`).
+    pub confident_bandwidth_bps: Option<f64>,
+}
+
+impl LeakageScore {
+    /// Whether the cell demonstrates a working covert channel
+    /// (accuracy ≥ [`LEAK_THRESHOLD`]).
+    pub fn leaks(&self) -> bool {
+        self.accuracy >= LEAK_THRESHOLD
+    }
+}
+
+/// Scores a batch of bit trials (see the module docs for the metrics).
+///
+/// # Panics
+///
+/// Panics if `trials` is empty — a cell with no trials has no score.
+pub fn score(trials: &[BitTrial]) -> LeakageScore {
+    assert!(!trials.is_empty(), "scoring needs at least one trial");
+    let mut correct = 0usize;
+    let mut wrong = 0usize;
+    let mut abstained = 0usize;
+    let mut cycles = 0u64;
+    for t in trials {
+        cycles += t.cycles;
+        match t.decoded {
+            Some(d) if d == t.secret => correct += 1,
+            Some(_) => wrong += 1,
+            None => abstained += 1,
+        }
+    }
+    let accuracy = correct as f64 / trials.len() as f64;
+    let mean_cycles = cycles as f64 / trials.len() as f64;
+    let trials_to_95 = trials_to_confidence(accuracy, CONFIDENCE_TARGET);
+    let raw_bandwidth_bps = CLOCK_GHZ * 1e9 / mean_cycles;
+    LeakageScore {
+        trials: trials.len(),
+        correct,
+        wrong,
+        abstained,
+        accuracy,
+        mean_cycles,
+        trials_to_95,
+        raw_bandwidth_bps,
+        confident_bandwidth_bps: trials_to_95.map(|n| raw_bandwidth_bps / n as f64),
+    }
+}
+
+/// Smallest odd `n` such that a majority vote over `n` independent
+/// trials — each correct with probability `p` — is correct with
+/// probability ≥ `target`, by exact binomial tail. Returns `None` for
+/// `p ≤ 0.5` (repetition cannot help) and for channels needing more
+/// than 999 repetitions.
+pub fn trials_to_confidence(p: f64, target: f64) -> Option<u64> {
+    if !(0.0..=1.0).contains(&p) || p <= 0.5 {
+        return None;
+    }
+    let mut n = 1u64;
+    while n <= MAX_REPS {
+        if majority_correct_probability(n, p) >= target {
+            return Some(n);
+        }
+        n += 2; // even counts only add ties; vote over odd panels
+    }
+    None
+}
+
+/// `P(Binomial(n, p) > n/2)` for odd `n`, accumulated from the
+/// most-likely terms down (numerically stable for the `p` near 1 the
+/// working channels produce).
+fn majority_correct_probability(n: u64, p: f64) -> f64 {
+    let need = n / 2 + 1;
+    // Walk k = n down to `need`, maintaining C(n, k) p^k (1-p)^(n-k)
+    // via the ratio between successive terms.
+    let mut term = p.powi(n as i32); // k = n
+    let mut sum = term;
+    let q = 1.0 - p;
+    let mut k = n;
+    while k > need {
+        // term(k-1) = term(k) * (k / (n-k+1)) * (q/p)
+        term *= (k as f64) / ((n - k + 1) as f64) * (q / p);
+        sum += term;
+        k -= 1;
+    }
+    sum.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trial(secret: u64, decoded: Option<u64>, cycles: u64) -> BitTrial {
+        BitTrial {
+            secret,
+            decoded,
+            cycles,
+        }
+    }
+
+    #[test]
+    fn secret_bits_are_deterministic_and_exactly_balanced() {
+        let a = secret_bits(256, 7);
+        assert_eq!(a, secret_bits(256, 7));
+        assert_ne!(a, secret_bits(256, 8));
+        assert_eq!(a.iter().sum::<u64>(), 128, "even n: exact balance");
+        assert_eq!(secret_bits(9, 3).iter().sum::<u64>(), 4);
+        assert!(a.iter().all(|b| *b < 2));
+    }
+
+    #[test]
+    fn perfect_channel_scores_one_and_needs_one_trial() {
+        let trials: Vec<BitTrial> = (0..8).map(|i| trial(i & 1, Some(i & 1), 1000)).collect();
+        let s = score(&trials);
+        assert_eq!(s.accuracy, 1.0);
+        assert!(s.leaks());
+        assert_eq!(s.trials_to_95, Some(1));
+        assert_eq!(s.mean_cycles, 1000.0);
+        assert_eq!(s.confident_bandwidth_bps, Some(s.raw_bandwidth_bps));
+        assert!((s.raw_bandwidth_bps - 3.6e9 / 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coin_flip_and_dead_channels_do_not_concentrate() {
+        // Always decodes 0: right on half a balanced sequence.
+        let trials: Vec<BitTrial> = (0..8).map(|i| trial(i & 1, Some(0), 500)).collect();
+        let s = score(&trials);
+        assert_eq!(s.accuracy, 0.5);
+        assert!(!s.leaks());
+        assert_eq!(s.trials_to_95, None);
+        assert_eq!(s.confident_bandwidth_bps, None);
+        // Never decodes at all: accuracy 0.
+        let dead: Vec<BitTrial> = (0..8).map(|i| trial(i & 1, None, 500)).collect();
+        let s = score(&dead);
+        assert_eq!(s.accuracy, 0.0);
+        assert_eq!(s.abstained, 8);
+        assert!(!s.leaks());
+    }
+
+    #[test]
+    fn repetition_counts_match_exact_binomials() {
+        assert_eq!(trials_to_confidence(1.0, 0.95), Some(1));
+        assert_eq!(trials_to_confidence(0.96, 0.95), Some(1));
+        // p = 0.9: P(1 of 1) = 0.9 < 0.95; P(≥2 of 3) = 0.972 ≥ 0.95.
+        assert_eq!(trials_to_confidence(0.9, 0.95), Some(3));
+        // p = 0.75: majority of 11 is the first odd panel ≥ 0.95.
+        let n = trials_to_confidence(0.75, 0.95).unwrap();
+        assert!(majority_correct_probability(n, 0.75) >= 0.95);
+        assert!(
+            n >= 3 && majority_correct_probability(n - 2, 0.75) < 0.95,
+            "n = {n} must be the minimal odd panel"
+        );
+        // Monotonic: better channels never need more repetitions.
+        let mut last = u64::MAX;
+        for p in [0.55, 0.6, 0.7, 0.8, 0.9, 0.99] {
+            let n = trials_to_confidence(p, 0.95).unwrap();
+            assert!(n <= last, "p={p} n={n} last={last}");
+            last = n;
+        }
+        assert_eq!(trials_to_confidence(0.5, 0.95), None);
+        assert_eq!(trials_to_confidence(0.2, 0.95), None);
+        // Barely-above-chance channels exceed the repetition cap.
+        assert_eq!(trials_to_confidence(0.5004, 0.95), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn empty_batches_are_rejected() {
+        score(&[]);
+    }
+}

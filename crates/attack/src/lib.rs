@@ -1,0 +1,260 @@
+//! # `si-attack` — end-to-end interference-attack scenarios and leakage scoring
+//!
+//! The defense simulator can model every invisible-speculation scheme;
+//! this crate answers the question the paper's headline result turns on:
+//! **does a given scheme actually leak under a speculative interference
+//! attack, and how fast?** It packages one attack *scenario* per
+//! (interference variant × scheme × machine geometry × noise
+//! environment) cell and scores the recovered secret bits:
+//!
+//! * an [`AttackScenario`] wires a victim gadget (a secret-dependent
+//!   speculative load behind a mistrained branch, built by
+//!   `si_core::victims`) to an interference **transmitter** — the
+//!   [`InterferenceVariant::MshrPressure`] gadget exhausts the MSHR file
+//!   with secret-strided loads (§3.2.2, Figure 4); the
+//!   [`InterferenceVariant::PortContention`] gadget monopolises the
+//!   non-pipelined port-0 unit with a square-root chain (§3.2.2,
+//!   Figure 3) — and runs the victim against the cross-core **receiver**
+//!   on the second core of the shared [`si_cpu::Machine`]: a
+//!   prime+probe [`si_core::OrderReceiver`] over one LLC set, decoding
+//!   which of the two ordered accesses happened first from QLRU
+//!   replacement state (§4.2.2);
+//! * [`PreparedScenario::run_bit_trial`] transmits one secret bit per
+//!   seeded trial — a pure function of `(scenario, secret, seed)`, so a
+//!   harness can fan trials out across threads and stay bit-identical;
+//! * [`leakage`] turns a batch of trials into the channel metrics the
+//!   evaluation reports: bit accuracy, trials-to-95%-confidence under
+//!   majority voting, and channel bandwidth at the paper's 3.6 GHz
+//!   clock (§4.4).
+//!
+//! The qualitative acceptance bar (the paper's Table 1 row for these
+//! gadgets): invisible-speculation schemes score accuracy ≫ 0.5 while
+//! the full fence defense stays ≈ 0.5 — see `tests/attack_e2e.rs`.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use si_attack::{AttackScenario, InterferenceVariant};
+//! use si_cpu::{GeometryPreset, NoisePreset};
+//! use si_schemes::SchemeKind;
+//!
+//! let scenario = AttackScenario::new(
+//!     InterferenceVariant::PortContention,
+//!     SchemeKind::DomSpectre,
+//!     GeometryPreset::KabyLake,
+//!     NoisePreset::Quiet,
+//! );
+//! let prepared = scenario.prepare();
+//! let trial = prepared.run_bit_trial(1, 42);
+//! assert_eq!(trial.decoded, Some(1));
+//! ```
+
+pub mod leakage;
+
+use si_core::attacks::{Attack, AttackKind};
+use si_cpu::{GeometryPreset, MachineConfig, NoisePreset, PredictorPreset};
+use si_schemes::SchemeKind;
+
+pub use leakage::{score, secret_bits, trials_to_confidence, LeakageScore};
+
+/// The interference transmitter a scenario mounts inside the victim's
+/// mis-speculated window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterferenceVariant {
+    /// `G^D_MSHR`: secret-strided loads that either exhaust every MSHR
+    /// (secret 1, distinct lines) or coalesce into one (secret 0, one
+    /// shared line), delaying the victim's bound-to-retire load past the
+    /// attacker's fixed-time reference access (VD-AD ordering).
+    MshrPressure,
+    /// `G^D_NPEU`: a transmitter-fed square-root chain contending for
+    /// the non-pipelined port-0 unit, delaying the victim's `f(z)` load
+    /// past its own reference load (VD-VD ordering).
+    PortContention,
+}
+
+impl InterferenceVariant {
+    /// All variants, in presentation order.
+    pub fn all() -> Vec<InterferenceVariant> {
+        vec![
+            InterferenceVariant::MshrPressure,
+            InterferenceVariant::PortContention,
+        ]
+    }
+
+    /// Canonical CLI/JSON slug.
+    pub fn slug(self) -> &'static str {
+        match self {
+            InterferenceVariant::MshrPressure => "mshr-pressure",
+            InterferenceVariant::PortContention => "port-contention",
+        }
+    }
+
+    /// Parses a slug (case-insensitive), as printed by
+    /// [`slug`](Self::slug).
+    pub fn parse(text: &str) -> Option<InterferenceVariant> {
+        let needle = text.to_ascii_lowercase();
+        InterferenceVariant::all()
+            .into_iter()
+            .find(|v| v.slug() == needle)
+    }
+
+    /// Short table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            InterferenceVariant::MshrPressure => "G^D_MSHR (VD-AD)",
+            InterferenceVariant::PortContention => "G^D_NPEU (VD-VD)",
+        }
+    }
+
+    /// The `si-core` attack this variant mounts.
+    pub fn attack_kind(self) -> AttackKind {
+        match self {
+            InterferenceVariant::MshrPressure => AttackKind::MshrVdAd,
+            InterferenceVariant::PortContention => AttackKind::NpeuVdVd,
+        }
+    }
+}
+
+/// One attack-evaluation cell: which transmitter, against which scheme,
+/// on which machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackScenario {
+    /// The interference transmitter.
+    pub variant: InterferenceVariant,
+    /// The speculation scheme under attack.
+    pub scheme: SchemeKind,
+    /// Cache geometry of the shared machine.
+    pub geometry: GeometryPreset,
+    /// Noise environment the trials run under.
+    pub noise: NoisePreset,
+}
+
+impl AttackScenario {
+    /// Builds a scenario cell.
+    pub fn new(
+        variant: InterferenceVariant,
+        scheme: SchemeKind,
+        geometry: GeometryPreset,
+        noise: NoisePreset,
+    ) -> AttackScenario {
+        AttackScenario {
+            variant,
+            scheme,
+            geometry,
+            noise,
+        }
+    }
+
+    /// The machine configuration trials run on (per-trial noise seeds
+    /// are applied by [`PreparedScenario::run_bit_trial`]).
+    pub fn machine(&self) -> MachineConfig {
+        MachineConfig::from_presets(self.geometry, self.noise, PredictorPreset::P1k)
+    }
+
+    fn attack(&self) -> Attack {
+        Attack::new(self.variant.attack_kind(), self.scheme, self.machine())
+    }
+
+    /// Resolves everything per-trial runs share — in particular the
+    /// attacker's fixed-time reference offset for the VD-AD ordering,
+    /// auto-calibrated on a noise-free machine (deterministic, so every
+    /// caller computes the same value). Calibrate once per cell, not per
+    /// trial: it costs two extra victim runs.
+    pub fn prepare(&self) -> PreparedScenario {
+        let attack = self.attack();
+        let reference_delta = attack
+            .attacker_provides_reference()
+            .then(|| attack.calibrate());
+        PreparedScenario {
+            scenario: *self,
+            reference_delta,
+        }
+    }
+}
+
+/// A scenario with its shared per-cell state resolved (see
+/// [`AttackScenario::prepare`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedScenario {
+    scenario: AttackScenario,
+    reference_delta: Option<u64>,
+}
+
+/// The outcome of transmitting one secret bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitTrial {
+    /// The bit the victim held.
+    pub secret: u64,
+    /// What the receiver decoded (`None`: undecodable state, e.g.
+    /// co-tenant noise evicted both probe lines).
+    pub decoded: Option<u64>,
+    /// Simulated cycles the trial consumed (training included).
+    pub cycles: u64,
+}
+
+impl PreparedScenario {
+    /// The scenario this was prepared from.
+    pub fn scenario(&self) -> &AttackScenario {
+        &self.scenario
+    }
+
+    /// The calibrated attacker-reference offset, for orderings that use
+    /// one.
+    pub fn reference_delta(&self) -> Option<u64> {
+        self.reference_delta
+    }
+
+    /// Transmits one secret bit: fresh machine, fresh mistraining, one
+    /// attack episode, one receiver decode. Pure function of
+    /// `(self, secret, seed)` — `seed` drives only the injected noise,
+    /// so quiet-machine trials are seed-independent and noisy trials are
+    /// reproducible.
+    pub fn run_bit_trial(&self, secret: u64, seed: u64) -> BitTrial {
+        let mut attack = self.scenario.attack();
+        attack.machine.noise.seed = seed;
+        attack.reference_delta = self.reference_delta;
+        let result = attack.run_trial(secret);
+        BitTrial {
+            secret,
+            decoded: result.decoded,
+            cycles: result.cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_slugs_round_trip() {
+        for v in InterferenceVariant::all() {
+            assert_eq!(InterferenceVariant::parse(v.slug()), Some(v), "{v:?}");
+        }
+        assert_eq!(
+            InterferenceVariant::parse("MSHR-PRESSURE"),
+            Some(InterferenceVariant::MshrPressure)
+        );
+        assert_eq!(InterferenceVariant::parse("nope"), None);
+    }
+
+    #[test]
+    fn only_the_vd_ad_ordering_needs_a_reference_delta() {
+        let quiet = |v| {
+            AttackScenario::new(
+                v,
+                SchemeKind::Unprotected,
+                GeometryPreset::KabyLake,
+                NoisePreset::Quiet,
+            )
+        };
+        assert!(quiet(InterferenceVariant::MshrPressure)
+            .prepare()
+            .reference_delta()
+            .is_some());
+        assert!(quiet(InterferenceVariant::PortContention)
+            .prepare()
+            .reference_delta()
+            .is_none());
+    }
+}

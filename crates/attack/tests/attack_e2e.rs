@@ -1,0 +1,81 @@
+//! End-to-end qualitative acceptance: the paper's headline result.
+//!
+//! Invisible-speculation schemes must leak (bit accuracy ≫ 0.5) under
+//! the interference transmitters, while the full fence defense holds
+//! every channel at chance. Quiet machines make these decodes
+//! deterministic, so small trial counts are exact, not statistical.
+
+use si_attack::{leakage, AttackScenario, InterferenceVariant, LeakageScore};
+use si_cpu::{GeometryPreset, NoisePreset};
+use si_schemes::SchemeKind;
+
+const TRIALS: usize = 8;
+
+fn run_cell(variant: InterferenceVariant, scheme: SchemeKind) -> LeakageScore {
+    let prepared = AttackScenario::new(
+        variant,
+        scheme,
+        GeometryPreset::KabyLake,
+        NoisePreset::Quiet,
+    )
+    .prepare();
+    let bits = leakage::secret_bits(TRIALS, 0x51A0_2021);
+    let trials: Vec<_> = bits
+        .iter()
+        .enumerate()
+        .map(|(i, bit)| prepared.run_bit_trial(*bit, i as u64))
+        .collect();
+    leakage::score(&trials)
+}
+
+#[test]
+fn invisible_schemes_leak_under_both_transmitters() {
+    // Two invisible schemes × two interference variants, all ≫ 0.5 —
+    // the acceptance matrix of the attack subsystem.
+    for scheme in [SchemeKind::InvisiSpecSpectre, SchemeKind::SafeSpecWfb] {
+        for variant in InterferenceVariant::all() {
+            let s = run_cell(variant, scheme);
+            assert!(
+                s.leaks() && s.accuracy == 1.0,
+                "{scheme:?} under {variant:?} must leak: {s:?}"
+            );
+            assert_eq!(s.trials_to_95, Some(1), "{scheme:?}/{variant:?}");
+            assert!(s.confident_bandwidth_bps.unwrap() > 1e5, "{s:?}");
+        }
+    }
+}
+
+#[test]
+fn delay_on_miss_leaks_through_port_contention_but_not_mshrs() {
+    // DoM delays speculative misses, so the MSHR gadget's loads never
+    // issue — but its ALU-side port pressure is untouched (the paper's
+    // point: delaying *memory* accesses is not enough).
+    let port = run_cell(InterferenceVariant::PortContention, SchemeKind::DomSpectre);
+    assert!(port.leaks() && port.accuracy == 1.0, "{port:?}");
+    let mshr = run_cell(InterferenceVariant::MshrPressure, SchemeKind::DomSpectre);
+    assert!(!mshr.leaks(), "{mshr:?}");
+}
+
+#[test]
+fn fence_defense_holds_every_channel_at_chance() {
+    for variant in InterferenceVariant::all() {
+        let s = run_cell(variant, SchemeKind::FenceFuturistic);
+        assert_eq!(s.accuracy, 0.5, "{variant:?}: {s:?}");
+        assert!(!s.leaks());
+        assert_eq!(s.trials_to_95, None, "a coin flip never concentrates");
+    }
+}
+
+#[test]
+fn quiet_trials_are_seed_independent_and_bit_exact() {
+    let prepared = AttackScenario::new(
+        InterferenceVariant::MshrPressure,
+        SchemeKind::InvisiSpecSpectre,
+        GeometryPreset::KabyLake,
+        NoisePreset::Quiet,
+    )
+    .prepare();
+    let a = prepared.run_bit_trial(1, 1);
+    let b = prepared.run_bit_trial(1, 0xdead_beef);
+    assert_eq!(a, b, "quiet machines ignore the noise seed");
+}

@@ -81,6 +81,11 @@ pub struct HierarchyConfig {
     pub llc: CacheConfig,
     /// Level latencies.
     pub latency: LatencyConfig,
+    /// Capacity of the shared-side (LLC) MSHR file that demand misses
+    /// contend on (see `Hierarchy::read_demand`). Sized so one core's
+    /// demand stream (its private MSHRs plus one instruction fetch) can
+    /// never saturate it alone — cross-core pressure is what fills it.
+    pub shared_mshrs: usize,
 }
 
 impl HierarchyConfig {
@@ -96,6 +101,7 @@ impl HierarchyConfig {
             l2: CacheConfig::new(256, 8, PolicyKind::Lru),
             llc: CacheConfig::new(1024, 16, PolicyKind::qlru_h11_m1_r0_u0()),
             latency: LatencyConfig::default(),
+            shared_mshrs: 16,
         }
     }
 
@@ -107,6 +113,9 @@ impl HierarchyConfig {
         }
         if self.llc.capacity_bytes() < self.l2.capacity_bytes() {
             return Err("inclusive LLC should not be smaller than one L2".into());
+        }
+        if self.shared_mshrs == 0 {
+            return Err("hierarchy needs at least one shared MSHR".into());
         }
         Ok(())
     }

@@ -15,7 +15,8 @@
 //!   state and are never logged.
 
 use crate::{
-    line_of, AccessOutcome, CacheConfig, CacheStats, HierarchyConfig, SetAssocCache, WayView,
+    line_of, AccessOutcome, CacheConfig, CacheStats, HierarchyConfig, MshrFile, SetAssocCache,
+    WayView,
 };
 
 /// Whether an access flows through the instruction or data path.
@@ -98,6 +99,24 @@ struct CoreCaches {
     l2: SetAssocCache,
 }
 
+/// Occupancy and contention counters of the shared-side MSHR file (the
+/// cross-core interference surface of `G^D_MSHR`, §3.2.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedMshrStats {
+    /// Entries currently in flight.
+    pub in_flight: usize,
+    /// Peak simultaneous occupancy observed.
+    pub high_water: usize,
+    /// File capacity.
+    pub capacity: usize,
+    /// Secondary demand misses that coalesced onto another core's
+    /// in-flight entry.
+    pub coalesced: u64,
+    /// Demand misses that found the file full and absorbed a queueing
+    /// delay — the structural hazard cross-core pressure manufactures.
+    pub conflicts: u64,
+}
+
 /// The full hierarchy shared by every core of the simulated machine.
 ///
 /// # Example
@@ -121,6 +140,12 @@ pub struct Hierarchy {
     llc: SetAssocCache,
     log: Vec<LlcEvent>,
     seq: u64,
+    /// Shared-side MSHRs: every *demand* miss past the LLC (core loads,
+    /// instruction fetches, timed receiver probes) holds an entry for the
+    /// DRAM round trip; see [`Hierarchy::read_demand`].
+    shared_mshrs: MshrFile,
+    shared_coalesced: u64,
+    shared_conflicts: u64,
 }
 
 impl Hierarchy {
@@ -143,6 +168,9 @@ impl Hierarchy {
         Hierarchy {
             llc: SetAssocCache::new("LLC", config.llc),
             cores,
+            shared_mshrs: MshrFile::new(config.shared_mshrs),
+            shared_coalesced: 0,
+            shared_conflicts: 0,
             config,
             log: Vec::new(),
             seq: 0,
@@ -196,6 +224,12 @@ impl Hierarchy {
     /// Visible reads update replacement state, fill every level on the way
     /// in, back-invalidate on inclusive-LLC evictions, and log LLC traffic.
     /// Invisible reads are pure probes with honest latency.
+    ///
+    /// This entry point does **not** occupy shared MSHRs: it serves the
+    /// attacker agent and the background-noise generator, which abstract
+    /// traffic spread over long real-time windows into single calls (see
+    /// DESIGN.md's modeled capabilities). Core demand traffic and timed
+    /// receiver measurements go through [`Hierarchy::read_demand`].
     pub fn read(
         &mut self,
         cycle: u64,
@@ -204,8 +238,51 @@ impl Hierarchy {
         class: AccessClass,
         vis: Visibility,
     ) -> AccessResult {
+        self.read_inner(cycle, core, addr, class, vis, false)
+    }
+
+    /// Reads `addr` as a **demand** request: identical cache-state
+    /// semantics to [`Hierarchy::read`], but a miss past the LLC also
+    /// contends on the shared-side MSHR file —
+    ///
+    /// * a fresh miss holds one entry for the DRAM round trip;
+    /// * a concurrent miss to the same line from *another* core coalesces
+    ///   and completes with the primary fill (its remaining latency);
+    /// * a miss that finds the file full absorbs the wait until the
+    ///   earliest in-flight fill frees an entry (counted in
+    ///   [`SharedMshrStats::conflicts`]). As a deliberate simplification
+    ///   the delayed request does not then occupy the freed entry — its
+    ///   own round trip is untracked, so simultaneous over-capacity
+    ///   misses all wait on the same entry rather than queueing behind
+    ///   one another. This under-states saturation contention slightly
+    ///   but keeps the file's state a pure function of the access
+    ///   stream's timestamps.
+    ///
+    /// Invisible demand misses contend too — no invisible-speculation
+    /// design changes MSHR allocation (§3.2.2), which is precisely what
+    /// the `G^D_MSHR` gadget exploits on the shared side.
+    pub fn read_demand(
+        &mut self,
+        cycle: u64,
+        core: usize,
+        addr: u64,
+        class: AccessClass,
+        vis: Visibility,
+    ) -> AccessResult {
+        self.read_inner(cycle, core, addr, class, vis, true)
+    }
+
+    fn read_inner(
+        &mut self,
+        cycle: u64,
+        core: usize,
+        addr: u64,
+        class: AccessClass,
+        vis: Visibility,
+        tracked: bool,
+    ) -> AccessResult {
         let line = line_of(addr);
-        match vis {
+        let mut result = match vis {
             Visibility::Invisible => self.probe_result(core, line, class),
             Visibility::Visible => self.visible_access(
                 cycle,
@@ -217,6 +294,52 @@ impl Hierarchy {
                     AccessClass::Instr => LlcEventKind::InstrFetch,
                 },
             ),
+        };
+        if tracked && result.level == HitLevel::Memory {
+            result.latency = self.shared_miss_latency(cycle, line, result.latency);
+        }
+        result
+    }
+
+    /// Routes one demand miss through the shared MSHR file, returning the
+    /// latency it observes (`dram` is the uncontended DRAM latency the
+    /// cache lookup reported).
+    fn shared_miss_latency(&mut self, cycle: u64, line: u64, dram: u64) -> u64 {
+        self.shared_mshrs.drain_ready(cycle);
+        if let Some(id) = self.shared_mshrs.lookup(line) {
+            // Cross-core secondary miss: ride the primary fill. (A core's
+            // own secondary misses coalesce in its private MSHR file and
+            // never reach this point.)
+            self.shared_mshrs.coalesce(id, 0);
+            self.shared_coalesced += 1;
+            (self.shared_mshrs.ready_at(id) - cycle).max(self.config.latency.llc)
+        } else if self.shared_mshrs.is_full() {
+            // Structural hazard: wait for the earliest fill to free an
+            // entry, then pay the full round trip.
+            self.shared_conflicts += 1;
+            let wait = self
+                .shared_mshrs
+                .earliest_ready()
+                .expect("full file has entries")
+                - cycle;
+            dram + wait
+        } else {
+            self.shared_mshrs
+                .allocate(line, cycle + dram, 0)
+                .expect("fullness checked above");
+            dram
+        }
+    }
+
+    /// Shared-side MSHR occupancy and contention counters (as of the last
+    /// demand access's drain).
+    pub fn shared_mshr_stats(&self) -> SharedMshrStats {
+        SharedMshrStats {
+            in_flight: self.shared_mshrs.in_flight(),
+            high_water: self.shared_mshrs.high_water(),
+            capacity: self.shared_mshrs.capacity(),
+            coalesced: self.shared_coalesced,
+            conflicts: self.shared_conflicts,
         }
     }
 
@@ -552,6 +675,64 @@ mod tests {
         // instruction path's way in).
         let r = h.read(1, 0, 0x4000, AccessClass::Data, Visibility::Visible);
         assert_eq!(r.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn demand_misses_allocate_shared_mshrs_and_drain_by_time() {
+        let mut h = h2();
+        let dram = h.config().latency.dram;
+        h.read_demand(0, 0, 0x4000, AccessClass::Data, Visibility::Visible);
+        h.read_demand(0, 0, 0x8000, AccessClass::Data, Visibility::Visible);
+        let s = h.shared_mshr_stats();
+        assert_eq!(s.in_flight, 2);
+        assert_eq!(s.high_water, 2);
+        assert_eq!((s.coalesced, s.conflicts), (0, 0));
+        // A demand access after the fills return drains both entries.
+        h.read_demand(dram, 0, 0xc000, AccessClass::Data, Visibility::Visible);
+        assert_eq!(h.shared_mshr_stats().in_flight, 1);
+    }
+
+    #[test]
+    fn untracked_reads_do_not_occupy_shared_mshrs() {
+        let mut h = h2();
+        h.read(0, 0, 0x4000, AccessClass::Data, Visibility::Visible);
+        h.read(0, 0, 0x8000, AccessClass::Data, Visibility::Invisible);
+        assert_eq!(h.shared_mshr_stats().in_flight, 0);
+    }
+
+    #[test]
+    fn cross_core_demand_miss_coalesces_onto_invisible_in_flight() {
+        let mut h = h2();
+        let lat = h.config().latency;
+        // Core 0 issues an invisible speculative miss (InvisiSpec-style):
+        // no cache state changes, but the shared MSHR entry is held.
+        let first = h.read_demand(0, 0, 0x4000, AccessClass::Data, Visibility::Invisible);
+        assert_eq!(first.level, HitLevel::Memory);
+        assert_eq!(first.latency, lat.dram);
+        // Core 1 demands the same line mid-flight: it rides the primary
+        // fill instead of paying a fresh DRAM round trip.
+        let second = h.read_demand(10, 1, 0x4000, AccessClass::Data, Visibility::Visible);
+        assert_eq!(second.latency, lat.dram - 10);
+        let s = h.shared_mshr_stats();
+        assert_eq!(s.coalesced, 1);
+        assert_eq!(s.in_flight, 1, "coalesced miss shares the entry");
+    }
+
+    #[test]
+    fn full_shared_file_charges_the_queueing_delay() {
+        let mut cfg = HierarchyConfig::kaby_lake_like(2);
+        cfg.shared_mshrs = 2;
+        let mut h = Hierarchy::new(cfg);
+        let dram = h.config().latency.dram;
+        h.read_demand(0, 0, 0x1_0000, AccessClass::Data, Visibility::Visible);
+        h.read_demand(4, 0, 0x2_0000, AccessClass::Data, Visibility::Visible);
+        // Third distinct-line miss at cycle 9: waits for the earliest
+        // fill (ready at dram) before its own round trip starts.
+        let r = h.read_demand(9, 1, 0x3_0000, AccessClass::Data, Visibility::Visible);
+        assert_eq!(r.latency, dram + (dram - 9));
+        let s = h.shared_mshr_stats();
+        assert_eq!(s.conflicts, 1);
+        assert_eq!(s.high_water, 2);
     }
 
     #[test]

@@ -41,7 +41,8 @@ mod stats;
 pub use cache::{AccessOutcome, SetAssocCache, WayView};
 pub use config::{CacheConfig, HierarchyConfig, LatencyConfig};
 pub use hierarchy::{
-    AccessClass, AccessResult, Hierarchy, HitLevel, LlcEvent, LlcEventKind, Visibility,
+    AccessClass, AccessResult, Hierarchy, HitLevel, LlcEvent, LlcEventKind, SharedMshrStats,
+    Visibility,
 };
 pub use mshr::{MshrFile, MshrId};
 pub use replacement::{PolicyKind, QlruParams, SetPolicy};

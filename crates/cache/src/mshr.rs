@@ -190,6 +190,12 @@ impl MshrFile {
         done.into_iter().map(|(_, _, c)| c).collect()
     }
 
+    /// Earliest completion cycle among live entries — the wait a request
+    /// that finds the file full must absorb before an entry frees up.
+    pub fn earliest_ready(&self) -> Option<u64> {
+        self.entries.iter().flatten().map(|e| e.ready_at).min()
+    }
+
     /// Removes a target token from all entries (e.g. when the requesting
     /// load is squashed); entries themselves stay allocated until the fill
     /// returns, as in real hardware.

@@ -212,6 +212,23 @@ impl Core {
         self.predictor.stats()
     }
 
+    /// Private (L1D) MSHRs currently in flight — the occupancy the
+    /// `G^D_MSHR` gadget drives to capacity.
+    pub fn mshr_in_flight(&self) -> usize {
+        self.mshrs.in_flight()
+    }
+
+    /// Peak simultaneous private-MSHR occupancy observed.
+    pub fn mshr_high_water(&self) -> usize {
+        self.mshrs.high_water()
+    }
+
+    /// Lifetime issue count per execution port (index = port number) —
+    /// the contention profile a port-pressure transmitter skews.
+    pub fn port_issues(&self) -> &[u64] {
+        self.exec.issues_per_port()
+    }
+
     /// Advances the core by one cycle.
     pub fn tick(&mut self, now: u64, ctx: &mut TickCtx<'_>) {
         if self.halted {
@@ -577,6 +594,7 @@ impl Core {
                 continue; // §5.4 rule 2: reserve the unit for the older op
             }
             let Some(port) = self.exec.free_port(&self.config.fu, class, now) else {
+                self.stats.port_contention_stalls += 1;
                 continue;
             };
             let mut operands = [0u64; 2];
@@ -752,9 +770,13 @@ impl Core {
         let line = line_of(addr);
         let mut new_fill = false;
         let done_at = if level == HitLevel::L1 {
-            let res =
-                ctx.hierarchy
-                    .read(now, self.id, addr, AccessClass::Data, Visibility::Visible);
+            let res = ctx.hierarchy.read_demand(
+                now,
+                self.id,
+                addr,
+                AccessClass::Data,
+                Visibility::Visible,
+            );
             now + res.latency
         } else if let Some(id) = self.mshrs.lookup(line) {
             // Coalesce onto the outstanding miss; the fill (and any state
@@ -768,9 +790,13 @@ impl Core {
             self.trace.record(now, TraceEvent::MshrStall { seq, addr });
             return LoadStep::Retry;
         } else {
-            let res =
-                ctx.hierarchy
-                    .read(now, self.id, addr, AccessClass::Data, Visibility::Visible);
+            let res = ctx.hierarchy.read_demand(
+                now,
+                self.id,
+                addr,
+                AccessClass::Data,
+                Visibility::Visible,
+            );
             let latency = self.dram_latency(res.latency, level, ctx);
             let ready = now + latency;
             self.mshrs
@@ -818,8 +844,15 @@ impl Core {
             if let Some(id) = self.mshrs.lookup(line) {
                 self.mshrs.coalesce(id, seq);
                 self.mshrs.ready_at(id)
+            } else if self.mshrs.is_full() {
+                // Check *before* touching the hierarchy: the request is
+                // not sent at all this cycle, so it must not occupy a
+                // shared-side MSHR entry either (a demand read would).
+                self.stats.mshr_stalls += 1;
+                self.trace.record(now, TraceEvent::MshrStall { seq, addr });
+                return LoadStep::Retry;
             } else {
-                let res = ctx.hierarchy.read(
+                let res = ctx.hierarchy.read_demand(
                     now,
                     self.id,
                     addr,
@@ -828,19 +861,15 @@ impl Core {
                 );
                 let latency = self.dram_latency(res.latency, level, ctx);
                 let ready = now + latency;
-                match self.mshrs.allocate(line, ready, seq) {
-                    Some(_) => ready,
-                    None => {
-                        self.stats.mshr_stalls += 1;
-                        self.trace.record(now, TraceEvent::MshrStall { seq, addr });
-                        return LoadStep::Retry;
-                    }
-                }
+                self.mshrs
+                    .allocate(line, ready, seq)
+                    .expect("fullness checked above");
+                ready
             }
         } else {
             let latency = latency_override.unwrap_or_else(|| {
                 ctx.hierarchy
-                    .read(now, self.id, addr, AccessClass::Data, Visibility::Invisible)
+                    .read_demand(now, self.id, addr, AccessClass::Data, Visibility::Invisible)
                     .latency
             });
             now + latency

@@ -71,6 +71,10 @@ pub struct ExecUnits {
     busy_until: Vec<u64>,
     issued_this_cycle: Vec<bool>,
     in_flight: Vec<InFlight>,
+    /// Operations issued per port over the unit's lifetime — the per-port
+    /// contention profile the interference attacks skew (a mis-speculated
+    /// sqrt chain shows up as excess port-0 issues).
+    issues_per_port: Vec<u64>,
 }
 
 impl ExecUnits {
@@ -81,6 +85,7 @@ impl ExecUnits {
             busy_until: vec![0; ports],
             issued_this_cycle: vec![false; ports],
             in_flight: Vec::new(),
+            issues_per_port: vec![0; ports],
         }
     }
 
@@ -114,6 +119,7 @@ impl ExecUnits {
         debug_assert!(self.busy_until[port] <= now, "issue to a busy port");
         let done_at = now + t.latency;
         self.issued_this_cycle[port] = true;
+        self.issues_per_port[port] += 1;
         if !t.pipelined {
             self.busy_until[port] = done_at;
         }
@@ -170,6 +176,11 @@ impl ExecUnits {
     /// Number of operations in flight.
     pub fn in_flight_count(&self) -> usize {
         self.in_flight.len()
+    }
+
+    /// Lifetime issue count per port (index = port number).
+    pub fn issues_per_port(&self) -> &[u64] {
+        &self.issues_per_port
     }
 }
 

@@ -174,7 +174,8 @@ impl Frontend {
             let pc = self.pc;
             let line = pc / si_cache::LINE_BYTES;
             if self.current_line != Some(line) {
-                let res = hierarchy.read(now, core, pc, AccessClass::Instr, Visibility::Visible);
+                let res =
+                    hierarchy.read_demand(now, core, pc, AccessClass::Instr, Visibility::Visible);
                 self.current_line = Some(line);
                 if res.level != si_cache::HitLevel::L1 {
                     self.ifetch_fills.push((now, line));

@@ -249,7 +249,10 @@ impl Machine {
                 Visibility::Visible,
             )),
             AgentOp::TimedAccess { core, addr } => {
-                let result = self.shared.hierarchy.read(
+                // Timed accesses are the receiver's *measurement*: they
+                // observe shared-MSHR contention (read_demand), unlike the
+                // setup ops above, which abstract spread-out traffic.
+                let result = self.shared.hierarchy.read_demand(
                     now,
                     core,
                     addr,
@@ -283,6 +286,12 @@ impl Machine {
     /// Takes the visible-LLC access log (`C(E)` of §5.1).
     pub fn take_llc_log(&mut self) -> Vec<LlcEvent> {
         self.shared.hierarchy.take_log()
+    }
+
+    /// Shared-side MSHR occupancy and contention counters (cross-core
+    /// demand misses contending past the LLC).
+    pub fn shared_mshr_stats(&self) -> si_cache::SharedMshrStats {
+        self.shared.hierarchy.shared_mshr_stats()
     }
 
     /// Advances the machine one cycle: scheduled agent ops, background

@@ -35,6 +35,10 @@ pub struct CoreStats {
     pub exposures: u64,
     /// Issue stalls imposed by a defense's `blocks_issue` (§5.2 fences).
     pub defense_issue_stalls: u64,
+    /// Ready instructions that could not issue because every port hosting
+    /// their unit class was busy (`G^D_NPEU` port pressure): one count per
+    /// ready-but-portless candidate per cycle.
+    pub port_contention_stalls: u64,
 }
 
 impl CoreStats {
@@ -53,7 +57,7 @@ impl fmt::Display for CoreStats {
         write!(
             f,
             "{} cycles, {} retired (IPC {:.2}), {} squashes ({} instrs), \
-             stalls[icache={} queue={} rs={} rob={} mshr={} defense={}], \
+             stalls[icache={} queue={} rs={} rob={} mshr={} defense={} port={}], \
              loads[delayed={} invisible={} exposures={}]",
             self.cycles,
             self.retired,
@@ -66,6 +70,7 @@ impl fmt::Display for CoreStats {
             self.rob_full_stalls,
             self.mshr_stalls,
             self.defense_issue_stalls,
+            self.port_contention_stalls,
             self.delayed_loads,
             self.invisible_loads,
             self.exposures,

@@ -1,0 +1,397 @@
+//! Declarative attack-grid evaluation (`sia attack`): leakage scoring
+//! over the (scheme × interference-variant × geometry × noise) axes,
+//! flattened into independent seeded bit-trial units and run through
+//! [`exec::parallel_map`] — so 1-thread and N-thread runs are
+//! bit-identical, exactly like `sia sweep`.
+//!
+//! ## Grid → unit flattening
+//!
+//! An [`AttackGrid`] is four axis lists plus a `trials` count. The cross
+//! product of (geometry × noise × variant) forms the **rows**; each row
+//! holds one **cell** per scheme. Cells resolve their shared state first
+//! (`AttackScenario::prepare`, one unit per cell — the VD-AD reference
+//! calibration), then every `(cell, trial)` pair becomes one bit-trial
+//! unit at a fixed index whose noise seed is `mix_seed(base, index)`
+//! and whose transmitted bit is `secret_bits(trials, base)[trial]` — a
+//! deterministic, exactly balanced sequence shared by every cell.
+//! Results reassemble in index order, so the emitted JSON is a pure
+//! function of `(grid, seed)`.
+//!
+//! ## Output (schema v2, `kind: "attack"`)
+//!
+//! ```text
+//! {
+//!   "schema_version": 2,
+//!   "kind": "attack",
+//!   "grid": "headline",
+//!   "title": "...",
+//!   "config": { trials, seed, schemes, variants, geometries, noises },
+//!   "result": { "rows": [ { variant, geometry, noise,
+//!                           cells: [ {scheme, accuracy, correct, wrong, abstained,
+//!                                     mean_cycles, raw_bandwidth_bps, leaks,
+//!                                     trials_to_95?, confident_bandwidth_bps?} ] } ] },
+//!   "summary": { rows, cells, units, leaking_cells, ... }
+//! }
+//! ```
+//!
+//! `trials_to_95` / `confident_bandwidth_bps` are omitted for cells
+//! whose per-trial accuracy never concentrates (≤ 0.5); renderers show
+//! them as placeholder cells.
+
+use si_attack::{leakage, AttackScenario, BitTrial, InterferenceVariant, PreparedScenario};
+use si_cpu::{GeometryPreset, NoisePreset};
+use si_schemes::SchemeKind;
+
+use crate::exec::{mix_seed, parallel_map};
+use crate::json::{arr, obj, DocKind, Json, SCHEMA_VERSION};
+use crate::scheme_slug;
+use crate::sweep::{parse_filter_spec, retain_axis, scheme_family_matches};
+
+/// The named grids `sia attack --grid` accepts, in presentation order.
+pub const ATTACK_GRID_NAMES: [&str; 4] = ["headline", "geometry", "noise", "full"];
+
+/// A declarative attack grid: axis value lists plus the trial count.
+///
+/// Unlike sweep grids, `schemes` may include
+/// [`SchemeKind::Unprotected`] — the baseline's leak is itself a
+/// result (the channel the defenses were built to close).
+#[derive(Debug, Clone)]
+pub struct AttackGrid {
+    /// The grid's name (recorded in the output envelope).
+    pub name: String,
+    /// Scheme columns.
+    pub schemes: Vec<SchemeKind>,
+    /// Interference transmitters.
+    pub variants: Vec<InterferenceVariant>,
+    /// Cache-geometry presets.
+    pub geometries: Vec<GeometryPreset>,
+    /// Noise-environment presets.
+    pub noises: Vec<NoisePreset>,
+    /// Secret bits transmitted per cell.
+    pub trials: usize,
+}
+
+impl AttackGrid {
+    /// Looks up a named grid.
+    ///
+    /// * `headline` — the acceptance matrix: baseline, five invisible
+    ///   schemes, and both fence defenses under both transmitters on
+    ///   the default machine.
+    /// * `geometry` — one leaking and one non-leaking scheme across
+    ///   every cache-geometry preset.
+    /// * `noise` — leak robustness across the noise presets.
+    /// * `full` — every invisible scheme and every defense.
+    pub fn named(name: &str) -> Result<AttackGrid, String> {
+        use SchemeKind::*;
+        let grid = match name {
+            "headline" => AttackGrid {
+                name: name.to_owned(),
+                schemes: vec![
+                    Unprotected,
+                    DomSpectre,
+                    InvisiSpecSpectre,
+                    SafeSpecWfb,
+                    MuonTrap,
+                    CleanupSpec,
+                    FenceSpectre,
+                    FenceFuturistic,
+                ],
+                variants: InterferenceVariant::all(),
+                geometries: vec![GeometryPreset::KabyLake],
+                noises: vec![NoisePreset::Quiet],
+                trials: 24,
+            },
+            "geometry" => AttackGrid {
+                name: name.to_owned(),
+                schemes: vec![InvisiSpecSpectre, FenceFuturistic],
+                variants: InterferenceVariant::all(),
+                geometries: GeometryPreset::all(),
+                noises: vec![NoisePreset::Quiet],
+                trials: 12,
+            },
+            "noise" => AttackGrid {
+                name: name.to_owned(),
+                schemes: vec![DomSpectre, InvisiSpecSpectre, FenceFuturistic],
+                variants: InterferenceVariant::all(),
+                geometries: vec![GeometryPreset::KabyLake],
+                noises: NoisePreset::all(),
+                trials: 24,
+            },
+            "full" => AttackGrid {
+                name: name.to_owned(),
+                schemes: std::iter::once(Unprotected)
+                    .chain(SchemeKind::invisible_schemes())
+                    .chain([FenceSpectre, FenceFuturistic, Advanced])
+                    .collect(),
+                variants: InterferenceVariant::all(),
+                geometries: vec![GeometryPreset::KabyLake],
+                noises: vec![NoisePreset::Quiet],
+                trials: 24,
+            },
+            other => {
+                return Err(format!(
+                    "unknown attack grid '{other}' (grids: {})",
+                    ATTACK_GRID_NAMES.join(", ")
+                ))
+            }
+        };
+        Ok(grid)
+    }
+
+    /// Shrinks the grid for CI smoke runs: six trials per cell. Axis
+    /// lists are untouched, so `--quick` exercises the same cells.
+    pub fn quick(&mut self) {
+        self.trials = 6;
+    }
+
+    /// Applies one `--filter axis=v1,v2,…` spec. Axes: `scheme`,
+    /// `variant`, `geometry`, `noise`; scheme values match as family
+    /// prefixes, the rest match slugs exactly. Errors list the valid
+    /// values for the axis (same diagnostics as `sia sweep`).
+    pub fn apply_filter(&mut self, spec: &str) -> Result<(), String> {
+        let (axis, values) = parse_filter_spec(spec)?;
+        match axis.as_str() {
+            "scheme" => retain_axis(
+                "scheme",
+                &mut self.schemes,
+                &values,
+                scheme_slug,
+                scheme_family_matches,
+                &SchemeKind::all()
+                    .into_iter()
+                    .map(scheme_slug)
+                    .collect::<Vec<_>>(),
+            ),
+            "variant" => retain_axis(
+                "variant",
+                &mut self.variants,
+                &values,
+                InterferenceVariant::slug,
+                |i, v| i.slug() == v,
+                &InterferenceVariant::all()
+                    .iter()
+                    .map(|i| i.slug())
+                    .collect::<Vec<_>>(),
+            ),
+            "geometry" => retain_axis(
+                "geometry",
+                &mut self.geometries,
+                &values,
+                GeometryPreset::slug,
+                |g, v| g.slug() == v,
+                &GeometryPreset::all()
+                    .iter()
+                    .map(|g| g.slug())
+                    .collect::<Vec<_>>(),
+            ),
+            "noise" => retain_axis(
+                "noise",
+                &mut self.noises,
+                &values,
+                NoisePreset::slug,
+                |n, v| n.slug() == v,
+                &NoisePreset::all()
+                    .iter()
+                    .map(|n| n.slug())
+                    .collect::<Vec<_>>(),
+            ),
+            other => Err(format!(
+                "unknown filter axis '{other}' (axes: scheme, variant, geometry, noise)"
+            )),
+        }
+    }
+
+    /// The grid's rows: the (geometry × noise × variant) cross product,
+    /// in presentation order.
+    fn rows(&self) -> Vec<RowKey> {
+        let mut rows = Vec::new();
+        for &geometry in &self.geometries {
+            for &noise in &self.noises {
+                for &variant in &self.variants {
+                    rows.push(RowKey {
+                        geometry,
+                        noise,
+                        variant,
+                    });
+                }
+            }
+        }
+        rows
+    }
+
+    /// Number of bit-trial units the grid flattens into.
+    pub fn unit_count(&self) -> usize {
+        self.rows().len() * self.schemes.len() * self.trials.max(1)
+    }
+}
+
+/// One attack row: a machine plus the transmitter mounted on it.
+#[derive(Debug, Clone, Copy)]
+struct RowKey {
+    geometry: GeometryPreset,
+    noise: NoisePreset,
+    variant: InterferenceVariant,
+}
+
+/// Runs an attack grid and returns the schema-v2 result document. The
+/// document is a pure function of `(grid, seed)`; `threads` only
+/// changes wall time.
+pub fn run_attack_grid(grid: &AttackGrid, seed: u64, threads: usize) -> Result<Json, String> {
+    let trials = grid.trials.max(1);
+    let rows = grid.rows();
+    if rows.is_empty() || grid.schemes.is_empty() {
+        return Err("grid has no cells (an axis is empty)".into());
+    }
+    let cells: Vec<AttackScenario> = rows
+        .iter()
+        .flat_map(|row| {
+            grid.schemes.iter().map(move |scheme| {
+                AttackScenario::new(row.variant, *scheme, row.geometry, row.noise)
+            })
+        })
+        .collect();
+
+    // Phase 1: per-cell shared state (VD-AD reference calibration) —
+    // deterministic, so fanning it out changes nothing but wall time.
+    let prepared: Vec<PreparedScenario> =
+        parallel_map(cells.len(), threads, |i| cells[i].prepare());
+
+    // Phase 2: bit trials. Every cell transmits the same exactly
+    // balanced secret sequence; the per-unit seed feeds only the noise.
+    let bits = leakage::secret_bits(trials, seed);
+    let outcomes: Vec<BitTrial> = parallel_map(cells.len() * trials, threads, |i| {
+        let (cell, trial) = (i / trials, i % trials);
+        prepared[cell].run_bit_trial(bits[trial], mix_seed(seed, i as u64))
+    });
+
+    let mut json_rows = Vec::with_capacity(rows.len());
+    let mut leaking_cells = 0usize;
+    for (r, key) in rows.iter().enumerate() {
+        let mut cells_json = Vec::with_capacity(grid.schemes.len());
+        for (c, scheme) in grid.schemes.iter().enumerate() {
+            let base = (r * grid.schemes.len() + c) * trials;
+            let score = leakage::score(&outcomes[base..base + trials]);
+            if score.leaks() {
+                leaking_cells += 1;
+            }
+            cells_json.push(score_json(*scheme, &score));
+        }
+        json_rows.push(obj([
+            ("variant", Json::from(key.variant.slug())),
+            ("geometry", Json::from(key.geometry.slug())),
+            ("noise", Json::from(key.noise.slug())),
+            ("cells", Json::Arr(cells_json)),
+        ]));
+    }
+
+    let config = obj([
+        ("trials", Json::from(trials)),
+        ("seed", Json::from(seed)),
+        (
+            "schemes",
+            arr(grid
+                .schemes
+                .iter()
+                .map(|s| scheme_slug(*s))
+                .collect::<Vec<_>>()),
+        ),
+        (
+            "variants",
+            arr(grid.variants.iter().map(|v| v.slug()).collect::<Vec<_>>()),
+        ),
+        (
+            "geometries",
+            arr(grid.geometries.iter().map(|g| g.slug()).collect::<Vec<_>>()),
+        ),
+        (
+            "noises",
+            arr(grid.noises.iter().map(|n| n.slug()).collect::<Vec<_>>()),
+        ),
+    ]);
+    let summary = obj([
+        ("rows", Json::from(json_rows.len())),
+        ("cells", Json::from(cells.len())),
+        ("units", Json::from(cells.len() * trials)),
+        ("leaking_cells", Json::from(leaking_cells)),
+    ]);
+    Ok(obj([
+        ("schema_version", Json::from(SCHEMA_VERSION)),
+        ("kind", Json::from(DocKind::Attack.slug())),
+        ("grid", Json::from(grid.name.as_str())),
+        (
+            "title",
+            Json::from(format!("Interference-attack grid '{}'", grid.name)),
+        ),
+        ("config", config),
+        ("result", obj([("rows", Json::Arr(json_rows))])),
+        ("summary", summary),
+    ]))
+}
+
+fn score_json(scheme: SchemeKind, score: &leakage::LeakageScore) -> Json {
+    let mut cell = obj([
+        ("scheme", Json::from(scheme_slug(scheme))),
+        ("accuracy", Json::from(score.accuracy)),
+        ("correct", Json::from(score.correct)),
+        ("wrong", Json::from(score.wrong)),
+        ("abstained", Json::from(score.abstained)),
+        ("mean_cycles", Json::from(score.mean_cycles)),
+        ("raw_bandwidth_bps", Json::from(score.raw_bandwidth_bps)),
+        ("leaks", Json::from(score.leaks())),
+    ]);
+    if let Some(n) = score.trials_to_95 {
+        cell.push("trials_to_95", Json::from(n));
+    }
+    if let Some(bps) = score.confident_bandwidth_bps {
+        cell.push("confident_bandwidth_bps", Json::from(bps));
+    }
+    cell
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_named_grid_resolves_and_counts_units() {
+        for name in ATTACK_GRID_NAMES {
+            let grid = AttackGrid::named(name).expect(name);
+            assert!(grid.unit_count() > 0, "{name}");
+            assert!(!grid.variants.is_empty(), "{name}");
+        }
+        assert!(AttackGrid::named("nope").is_err());
+    }
+
+    #[test]
+    fn quick_shrinks_trials_but_not_axes() {
+        let mut grid = AttackGrid::named("headline").expect("grid");
+        let cells = grid.schemes.len() * grid.variants.len();
+        grid.quick();
+        assert_eq!(grid.trials, 6);
+        assert_eq!(grid.schemes.len() * grid.variants.len(), cells);
+    }
+
+    #[test]
+    fn filters_narrow_axes_and_diagnose_bad_values() {
+        let mut grid = AttackGrid::named("headline").expect("grid");
+        grid.apply_filter("variant=port-contention")
+            .expect("filter");
+        assert_eq!(grid.variants, [InterferenceVariant::PortContention]);
+        grid.apply_filter("scheme=invisispec,fence")
+            .expect("filter");
+        let slugs: Vec<&str> = grid.schemes.iter().map(|s| scheme_slug(*s)).collect();
+        assert_eq!(slugs, ["invisispec", "fence", "fence-futuristic"]);
+
+        // Unknown value: the error teaches the axis domain.
+        let err = grid.apply_filter("variant=nope").unwrap_err();
+        assert!(err.contains("mshr-pressure"), "{err}");
+        assert!(err.contains("port-contention"), "{err}");
+        let err = grid.apply_filter("scheme=muontrap").unwrap_err();
+        assert!(
+            err.contains("valid scheme values") && err.contains("muontrap"),
+            "{err}"
+        );
+        assert!(err.contains("in this grid"), "{err}");
+        assert!(grid.apply_filter("planet=earth").is_err());
+    }
+}

@@ -38,6 +38,100 @@ pub const BENCH_SCHEMA_VERSION: u64 = crate::json::SCHEMA_VERSION;
 /// Default output path for the benchmark snapshot.
 pub const BENCH_DEFAULT_PATH: &str = "BENCH_baseline.json";
 
+/// `--against` fails when a speedup ratio falls below this fraction of
+/// its baseline value (a > 25% regression).
+pub const BENCH_FAIL_FRACTION: f64 = 0.75;
+
+/// `--against` warns when a ratio falls below this fraction of its
+/// baseline value (a > 10% regression).
+pub const BENCH_WARN_FRACTION: f64 = 0.90;
+
+/// Outcome of comparing a bench run against a baseline snapshot.
+///
+/// Only the derived **speedup ratios** are compared — they are
+/// dimensionless (optimized path over reference path on the *same*
+/// machine and build), so a committed baseline from one machine gates a
+/// CI run on another. Raw wall-clock numbers are machine-dependent and
+/// deliberately ignored.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchComparison {
+    /// Ratios that regressed past [`BENCH_FAIL_FRACTION`] (or vanished).
+    pub failures: Vec<String>,
+    /// Ratios that regressed past [`BENCH_WARN_FRACTION`].
+    pub warnings: Vec<String>,
+    /// Ratios present in both documents and compared.
+    pub checked: usize,
+}
+
+impl BenchComparison {
+    /// Whether the gate passes (warnings allowed, failures not).
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Flattens every numeric leaf under a `speedups` object into
+/// `(dotted.path, value)` pairs, recursively — "any ratio" means any.
+fn speedup_leaves(prefix: &str, v: &Json, out: &mut Vec<(String, f64)>) {
+    match v {
+        Json::F64(r) => out.push((prefix.to_owned(), *r)),
+        Json::Obj(pairs) => {
+            for (k, inner) in pairs {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                speedup_leaves(&path, inner, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares `current`'s speedup ratios against `baseline`'s (both full
+/// bench documents). A ratio present in the baseline but missing from
+/// the current run is a failure — a silently dropped benchmark must not
+/// pass the gate.
+///
+/// # Errors
+///
+/// Errors when either document carries no `speedups` object.
+pub fn compare_speedups(current: &Json, baseline: &Json) -> Result<BenchComparison, String> {
+    let leaves = |doc: &Json, which: &str| -> Result<Vec<(String, f64)>, String> {
+        let mut out = Vec::new();
+        match doc.get("speedups") {
+            Some(s) => speedup_leaves("", s, &mut out),
+            None => return Err(format!("{which} document has no speedups object")),
+        }
+        if out.is_empty() {
+            return Err(format!("{which} document has no speedup ratios"));
+        }
+        Ok(out)
+    };
+    let base = leaves(baseline, "baseline")?;
+    let cur = leaves(current, "current")?;
+    let mut cmp = BenchComparison::default();
+    for (path, base_ratio) in &base {
+        let Some((_, cur_ratio)) = cur.iter().find(|(p, _)| p == path) else {
+            cmp.failures
+                .push(format!("{path}: missing from the current run"));
+            continue;
+        };
+        cmp.checked += 1;
+        let line = format!(
+            "{path}: {cur_ratio:.2}x vs baseline {base_ratio:.2}x ({:+.1}%)",
+            (cur_ratio / base_ratio - 1.0) * 100.0
+        );
+        if *cur_ratio < base_ratio * BENCH_FAIL_FRACTION {
+            cmp.failures.push(line);
+        } else if *cur_ratio < base_ratio * BENCH_WARN_FRACTION {
+            cmp.warnings.push(line);
+        }
+    }
+    Ok(cmp)
+}
+
 /// One measured benchmark.
 struct Measured {
     id: String,
@@ -256,6 +350,24 @@ fn bench_trials(samples: usize, out: &mut Vec<Measured>) {
             },
         ));
     }
+    // One scored attack-grid bit trial (the `sia attack` unit), reference
+    // calibration included once up front as the grid runner does it.
+    let prepared = si_attack::AttackScenario::new(
+        si_attack::InterferenceVariant::MshrPressure,
+        SchemeKind::InvisiSpecSpectre,
+        si_cpu::GeometryPreset::KabyLake,
+        si_cpu::NoisePreset::Quiet,
+    )
+    .prepare();
+    out.push(measure(
+        "trial_e2e/attack_mshr_invisispec",
+        samples,
+        1,
+        "trial",
+        || {
+            prepared.run_bit_trial(1, 42);
+        },
+    ));
 }
 
 fn speedup_ratios<'a>(
@@ -325,6 +437,53 @@ pub fn run_benches(quick: bool) -> Json {
 mod tests {
     use super::*;
     use crate::json::parse;
+
+    fn bench_doc(geomean: f64, advance: f64) -> Json {
+        obj([(
+            "speedups",
+            obj([
+                ("policy_flat_over_boxed_geomean", Json::from(geomean)),
+                (
+                    "policy_flat_over_boxed",
+                    obj([("lru", Json::from(geomean))]),
+                ),
+                ("pipeline_advance_over_step", Json::from(advance)),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn equal_ratios_pass_the_gate_cleanly() {
+        let cmp = compare_speedups(&bench_doc(2.0, 2.7), &bench_doc(2.0, 2.7)).unwrap();
+        assert!(cmp.passed());
+        assert!(cmp.warnings.is_empty());
+        assert_eq!(cmp.checked, 3, "nested ratios are compared too");
+    }
+
+    #[test]
+    fn regressions_warn_past_10_percent_and_fail_past_25() {
+        // 15% down on one ratio: warn, still passing.
+        let cmp = compare_speedups(&bench_doc(2.0 * 0.85, 2.7), &bench_doc(2.0, 2.7)).unwrap();
+        assert!(cmp.passed());
+        assert_eq!(cmp.warnings.len(), 2, "geomean + nested lru");
+        // 30% down: fail.
+        let cmp = compare_speedups(&bench_doc(2.0, 2.7 * 0.7), &bench_doc(2.0, 2.7)).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.failures.len(), 1);
+        assert!(cmp.failures[0].contains("pipeline_advance_over_step"));
+        // Improvements never warn.
+        let cmp = compare_speedups(&bench_doc(3.0, 4.0), &bench_doc(2.0, 2.7)).unwrap();
+        assert!(cmp.passed() && cmp.warnings.is_empty());
+    }
+
+    #[test]
+    fn missing_ratios_fail_rather_than_silently_pass() {
+        let current = obj([("speedups", obj([("only_this", Json::from(2.0))]))]);
+        let cmp = compare_speedups(&current, &bench_doc(2.0, 2.7)).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(cmp.failures.len(), 3, "every baseline ratio is missing");
+        assert!(compare_speedups(&obj([]), &bench_doc(2.0, 2.7)).is_err());
+    }
 
     #[test]
     fn quick_bench_emits_valid_versioned_json() {

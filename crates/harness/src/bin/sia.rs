@@ -5,8 +5,10 @@
 //! sia run fig07 --scheme dom        # one experiment
 //! sia run --all --trials 5          # CI smoke: everything, small
 //! sia sweep --grid defense          # declarative scenario sweep
+//! sia attack --grid headline        # interference attacks + leakage scores
 //! sia report results/               # results/*.json -> markdown tables
 //! sia bench                         # microbenchmarks -> BENCH_baseline.json
+//! sia bench --against BENCH_baseline.json   # perf-regression gate
 //! ```
 //!
 //! Each run writes one validated JSON document per experiment to the
@@ -16,6 +18,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use si_harness::attack::{run_attack_grid, AttackGrid, ATTACK_GRID_NAMES};
 use si_harness::json::{parse, Json};
 use si_harness::render::{render_report, splice_report, REPORT_BEGIN, REPORT_END};
 use si_harness::sweep::{run_sweep, GridSpec, GRID_NAMES};
@@ -29,8 +32,9 @@ USAGE:
     sia run <EXPERIMENT>... [OPTIONS]
     sia run --all [OPTIONS]
     sia sweep [SWEEP OPTIONS]
+    sia attack [ATTACK OPTIONS]
     sia report [PATH...] [REPORT OPTIONS]
-    sia bench [--quick] [--out <FILE>]
+    sia bench [--quick] [--out <FILE>] [--against <FILE>]
 
 RUN OPTIONS:
     --all              run every registered experiment
@@ -58,6 +62,18 @@ SWEEP OPTIONS:
     --print            also print the result document to stdout
     --no-wall-time     omit wall_time_ms (bit-stable output)
 
+ATTACK OPTIONS:
+    --grid <NAME>      grid to run: headline (default), geometry, noise, full
+    --filter <A=V,..>  restrict an axis (repeatable); axes: scheme, variant,
+                       geometry, noise. Unknown values list the axis's
+                       valid values in the error
+    --quick            CI smoke: six trials per cell, same cells
+    --trials <N>       secret bits per cell override
+    --threads/--seed   as for run
+    --out <FILE>       output file (default: results/attack-<grid>.json)
+    --print            also print the result document to stdout
+    --no-wall-time     omit wall_time_ms (bit-stable output)
+
 REPORT OPTIONS:
     PATH...            result files or directories of *.json
                        (default: results/)
@@ -70,6 +86,9 @@ REPORT OPTIONS:
 BENCH OPTIONS:
     --quick            fewer samples (CI smoke); same schema and bench set
     --out <FILE>       output file (default: BENCH_baseline.json)
+    --against <FILE>   compare this run's speedup ratios against a baseline
+                       snapshot: exit non-zero when any ratio regressed by
+                       more than 25%, warn beyond 10%
 ";
 
 /// Parses a `--seed` value: decimal or `0x`-prefixed hex. Shared by
@@ -164,6 +183,10 @@ fn cmd_list() -> ExitCode {
         "\nsweep grids (`sia sweep --grid`): {}",
         GRID_NAMES.join(", ")
     );
+    println!(
+        "attack grids (`sia attack --grid`): {}",
+        ATTACK_GRID_NAMES.join(", ")
+    );
     ExitCode::SUCCESS
 }
 
@@ -243,17 +266,40 @@ fn cmd_run(args: &Args) -> ExitCode {
     }
 }
 
-fn cmd_sweep(argv: &[String]) -> Result<ExitCode, String> {
-    let mut grid_name = "defense".to_owned();
-    let mut filters: Vec<String> = Vec::new();
-    let mut quick = false;
-    let mut scale: Option<usize> = None;
-    let mut trials: Option<usize> = None;
-    let mut threads = RunConfig::default().threads;
-    let mut seed = RunConfig::default().seed;
-    let mut out: Option<String> = None;
-    let mut print = false;
-    let mut wall_time = true;
+/// Options shared by the grid-shaped verbs (`sweep`, `attack`).
+struct GridArgs {
+    grid_name: String,
+    filters: Vec<String>,
+    quick: bool,
+    scale: Option<usize>,
+    trials: Option<usize>,
+    threads: usize,
+    seed: u64,
+    out: Option<String>,
+    print: bool,
+    wall_time: bool,
+}
+
+/// Parses the sweep/attack option set. `verb` labels errors;
+/// `allow_scale` gates the sweep-only `--scale` knob.
+fn parse_grid_args(
+    argv: &[String],
+    verb: &str,
+    default_grid: &str,
+    allow_scale: bool,
+) -> Result<GridArgs, String> {
+    let mut args = GridArgs {
+        grid_name: default_grid.to_owned(),
+        filters: Vec::new(),
+        quick: false,
+        scale: None,
+        trials: None,
+        threads: RunConfig::default().threads,
+        seed: RunConfig::default().seed,
+        out: None,
+        print: false,
+        wall_time: true,
+    };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -262,74 +308,130 @@ fn cmd_sweep(argv: &[String]) -> Result<ExitCode, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--grid" => grid_name = value("--grid")?,
-            "--filter" => filters.push(value("--filter")?),
-            "--quick" => quick = true,
-            "--scale" => {
-                scale = Some(
+            "--grid" => args.grid_name = value("--grid")?,
+            "--filter" => args.filters.push(value("--filter")?),
+            "--quick" => args.quick = true,
+            "--scale" if allow_scale => {
+                args.scale = Some(
                     value("--scale")?
                         .parse()
                         .map_err(|e| format!("--scale: {e}"))?,
                 );
             }
             "--trials" => {
-                trials = Some(
+                args.trials = Some(
                     value("--trials")?
                         .parse()
                         .map_err(|e| format!("--trials: {e}"))?,
                 );
             }
             "--threads" => {
-                threads = value("--threads")?
+                args.threads = value("--threads")?
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
             }
-            "--seed" => seed = parse_seed(&value("--seed")?)?,
-            "--out" => out = Some(value("--out")?),
-            "--print" => print = true,
-            "--no-wall-time" => wall_time = false,
-            other => return Err(format!("unknown sweep option '{other}'")),
+            "--seed" => args.seed = parse_seed(&value("--seed")?)?,
+            "--out" => args.out = Some(value("--out")?),
+            "--print" => args.print = true,
+            "--no-wall-time" => args.wall_time = false,
+            other => return Err(format!("unknown {verb} option '{other}'")),
         }
     }
-    let mut grid = GridSpec::named(&grid_name)?;
-    if quick {
-        grid.quick();
-    }
-    for f in &filters {
-        grid.apply_filter(f)?;
-    }
-    if let Some(s) = scale {
-        grid.scale = s;
-    }
-    if let Some(t) = trials {
-        grid.trials = t;
-    }
-    let path = out.unwrap_or_else(|| format!("results/sweep-{grid_name}.json"));
-    let start = Instant::now();
-    let mut envelope = run_sweep(&grid, seed, threads)?;
-    let wall_ms = start.elapsed().as_millis();
-    if wall_time {
+    Ok(args)
+}
+
+/// Validates, writes, and announces one grid-verb result document.
+fn emit_grid_doc(
+    verb: &str,
+    grid_name: &str,
+    mut envelope: Json,
+    wall_ms: u128,
+    args: &GridArgs,
+    path: &str,
+) -> Result<(), String> {
+    if args.wall_time {
         envelope.push("wall_time_ms", Json::from(wall_ms as u64));
     }
     let text = envelope.to_pretty();
     parse(&text).map_err(|e| format!("emitted malformed JSON: {e}"))?;
-    if let Some(dir) = std::path::Path::new(&path)
+    if let Some(dir) = std::path::Path::new(path)
         .parent()
         .filter(|d| !d.as_os_str().is_empty())
     {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     }
-    std::fs::write(&path, &text).map_err(|e| format!("writing {path}: {e}"))?;
-    if print {
+    std::fs::write(path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+    if args.print {
         print!("{text}");
     }
     println!(
-        "sweep:{:<10} ok  {:>7}ms  {}  -> {}",
+        "{verb}:{:<10} ok  {:>7}ms  {}  -> {}",
         grid_name,
         wall_ms,
         summary_line(&envelope),
         path
     );
+    Ok(())
+}
+
+fn cmd_sweep(argv: &[String]) -> Result<ExitCode, String> {
+    let args = parse_grid_args(argv, "sweep", "defense", true)?;
+    let mut grid = GridSpec::named(&args.grid_name)?;
+    if args.quick {
+        grid.quick();
+    }
+    for f in &args.filters {
+        grid.apply_filter(f)?;
+    }
+    if let Some(s) = args.scale {
+        grid.scale = s;
+    }
+    if let Some(t) = args.trials {
+        grid.trials = t;
+    }
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("results/sweep-{}.json", args.grid_name));
+    let start = Instant::now();
+    let envelope = run_sweep(&grid, args.seed, args.threads)?;
+    emit_grid_doc(
+        "sweep",
+        &args.grid_name,
+        envelope,
+        start.elapsed().as_millis(),
+        &args,
+        &path,
+    )?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_attack(argv: &[String]) -> Result<ExitCode, String> {
+    let args = parse_grid_args(argv, "attack", "headline", false)?;
+    let mut grid = AttackGrid::named(&args.grid_name)?;
+    if args.quick {
+        grid.quick();
+    }
+    for f in &args.filters {
+        grid.apply_filter(f)?;
+    }
+    if let Some(t) = args.trials {
+        grid.trials = t;
+    }
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("results/attack-{}.json", args.grid_name));
+    let start = Instant::now();
+    let envelope = run_attack_grid(&grid, args.seed, args.threads)?;
+    emit_grid_doc(
+        "attack",
+        &args.grid_name,
+        envelope,
+        start.elapsed().as_millis(),
+        &args,
+        &path,
+    )?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -432,14 +534,26 @@ fn cmd_report(argv: &[String]) -> Result<ExitCode, String> {
 fn cmd_bench(argv: &[String]) -> ExitCode {
     let mut quick = false;
     let mut out = si_harness::bench::BENCH_DEFAULT_PATH.to_owned();
+    let mut against: Option<String> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
+        let mut value = |name: &str| match it.next() {
+            Some(v) => Ok(v.clone()),
+            None => Err(format!("{name} needs a value")),
+        };
         match arg.as_str() {
             "--quick" => quick = true,
-            "--out" => match it.next() {
-                Some(path) => out = path.clone(),
-                None => {
-                    eprintln!("error: --out needs a value\n\n{USAGE}");
+            "--out" => match value("--out") {
+                Ok(v) => out = v,
+                Err(e) => {
+                    eprintln!("error: {e}\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--against" => match value("--against") {
+                Ok(v) => against = Some(v),
+                Err(e) => {
+                    eprintln!("error: {e}\n\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -449,6 +563,23 @@ fn cmd_bench(argv: &[String]) -> ExitCode {
             }
         }
     }
+    // Load the baseline *before* running or writing anything: with the
+    // default --out, the output path IS the baseline file, and reading
+    // it afterwards would compare the run against itself (and clobber
+    // the snapshot it was meant to be gated by).
+    let baseline = match &against {
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|text| parse(&text).map_err(|e| format!("{path}: {e}")))
+        {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                eprintln!("bench --against  FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let start = Instant::now();
     let doc = si_harness::bench::run_benches(quick);
     let text = doc.to_pretty();
@@ -470,7 +601,46 @@ fn cmd_bench(argv: &[String]) -> ExitCode {
         speedups,
         out
     );
+    if let (Some(baseline), Some(path)) = (baseline, against) {
+        return bench_regression_gate(&doc, &baseline, &path);
+    }
     ExitCode::SUCCESS
+}
+
+/// The `sia bench --against` perf-regression gate: compares this run's
+/// speedup ratios against the (pre-loaded) baseline snapshot; warns
+/// past 10% regression, fails (non-zero exit) past 25% or on missing
+/// ratios.
+fn bench_regression_gate(current: &Json, baseline: &Json, baseline_path: &str) -> ExitCode {
+    match si_harness::bench::compare_speedups(current, baseline) {
+        Ok(cmp) => {
+            for w in &cmp.warnings {
+                eprintln!("bench --against  WARN: {w}");
+            }
+            for f in &cmp.failures {
+                eprintln!("bench --against  FAIL: {f}");
+            }
+            if cmp.passed() {
+                println!(
+                    "bench --against  ok  {} ratios within 25% of {baseline_path} ({} warnings)",
+                    cmp.checked,
+                    cmp.warnings.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "bench --against  FAILED: {} of {} ratios regressed more than 25% vs {baseline_path}",
+                    cmp.failures.len(),
+                    cmp.checked.max(cmp.failures.len())
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("bench --against  FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -479,6 +649,10 @@ fn main() -> ExitCode {
         Some("list") => cmd_list(),
         Some("bench") => cmd_bench(&argv[1..]),
         Some("sweep") => cmd_sweep(&argv[1..]).unwrap_or_else(|e| {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }),
+        Some("attack") => cmd_attack(&argv[1..]).unwrap_or_else(|e| {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
         }),

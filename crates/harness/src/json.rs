@@ -13,10 +13,11 @@ use std::fmt::Write as _;
 ///
 /// **v2** (current): every document carries a `kind` discriminator right
 /// after `schema_version` — `"experiment"` (one `sia run` result),
-/// `"sweep"` (a `sia sweep` grid), or `"bench"` (the `sia bench`
-/// snapshot) — so downstream consumers (`sia report`, CI validators)
-/// dispatch without guessing from filenames. Experiment and sweep
-/// documents share the `config` / `result` / `summary` envelope.
+/// `"sweep"` (a `sia sweep` grid), `"attack"` (a `sia attack` grid), or
+/// `"bench"` (the `sia bench` snapshot) — so downstream consumers
+/// (`sia report`, CI validators) dispatch without guessing from
+/// filenames. Experiment, sweep, and attack documents share the
+/// `config` / `result` / `summary` envelope.
 ///
 /// **v1**: experiment envelopes without `kind`. [`doc_kind`] still
 /// classifies v1 documents so `sia report` renders old result files.
@@ -29,6 +30,8 @@ pub enum DocKind {
     Experiment,
     /// A scenario-sweep grid (`sia sweep`).
     Sweep,
+    /// An attack-grid evaluation (`sia attack`).
+    Attack,
     /// A microbenchmark snapshot (`sia bench`).
     Bench,
 }
@@ -39,6 +42,7 @@ impl DocKind {
         match self {
             DocKind::Experiment => "experiment",
             DocKind::Sweep => "sweep",
+            DocKind::Attack => "attack",
             DocKind::Bench => "bench",
         }
     }
@@ -52,6 +56,7 @@ pub fn doc_kind(doc: &Json) -> Option<DocKind> {
         Some(Json::Str(k)) => match k.as_str() {
             "experiment" => Some(DocKind::Experiment),
             "sweep" => Some(DocKind::Sweep),
+            "attack" => Some(DocKind::Attack),
             "bench" => Some(DocKind::Bench),
             _ => None,
         },

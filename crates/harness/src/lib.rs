@@ -44,6 +44,7 @@
 //! }
 //! ```
 
+pub mod attack;
 pub mod bench;
 pub mod exec;
 pub mod experiments;

@@ -54,6 +54,7 @@ pub fn render_doc(stem: &str, doc: &Json) -> Result<String, String> {
     match doc_kind(doc) {
         Some(DocKind::Experiment) => Ok(render_experiment(stem, doc)),
         Some(DocKind::Sweep) => Ok(render_sweep(stem, doc)),
+        Some(DocKind::Attack) => Ok(render_attack(stem, doc)),
         Some(DocKind::Bench) => Ok(render_bench(stem, doc)),
         None => Err(format!("{stem}: not a harness result document")),
     }
@@ -176,6 +177,134 @@ fn render_sweep(stem: &str, doc: &Json) -> String {
     }
     table.push(footer);
     out.push_str(&markdown_table(&headers, &table));
+    out
+}
+
+/// Attack documents: one accuracy table (rows = grid rows, columns =
+/// one per scheme; leaking cells — accuracy ≥ the leak threshold —
+/// rendered **bold**) with a leaking-cell-count footer, followed by a
+/// confident-channel table listing every leaking cell's repetition
+/// count and bandwidth. Axis columns constant across the grid are
+/// omitted, mirroring the sweep renderer.
+fn render_attack(stem: &str, doc: &Json) -> String {
+    let title = doc.get("title").map(cell).unwrap_or_default();
+    let mut out = format!("### `{stem}` — {title}\n\n");
+    let config = doc.get("config");
+    if let Some(Json::Obj(pairs)) = config {
+        let line: Vec<String> = pairs
+            .iter()
+            .filter(|(k, _)| matches!(k.as_str(), "trials" | "seed"))
+            .map(|(k, v)| format!("{k}={}", v.to_compact()))
+            .collect();
+        out.push_str(&format!("config: `{}`\n\n", line.join(" ")));
+    }
+    let axis_len = |axis: &str| -> usize {
+        match config.and_then(|c| c.get(axis)) {
+            Some(Json::Arr(items)) => items.len(),
+            _ => 0,
+        }
+    };
+    let schemes: Vec<String> = match config.and_then(|c| c.get("schemes")) {
+        Some(Json::Arr(items)) => items.iter().map(cell).collect(),
+        _ => Vec::new(),
+    };
+    let multi: Vec<&str> = [("geometry", "geometries"), ("noise", "noises")]
+        .into_iter()
+        .filter(|(_, axis)| axis_len(axis) > 1)
+        .map(|(col, _)| col)
+        .collect();
+
+    let mut headers: Vec<String> = vec!["variant".to_owned()];
+    headers.extend(multi.iter().map(|c| (*c).to_owned()));
+    headers.extend(schemes.iter().map(|s| format!("`{s}`")));
+
+    let empty = Vec::new();
+    let rows = match doc.get("result").and_then(|r| r.get("rows")) {
+        Some(Json::Arr(items)) => items,
+        _ => &empty,
+    };
+    let cell_for = |row: &Json, scheme: &str| -> Option<Json> {
+        match row.get("cells") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .find(|c| c.get("scheme").map(cell).as_deref() == Some(scheme))
+                .cloned(),
+            _ => None,
+        }
+    };
+    let mut table = Vec::with_capacity(rows.len() + 1);
+    let mut leaks_per_scheme = vec![0usize; schemes.len()];
+    for row in rows {
+        let mut cells: Vec<String> = vec![row.get("variant").map(cell).unwrap_or_default()];
+        for col in &multi {
+            cells.push(row.get(col).map(cell).unwrap_or_default());
+        }
+        for (i, scheme) in schemes.iter().enumerate() {
+            let entry = cell_for(row, scheme);
+            let accuracy = entry.as_ref().and_then(|c| match c.get("accuracy") {
+                Some(Json::F64(a)) => Some(*a),
+                _ => None,
+            });
+            let leaks = matches!(
+                entry.as_ref().and_then(|c| c.get("leaks")),
+                Some(Json::Bool(true))
+            );
+            cells.push(match accuracy {
+                Some(a) if leaks => {
+                    leaks_per_scheme[i] += 1;
+                    format!("**{a:.2}**")
+                }
+                Some(a) => format!("{a:.2}"),
+                None => PLACEHOLDER.to_owned(),
+            });
+        }
+        table.push(cells);
+    }
+    let mut footer: Vec<String> = vec!["**leaking cells**".to_owned()];
+    footer.extend(multi.iter().map(|_| String::new()));
+    for count in &leaks_per_scheme {
+        footer.push(format!("**{count}/{}**", rows.len()));
+    }
+    table.push(footer);
+    out.push_str(&markdown_table(&headers, &table));
+
+    // Confident channels: every leaking cell with its amplification cost.
+    let mut channel_rows = Vec::new();
+    for row in rows {
+        for scheme in &schemes {
+            let Some(entry) = cell_for(row, scheme) else {
+                continue;
+            };
+            if !matches!(entry.get("leaks"), Some(Json::Bool(true))) {
+                continue;
+            }
+            let mut cells: Vec<String> = vec![row.get("variant").map(cell).unwrap_or_default()];
+            for col in &multi {
+                cells.push(row.get(col).map(cell).unwrap_or_default());
+            }
+            cells.push(format!("`{scheme}`"));
+            cells.push(match entry.get("trials_to_95") {
+                Some(n) => n.to_compact(),
+                None => PLACEHOLDER.to_owned(),
+            });
+            cells.push(match entry.get("confident_bandwidth_bps") {
+                Some(Json::F64(bps)) => format!("{:.1} kbit/s", bps / 1000.0),
+                _ => PLACEHOLDER.to_owned(),
+            });
+            channel_rows.push(cells);
+        }
+    }
+    if !channel_rows.is_empty() {
+        let mut headers: Vec<String> = vec!["variant".to_owned()];
+        headers.extend(multi.iter().map(|c| (*c).to_owned()));
+        headers.extend([
+            "scheme".to_owned(),
+            "trials to 95%".to_owned(),
+            "bandwidth @95%".to_owned(),
+        ]);
+        out.push('\n');
+        out.push_str(&markdown_table(&headers, &channel_rows));
+    }
     out
 }
 

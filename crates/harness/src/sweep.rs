@@ -168,60 +168,73 @@ impl GridSpec {
     /// matches its slug exactly or as a family prefix (`dom` matches
     /// `dom`, `dom-nontso`, `dom-futuristic`); the other axes match
     /// slugs exactly. A value matching nothing, or a filter emptying an
-    /// axis, is an error.
+    /// axis, is an error whose message lists the axis's valid values
+    /// (see [`retain_axis`]).
     pub fn apply_filter(&mut self, spec: &str) -> Result<(), String> {
-        let (axis, values) = spec
-            .split_once('=')
-            .ok_or_else(|| format!("filter '{spec}' is not of the form axis=v1,v2"))?;
-        let values: Vec<String> = values
-            .split(',')
-            .map(|v| v.trim().to_ascii_lowercase())
-            .filter(|v| !v.is_empty())
-            .collect();
-        if values.is_empty() {
-            return Err(format!("filter '{spec}' names no values"));
-        }
-        fn retain<T: Copy>(
-            axis: &str,
-            items: &mut Vec<T>,
-            values: &[String],
-            matches: impl Fn(T, &str) -> bool,
-        ) -> Result<(), String> {
-            for v in values {
-                if !items.iter().any(|i| matches(*i, v)) {
-                    return Err(format!(
-                        "filter value '{v}' matches nothing on axis '{axis}'"
-                    ));
-                }
-            }
-            items.retain(|i| values.iter().any(|v| matches(*i, v)));
-            if items.is_empty() {
-                return Err(format!("filter emptied axis '{axis}'"));
-            }
-            Ok(())
-        }
-        match axis.trim() {
+        let (axis, values) = parse_filter_spec(spec)?;
+        match axis.as_str() {
             "scheme" => {
                 if values.iter().any(|v| v == "unprotected") {
                     return Err(
                         "the unprotected baseline always runs; filter protected schemes".into(),
                     );
                 }
-                retain("scheme", &mut self.schemes, &values, |s, v| {
-                    let slug = scheme_slug(s);
-                    slug == v || slug.starts_with(&format!("{v}-"))
-                })
+                retain_axis(
+                    "scheme",
+                    &mut self.schemes,
+                    &values,
+                    scheme_slug,
+                    scheme_family_matches,
+                    &SchemeKind::all()
+                        .into_iter()
+                        .map(scheme_slug)
+                        .collect::<Vec<_>>(),
+                )
             }
-            "workload" => retain("workload", &mut self.workloads, &values, |w, v| {
-                w.label() == v
-            }),
-            "geometry" => retain("geometry", &mut self.geometries, &values, |g, v| {
-                g.slug() == v
-            }),
-            "noise" => retain("noise", &mut self.noises, &values, |n, v| n.slug() == v),
-            "predictor" => retain("predictor", &mut self.predictors, &values, |p, v| {
-                p.slug() == v
-            }),
+            "workload" => retain_axis(
+                "workload",
+                &mut self.workloads,
+                &values,
+                WorkloadKind::label,
+                |w, v| w.label() == v,
+                &WorkloadKind::all()
+                    .iter()
+                    .map(|w| w.label())
+                    .collect::<Vec<_>>(),
+            ),
+            "geometry" => retain_axis(
+                "geometry",
+                &mut self.geometries,
+                &values,
+                GeometryPreset::slug,
+                |g, v| g.slug() == v,
+                &GeometryPreset::all()
+                    .iter()
+                    .map(|g| g.slug())
+                    .collect::<Vec<_>>(),
+            ),
+            "noise" => retain_axis(
+                "noise",
+                &mut self.noises,
+                &values,
+                NoisePreset::slug,
+                |n, v| n.slug() == v,
+                &NoisePreset::all()
+                    .iter()
+                    .map(|n| n.slug())
+                    .collect::<Vec<_>>(),
+            ),
+            "predictor" => retain_axis(
+                "predictor",
+                &mut self.predictors,
+                &values,
+                PredictorPreset::slug,
+                |p, v| p.slug() == v,
+                &PredictorPreset::all()
+                    .iter()
+                    .map(|p| p.slug())
+                    .collect::<Vec<_>>(),
+            ),
             other => Err(format!(
                 "unknown filter axis '{other}' (axes: scheme, workload, geometry, noise, predictor)"
             )),
@@ -253,6 +266,61 @@ impl GridSpec {
     pub fn unit_count(&self) -> usize {
         self.rows().len() * (self.schemes.len() + 1) * self.trials.max(1)
     }
+}
+
+/// Splits a `--filter axis=v1,v2,…` spec into its axis name and
+/// normalized (trimmed, lowercased, non-empty) value list. Shared by
+/// `sia sweep` and `sia attack`.
+pub(crate) fn parse_filter_spec(spec: &str) -> Result<(String, Vec<String>), String> {
+    let (axis, values) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("filter '{spec}' is not of the form axis=v1,v2"))?;
+    let values: Vec<String> = values
+        .split(',')
+        .map(|v| v.trim().to_ascii_lowercase())
+        .filter(|v| !v.is_empty())
+        .collect();
+    if values.is_empty() {
+        return Err(format!("filter '{spec}' names no values"));
+    }
+    Ok((axis.trim().to_owned(), values))
+}
+
+/// Scheme filter values match their slug exactly or as a family prefix
+/// (`dom` matches `dom`, `dom-nontso`, `dom-futuristic`).
+pub(crate) fn scheme_family_matches(s: SchemeKind, v: &str) -> bool {
+    let slug = scheme_slug(s);
+    slug == v || slug.starts_with(&format!("{v}-"))
+}
+
+/// Narrows one grid axis to the values a `--filter` names. A value that
+/// matches nothing is an error listing both the axis's full value
+/// domain and what this grid actually carries (the two reasons a filter
+/// can miss); a filter that empties the axis is an error too. Shared by
+/// every `sia sweep` / `sia attack` axis.
+pub(crate) fn retain_axis<T: Copy>(
+    axis: &str,
+    items: &mut Vec<T>,
+    values: &[String],
+    slug: impl Fn(T) -> &'static str,
+    matches: impl Fn(T, &str) -> bool,
+    domain: &[&'static str],
+) -> Result<(), String> {
+    for v in values {
+        if !items.iter().any(|i| matches(*i, v)) {
+            let in_grid: Vec<&str> = items.iter().map(|i| slug(*i)).collect();
+            return Err(format!(
+                "filter value '{v}' matches nothing on axis '{axis}'\n  valid {axis} values: {}\n  in this grid:     {}",
+                domain.join(", "),
+                in_grid.join(", ")
+            ));
+        }
+    }
+    items.retain(|i| values.iter().any(|v| matches(*i, v)));
+    if items.is_empty() {
+        return Err(format!("filter emptied axis '{axis}'"));
+    }
+    Ok(())
 }
 
 /// One sweep row: a machine configuration plus the kernel it runs.
@@ -465,6 +533,33 @@ mod tests {
         // Valid values absent from *this* grid are errors too (defense
         // has no invisispec column).
         assert!(grid.apply_filter("scheme=invisispec").is_err());
+    }
+
+    #[test]
+    fn bad_filter_values_list_the_axis_domain() {
+        let mut grid = GridSpec::named("defense").expect("grid");
+        // Unknown value: the error teaches every valid value, not just
+        // the axis names.
+        let err = grid.apply_filter("workload=streem").unwrap_err();
+        assert!(err.contains("valid workload values"), "{err}");
+        for label in WorkloadKind::all().iter().map(|w| w.label()) {
+            assert!(err.contains(label), "{err} missing {label}");
+        }
+        // A valid-but-absent value additionally shows the grid's own
+        // columns, so the two failure modes are distinguishable.
+        let err = grid.apply_filter("scheme=invisispec").unwrap_err();
+        assert!(err.contains("valid scheme values"), "{err}");
+        assert!(err.contains("invisispec"), "{err}");
+        assert!(err.contains("in this grid"), "{err}");
+        let err = grid.apply_filter("noise=loud").unwrap_err();
+        assert!(err.contains("quiet") && err.contains("bursty"), "{err}");
+        let err = grid.apply_filter("geometry=tiny").unwrap_err();
+        assert!(
+            err.contains("kaby-lake") && err.contains("low-assoc"),
+            "{err}"
+        );
+        let err = grid.apply_filter("predictor=p2").unwrap_err();
+        assert!(err.contains("p1k") && err.contains("p8k"), "{err}");
     }
 
     #[test]

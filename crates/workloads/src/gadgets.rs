@@ -1,0 +1,95 @@
+//! Attacker-side contention gadget programs.
+//!
+//! These are the *transmitter* halves of the speculative-interference
+//! attacks, packaged as standalone programs an experiment can pin to a
+//! second core of the shared [`si_cpu::Machine`]: they generate sustained
+//! pressure on exactly one shared resource so that cross-core timing
+//! interference (and nothing else) separates the victim's two executions.
+//!
+//! * [`mshr_hammer`] — a stream of independent never-repeating loads that
+//!   keeps the issuing core's private MSHRs (and therefore its slice of
+//!   the shared-side MSHR file, see `si_cache::Hierarchy::read_demand`)
+//!   saturated: the `G^D_MSHR` pressure shape of §3.2.2, Figure 4.
+//! * [`port_hammer`] — back-to-back independent square roots that keep
+//!   the non-pipelined port-0 unit busy: the `G^D_NPEU` pressure shape of
+//!   §3.2.2, Figure 3.
+//!
+//! Both run a fixed iteration count and halt, so co-scheduled runs stay
+//! deterministic and bounded. The cross-core contention tests
+//! (`tests/cross_core_mshr.rs`) drive them against the shared hierarchy.
+
+use si_isa::{Assembler, Program, R1, R10, R11, R12, R13, R14, R15, R16, R17, R2, R3, R4};
+
+/// Loads issued per [`mshr_hammer`] iteration (matches the default
+/// private-MSHR count, so one iteration can fill the core's file).
+pub const HAMMER_LOADS_PER_ITER: u64 = 8;
+
+/// Address stride between hammer loads — larger than any cache line, so
+/// every load misses on a distinct line.
+const HAMMER_STRIDE: u64 = 4096;
+
+/// Builds the MSHR-pressure hammer: each iteration issues
+/// [`HAMMER_LOADS_PER_ITER`] independent loads to fresh, never-revisited
+/// lines starting at `base`, so every one is a DRAM-level miss and up to a
+/// full private-MSHR file of them is outstanding at once.
+///
+/// Give concurrent cores disjoint `base` regions (the program touches
+/// `iters * HAMMER_LOADS_PER_ITER * 4096` bytes upward from `base`);
+/// otherwise the first core's fills turn the second core's stream into
+/// LLC hits and the pressure evaporates.
+pub fn mshr_hammer(entry: u64, base: u64, iters: usize) -> Program {
+    let mut asm = Assembler::new(entry);
+    asm.mov_imm(R1, base as i64);
+    asm.mov_imm(R2, iters as i64);
+    asm.mov_imm(R3, 0);
+    let top = asm.here("top");
+    for (j, dst) in [R10, R11, R12, R13, R14, R15, R16, R17]
+        .into_iter()
+        .enumerate()
+    {
+        asm.load(dst, R1, (j as u64 * HAMMER_STRIDE) as i64);
+    }
+    asm.add_imm(R1, R1, (HAMMER_LOADS_PER_ITER * HAMMER_STRIDE) as i64);
+    asm.add_imm(R3, R3, 1);
+    asm.branch_ltu(R3, R2, top);
+    asm.halt();
+    asm.assemble().expect("gadget assembles")
+}
+
+/// Builds the execution-port hammer: each iteration issues eight
+/// independent square roots (all operands ready), monopolising the
+/// non-pipelined port-0 unit for its full latency per op.
+pub fn port_hammer(entry: u64, iters: usize) -> Program {
+    let mut asm = Assembler::new(entry);
+    asm.mov_imm(R4, 0x5eed);
+    asm.mov_imm(R2, iters as i64);
+    asm.mov_imm(R3, 0);
+    let top = asm.here("top");
+    for dst in [R10, R11, R12, R13, R14, R15, R16, R17] {
+        asm.sqrt(dst, R4);
+    }
+    asm.add_imm(R3, R3, 1);
+    asm.branch_ltu(R3, R2, top);
+    asm.halt();
+    asm.assemble().expect("gadget assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_cpu::{Machine, MachineConfig};
+
+    #[test]
+    fn hammers_assemble_and_halt() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_program(0, &mshr_hammer(0, 0x4000_0000, 4));
+        m.run_core_to_halt(0, 100_000).expect("mshr hammer halts");
+        assert!(m.core(0).mshr_high_water() > 1, "loads overlap in flight");
+
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_program(0, &port_hammer(0, 4));
+        m.run_core_to_halt(0, 100_000).expect("port hammer halts");
+        let port0 = m.core(0).port_issues()[0];
+        assert!(port0 >= 32, "sqrts all land on port 0: {port0}");
+    }
+}

@@ -24,6 +24,8 @@
 //! or scheme that corrupts execution is caught rather than silently
 //! mis-measured.
 
+pub mod gadgets;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
