@@ -178,6 +178,21 @@ impl PredictorPreset {
 }
 
 impl MachineConfig {
+    /// A stable textual fingerprint of the **entire** machine
+    /// configuration, digested into every execution-engine unit spec
+    /// (`si-engine`'s `UnitSpec::config_digest`).
+    ///
+    /// It is the `Debug` rendering on purpose: adding, removing, or
+    /// re-meaning any config field changes the fingerprint of every
+    /// machine built from it, which orphans stale cache entries
+    /// *automatically* — no one has to remember the engine exists when
+    /// they grow `MachineConfig`. Callers fingerprint the config
+    /// **before** assigning per-unit noise seeds (the seed is part of
+    /// the unit spec already).
+    pub fn fingerprint(&self) -> String {
+        format!("{self:?}")
+    }
+
     /// Assembles a machine from one value per preset axis. The result
     /// always validates; `from_presets(KabyLake, Quiet, P1k)` is the
     /// default machine.
@@ -229,6 +244,19 @@ mod tests {
             Some(GeometryPreset::KabyLake)
         );
         assert_eq!(NoisePreset::parse("nope"), None);
+    }
+
+    #[test]
+    fn fingerprints_track_config_differences() {
+        let base = MachineConfig::default();
+        assert_eq!(base.fingerprint(), MachineConfig::default().fingerprint());
+        for g in [GeometryPreset::SmallLlc, GeometryPreset::BigL2] {
+            let other = MachineConfig::from_presets(g, NoisePreset::Quiet, PredictorPreset::P1k);
+            assert_ne!(base.fingerprint(), other.fingerprint(), "{g:?}");
+        }
+        let mut tweaked = MachineConfig::default();
+        tweaked.core.predictor_entries *= 2;
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
     }
 
     #[test]

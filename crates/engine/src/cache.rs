@@ -1,0 +1,213 @@
+//! The on-disk content-addressed result cache.
+//!
+//! Every cached unit lives in its own file under the cache directory,
+//! named by the unit's 128-bit [`UnitSpec::address`]: two leading hex
+//! characters of fan-out directory, the rest as the file stem —
+//! `results/.cache/ab/cdef….unit`. The file's first line is the unit's
+//! canonical spec (epoch included); the remainder is the payload the
+//! verb's codec wrote. Lookups verify the stored canonical line against
+//! the requested spec, so even a full 128-bit collision degrades to a
+//! cache miss, never a wrong result.
+//!
+//! Writes go through a temp file + rename, so a crashed or concurrent
+//! run can leave stale temp droppings but never a torn entry.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::unit::UnitSpec;
+
+/// File extension of cache entries.
+const ENTRY_EXT: &str = "unit";
+
+/// Aggregate cache statistics (`sia cache stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of cached unit entries.
+    pub entries: u64,
+    /// Total size of the entries in bytes.
+    pub bytes: u64,
+}
+
+/// A content-addressed store of unit outcomes.
+#[derive(Debug, Clone)]
+pub struct UnitCache {
+    dir: PathBuf,
+}
+
+impl UnitCache {
+    /// Opens (without creating) a cache rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> UnitCache {
+        UnitCache { dir: dir.into() }
+    }
+
+    /// The cache's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, address: &str) -> PathBuf {
+        self.dir
+            .join(&address[..2])
+            .join(format!("{}.{ENTRY_EXT}", &address[2..]))
+    }
+
+    /// Looks up a unit's payload. Returns `None` on a miss — including
+    /// an unreadable entry or one whose stored canonical line does not
+    /// match (an address collision or a truncated write).
+    pub fn lookup(&self, spec: &UnitSpec, code_epoch: u64) -> Option<String> {
+        let text = std::fs::read_to_string(self.entry_path(&spec.address(code_epoch))).ok()?;
+        let (stored_canonical, payload) = text.split_once('\n')?;
+        (stored_canonical == spec.canonical(code_epoch)).then(|| payload.to_owned())
+    }
+
+    /// Stores a unit's payload. Best-effort: an I/O failure (read-only
+    /// disk, race with `cache clear`) costs a future re-execution, so it
+    /// is reported to the caller but safe to ignore.
+    pub fn store(&self, spec: &UnitSpec, code_epoch: u64, payload: &str) -> io::Result<()> {
+        let path = self.entry_path(&spec.address(code_epoch));
+        let dir = path.parent().expect("entry paths always have a parent");
+        std::fs::create_dir_all(dir)?;
+        // Unique temp name per process so concurrent `sia` runs filling
+        // the same cache never interleave partial writes. The name must
+        // not end in `.unit`, or a crashed run's dropping would be
+        // counted (and cleared) as a real entry by `walk_entries`.
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            path.file_stem().and_then(|n| n.to_str()).unwrap_or("entry")
+        ));
+        std::fs::write(&tmp, format!("{}\n{payload}", spec.canonical(code_epoch)))?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    /// Counts entries and bytes. A missing cache directory is an empty
+    /// cache, not an error.
+    pub fn stats(&self) -> io::Result<CacheStats> {
+        let mut stats = CacheStats::default();
+        self.walk_entries(|path| {
+            if let Ok(meta) = std::fs::metadata(path) {
+                stats.entries += 1;
+                stats.bytes += meta.len();
+            }
+        })?;
+        Ok(stats)
+    }
+
+    /// Deletes every cache entry (and the then-empty fan-out
+    /// directories). Returns how many entries were removed.
+    pub fn clear(&self) -> io::Result<u64> {
+        let mut removed = 0;
+        self.walk_entries(|path| {
+            if std::fs::remove_file(path).is_ok() {
+                removed += 1;
+            }
+        })?;
+        // Prune the fan-out directories; non-empty ones (entries written
+        // concurrently) are left alone.
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for sub in entries.flatten() {
+                let _ = std::fs::remove_dir(sub.path());
+            }
+            let _ = std::fs::remove_dir(&self.dir);
+        }
+        Ok(removed)
+    }
+
+    /// Visits every `*.unit` entry file under the fan-out directories.
+    fn walk_entries(&self, mut visit: impl FnMut(&Path)) -> io::Result<()> {
+        let top = match std::fs::read_dir(&self.dir) {
+            Ok(iter) => iter,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        for sub in top.flatten() {
+            if !sub.file_type().is_ok_and(|t| t.is_dir()) {
+                continue;
+            }
+            for entry in std::fs::read_dir(sub.path())?.flatten() {
+                let path = entry.path();
+                if path.extension().is_some_and(|x| x == ENTRY_EXT) {
+                    visit(&path);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(tag: &str) -> UnitCache {
+        let dir =
+            std::env::temp_dir().join(format!("si-engine-cache-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        UnitCache::new(dir)
+    }
+
+    fn spec(trial: u64) -> UnitSpec {
+        UnitSpec {
+            kind: "sweep",
+            key: "scheme=dom".to_owned(),
+            trial,
+            seed: 7,
+            config_digest: 1,
+        }
+    }
+
+    #[test]
+    fn store_lookup_round_trips_multiline_payloads() {
+        let cache = temp_cache("roundtrip");
+        assert_eq!(cache.lookup(&spec(0), 1), None, "cold cache misses");
+        cache.store(&spec(0), 1, "line1\nline2").expect("store");
+        assert_eq!(cache.lookup(&spec(0), 1).as_deref(), Some("line1\nline2"));
+        // Different trial, epoch, or spec: miss.
+        assert_eq!(cache.lookup(&spec(1), 1), None);
+        assert_eq!(cache.lookup(&spec(0), 2), None);
+        cache.clear().expect("clear");
+    }
+
+    #[test]
+    fn mismatched_canonical_line_is_a_miss_not_a_wrong_hit() {
+        let cache = temp_cache("verify");
+        let s = spec(0);
+        cache.store(&s, 1, "payload").expect("store");
+        // Corrupt the stored spec line in place (simulating an address
+        // collision): the lookup must refuse the payload.
+        let path = cache.entry_path(&s.address(1));
+        std::fs::write(&path, "epoch=1 kind=sweep something-else\npayload").expect("corrupt");
+        assert_eq!(cache.lookup(&s, 1), None);
+        cache.clear().expect("clear");
+    }
+
+    #[test]
+    fn orphaned_temp_droppings_are_not_entries() {
+        let cache = temp_cache("droppings");
+        let s = spec(0);
+        cache.store(&s, 1, "x").expect("store");
+        // Simulate a run killed between write and rename: the dropping
+        // must be invisible to stats/clear (and can never be looked up).
+        let dir = cache.entry_path(&s.address(1));
+        let dir = dir.parent().expect("fan-out dir");
+        std::fs::write(dir.join(".tmp-99999-deadbeef"), "garbage").expect("dropping");
+        assert_eq!(cache.stats().expect("stats").entries, 1);
+        assert_eq!(cache.clear().expect("clear"), 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stats_and_clear_count_entries() {
+        let cache = temp_cache("stats");
+        assert_eq!(cache.stats().expect("stats"), CacheStats::default());
+        for t in 0..5 {
+            cache.store(&spec(t), 1, "x").expect("store");
+        }
+        let stats = cache.stats().expect("stats");
+        assert_eq!(stats.entries, 5);
+        assert!(stats.bytes > 0);
+        assert_eq!(cache.clear().expect("clear"), 5);
+        assert_eq!(cache.stats().expect("stats"), CacheStats::default());
+    }
+}

@@ -1,0 +1,310 @@
+//! # `si-engine` — the content-addressed execution engine
+//!
+//! Every `sia` verb (`run`, `sweep`, `attack`, `bench`) is, underneath,
+//! the same shape of work: a grid flattened into independent **units**,
+//! each a pure function of its seeded spec. This crate owns that shape:
+//!
+//! * [`unit::UnitSpec`] — the stable, hashable description of one unit
+//!   (kind, cell axes, trial index, mixed seed, sim-config digest);
+//! * [`scheduler`] — a chunked work-stealing executor with preallocated
+//!   per-index result slots, so output ordering is structural and
+//!   1-thread vs N-thread runs are byte-identical by construction;
+//! * [`cache::UnitCache`] — an on-disk content-addressed store keyed by
+//!   `hash(canonical(UnitSpec), code_epoch)`, letting a re-run execute
+//!   only the units whose spec changed and splice cached outcomes
+//!   in-place.
+//!
+//! [`Engine::run_units`] ties the three together and reports
+//! [`ExecStats`] — how many units actually executed versus were served
+//! from cache — which the harness surfaces per run and CI asserts on
+//! (a warm re-run of an unchanged grid must execute **zero** units).
+//!
+//! ## The `code_epoch` invalidation rule
+//!
+//! Cached outcomes are only valid while the *code* that produced them
+//! still computes the same function. The engine cannot see code, so the
+//! caller passes a `code_epoch` that is folded into every cache address:
+//! any change to simulation semantics must bump the caller's epoch
+//! constant, which orphans (not corrupts) every older entry. The
+//! harness combines this with per-unit machine-config digests, so
+//! config-shape changes invalidate automatically even when the epoch is
+//! forgotten.
+
+pub mod cache;
+pub mod digest;
+pub mod scheduler;
+pub mod unit;
+
+pub use cache::{CacheStats, UnitCache};
+pub use unit::UnitSpec;
+
+/// How a batch of units was satisfied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Units in the batch.
+    pub total: usize,
+    /// Units whose executor actually ran.
+    pub executed: usize,
+    /// Units spliced from the cache.
+    pub cached: usize,
+}
+
+impl ExecStats {
+    /// Merges another batch's stats into this one (the `run` verb issues
+    /// one batch per experiment).
+    pub fn absorb(&mut self, other: ExecStats) {
+        self.total += other.total;
+        self.executed += other.executed;
+        self.cached += other.cached;
+    }
+}
+
+/// The execution engine a verb hands its unit stream to.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    threads: usize,
+    code_epoch: u64,
+    cache: Option<UnitCache>,
+}
+
+impl Engine {
+    /// An engine that always executes (no cache).
+    pub fn new(threads: usize) -> Engine {
+        Engine {
+            threads,
+            code_epoch: 0,
+            cache: None,
+        }
+    }
+
+    /// An engine backed by an on-disk unit cache under `dir`, keyed
+    /// under `code_epoch` (see the crate docs for the invalidation
+    /// rule).
+    pub fn with_cache(
+        threads: usize,
+        code_epoch: u64,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Engine {
+        Engine {
+            threads,
+            code_epoch,
+            cache: Some(UnitCache::new(dir)),
+        }
+    }
+
+    /// Worker threads the scheduler fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The cache this engine splices from, if any.
+    pub fn cache(&self) -> Option<&UnitCache> {
+        self.cache.as_ref()
+    }
+
+    /// Executes one batch of units, returning outcomes in unit order
+    /// plus the executed/cached split.
+    ///
+    /// `exec(i)` computes unit `i`'s outcome; it is called only for
+    /// units the cache cannot serve, from whichever worker thread claims
+    /// the unit (cache probes run on the workers too, so a warm splice
+    /// parallelizes exactly like a cold run). `encode`/`decode` are the
+    /// verb's payload codec: decode must reproduce exactly the value
+    /// exec would have computed (returning `None` rejects the entry as
+    /// a miss), and `encode` may return `None` to keep an outcome out
+    /// of the cache (e.g. non-deterministic failures). Without a cache
+    /// the whole batch executes and the codec is never consulted.
+    ///
+    /// The returned vector is byte-stable: outcomes land in unit order
+    /// whether they were executed (on any thread count) or spliced from
+    /// cache, so a document built from it is identical cold, warm, or
+    /// mixed.
+    pub fn run_units<T, X, E, D>(
+        &self,
+        units: &[UnitSpec],
+        exec: X,
+        encode: E,
+        decode: D,
+    ) -> (Vec<T>, ExecStats)
+    where
+        T: Send,
+        X: Fn(usize) -> T + Sync,
+        E: Fn(&T) -> Option<String>,
+        D: Fn(&str) -> Option<T> + Sync,
+    {
+        let Some(cache) = &self.cache else {
+            let out = scheduler::run_indexed(units.len(), self.threads, exec);
+            let stats = ExecStats {
+                total: units.len(),
+                executed: units.len(),
+                cached: 0,
+            };
+            return (out, stats);
+        };
+
+        // One dispatch pass: each worker probes the cache for its unit
+        // and falls through to exec on a miss, so lookups and fresh
+        // executions share the thread pool and interleave freely.
+        let outcomes: Vec<(T, bool)> = scheduler::run_indexed(units.len(), self.threads, |i| {
+            match cache
+                .lookup(&units[i], self.code_epoch)
+                .and_then(|p| decode(&p))
+            {
+                Some(value) => (value, true),
+                None => (exec(i), false),
+            }
+        });
+        let mut stats = ExecStats {
+            total: units.len(),
+            executed: 0,
+            cached: 0,
+        };
+        let out = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, (value, from_cache))| {
+                if from_cache {
+                    stats.cached += 1;
+                } else {
+                    stats.executed += 1;
+                    if let Some(payload) = encode(&value) {
+                        // Best-effort: a failed store only costs a
+                        // future re-execution.
+                        let _ = cache.store(&units[i], self.code_epoch, &payload);
+                    }
+                }
+                value
+            })
+            .collect();
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn specs(n: u64) -> Vec<UnitSpec> {
+        (0..n)
+            .map(|t| UnitSpec {
+                kind: "bench",
+                key: "cell=engine-test".to_owned(),
+                trial: t,
+                seed: t * 31,
+                config_digest: 9,
+            })
+            .collect()
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("si-engine-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn codec_exec(
+        engine: &Engine,
+        units: &[UnitSpec],
+        calls: &AtomicUsize,
+    ) -> (Vec<u64>, ExecStats) {
+        engine.run_units(
+            units,
+            |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                units[i].seed * 2 + 1
+            },
+            |v| Some(v.to_string()),
+            |p| p.parse().ok(),
+        )
+    }
+
+    #[test]
+    fn uncached_engine_executes_everything() {
+        let units = specs(10);
+        let calls = AtomicUsize::new(0);
+        let (out, stats) = codec_exec(&Engine::new(4), &units, &calls);
+        assert_eq!(out, (0..10).map(|t| t * 31 * 2 + 1).collect::<Vec<_>>());
+        assert_eq!(calls.load(Ordering::Relaxed), 10);
+        assert_eq!(
+            stats,
+            ExecStats {
+                total: 10,
+                executed: 10,
+                cached: 0
+            }
+        );
+    }
+
+    #[test]
+    fn warm_rerun_executes_zero_units_and_matches_cold() {
+        let units = specs(12);
+        let dir = temp_dir("warm");
+        let engine = Engine::with_cache(4, 1, &dir);
+        let calls = AtomicUsize::new(0);
+        let (cold, cold_stats) = codec_exec(&engine, &units, &calls);
+        assert_eq!(cold_stats.executed, 12);
+        let (warm, warm_stats) = codec_exec(&engine, &units, &calls);
+        assert_eq!(warm, cold);
+        assert_eq!(
+            warm_stats,
+            ExecStats {
+                total: 12,
+                executed: 0,
+                cached: 12
+            }
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 12, "warm pass ran nothing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn widened_batch_executes_only_the_new_units() {
+        let all = specs(10);
+        let dir = temp_dir("widen");
+        let engine = Engine::with_cache(2, 1, &dir);
+        let calls = AtomicUsize::new(0);
+        codec_exec(&engine, &all[..6], &calls);
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+        let (out, stats) = codec_exec(&engine, &all, &calls);
+        assert_eq!(out.len(), 10);
+        assert_eq!(stats.executed, 4, "only the four new units ran");
+        assert_eq!(stats.cached, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn epoch_bump_orphans_the_cache() {
+        let units = specs(5);
+        let dir = temp_dir("epoch");
+        let calls = AtomicUsize::new(0);
+        codec_exec(&Engine::with_cache(2, 1, &dir), &units, &calls);
+        let (_, stats) = codec_exec(&Engine::with_cache(2, 2, &dir), &units, &calls);
+        assert_eq!(stats.executed, 5, "new epoch must ignore old entries");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn encode_none_keeps_outcomes_out_of_the_cache() {
+        let units = specs(4);
+        let dir = temp_dir("no-store");
+        let engine = Engine::with_cache(2, 1, &dir);
+        let calls = AtomicUsize::new(0);
+        let run = || {
+            engine.run_units(
+                &units,
+                |i| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    i as u64
+                },
+                |_| None,
+                |p: &str| p.parse().ok(),
+            )
+        };
+        run();
+        let (_, stats) = run();
+        assert_eq!(stats.executed, 4, "nothing was cached");
+        assert_eq!(calls.load(Ordering::Relaxed), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

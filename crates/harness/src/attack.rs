@@ -1,21 +1,24 @@
 //! Declarative attack-grid evaluation (`sia attack`): leakage scoring
 //! over the (scheme × interference-variant × geometry × noise) axes,
-//! flattened into independent seeded bit-trial units and run through
-//! [`exec::parallel_map`] — so 1-thread and N-thread runs are
-//! bit-identical, exactly like `sia sweep`.
+//! compiled into a [`si_engine::UnitSpec`] stream and run through
+//! [`si_engine::Engine::run_units`] — so 1-thread and N-thread runs are
+//! bit-identical and `--cache` re-runs execute only changed units,
+//! exactly like `sia sweep`.
 //!
-//! ## Grid → unit flattening
+//! ## Grid → unit-spec compilation
 //!
 //! An [`AttackGrid`] is four axis lists plus a `trials` count. The cross
 //! product of (geometry × noise × variant) forms the **rows**; each row
-//! holds one **cell** per scheme. Cells resolve their shared state first
-//! (`AttackScenario::prepare`, one unit per cell — the VD-AD reference
-//! calibration), then every `(cell, trial)` pair becomes one bit-trial
-//! unit at a fixed index whose noise seed is `mix_seed(base, index)`
-//! and whose transmitted bit is `secret_bits(trials, base)[trial]` — a
-//! deterministic, exactly balanced sequence shared by every cell.
-//! Results reassemble in index order, so the emitted JSON is a pure
-//! function of `(grid, seed)`.
+//! holds one **cell** per scheme. Every `(cell, trial)` pair becomes one
+//! bit-trial unit at a fixed index whose noise seed is
+//! `mix_seed(base, index)` and whose transmitted bit is
+//! `secret_bits(trials, base)[trial]` — a deterministic, exactly
+//! balanced sequence shared by every cell. A cell's shared state (the
+//! deterministic VD-AD reference calibration,
+//! `AttackScenario::prepare`) is resolved **lazily** by the first
+//! executing unit that needs it, so a fully-cached warm re-run
+//! calibrates nothing at all. Outcomes reassemble in index order, so
+//! the emitted JSON is a pure function of `(grid, seed)`.
 //!
 //! ## Output (schema v2, `kind: "attack"`)
 //!
@@ -38,11 +41,14 @@
 //! whose per-trial accuracy never concentrates (≤ 0.5); renderers show
 //! them as placeholder cells.
 
+use std::sync::OnceLock;
+
 use si_attack::{leakage, AttackScenario, BitTrial, InterferenceVariant, PreparedScenario};
 use si_cpu::{GeometryPreset, NoisePreset};
+use si_engine::{digest::fnv64, Engine, ExecStats, UnitSpec};
 use si_schemes::SchemeKind;
 
-use crate::exec::{mix_seed, parallel_map};
+use crate::exec::mix_seed;
 use crate::json::{arr, obj, DocKind, Json, SCHEMA_VERSION};
 use crate::scheme_slug;
 use crate::sweep::{parse_filter_spec, retain_axis, scheme_family_matches};
@@ -233,10 +239,37 @@ struct RowKey {
     variant: InterferenceVariant,
 }
 
-/// Runs an attack grid and returns the schema-v2 result document. The
-/// document is a pure function of `(grid, seed)`; `threads` only
-/// changes wall time.
-pub fn run_attack_grid(grid: &AttackGrid, seed: u64, threads: usize) -> Result<Json, String> {
+/// Serializes one bit-trial outcome for the unit cache.
+fn encode_trial(t: &BitTrial) -> Option<String> {
+    let decoded = t.decoded.map_or("-".to_owned(), |d| d.to_string());
+    Some(format!("{} {decoded} {}", t.secret, t.cycles))
+}
+
+/// Parses what [`encode_trial`] wrote; anything else is a cache miss.
+fn decode_trial(payload: &str) -> Option<BitTrial> {
+    let mut parts = payload.split(' ');
+    let secret = parts.next()?.parse().ok()?;
+    let decoded = match parts.next()? {
+        "-" => None,
+        d => Some(d.parse().ok()?),
+    };
+    let cycles = parts.next()?.parse().ok()?;
+    parts.next().is_none().then_some(BitTrial {
+        secret,
+        decoded,
+        cycles,
+    })
+}
+
+/// Runs an attack grid through the execution engine and returns the
+/// schema-v2 result document plus the engine's executed/cached split.
+/// The document is a pure function of `(grid, seed)`; the engine's
+/// thread count and cache only change wall time.
+pub fn run_attack_grid(
+    grid: &AttackGrid,
+    seed: u64,
+    engine: &Engine,
+) -> Result<(Json, ExecStats), String> {
     let trials = grid.trials.max(1);
     let rows = grid.rows();
     if rows.is_empty() || grid.schemes.is_empty() {
@@ -251,18 +284,50 @@ pub fn run_attack_grid(grid: &AttackGrid, seed: u64, threads: usize) -> Result<J
         })
         .collect();
 
-    // Phase 1: per-cell shared state (VD-AD reference calibration) —
-    // deterministic, so fanning it out changes nothing but wall time.
-    let prepared: Vec<PreparedScenario> =
-        parallel_map(cells.len(), threads, |i| cells[i].prepare());
+    // Per-cell shared state (the VD-AD reference calibration) resolves
+    // lazily: the first executing unit of a cell calibrates, later units
+    // reuse it, and a cell served entirely from cache never calibrates.
+    // The calibration is a deterministic function of the cell, so lazy
+    // vs eager resolution cannot change any outcome.
+    let prepared: Vec<OnceLock<PreparedScenario>> = cells.iter().map(|_| OnceLock::new()).collect();
+    let cell_digests: Vec<u64> = cells
+        .iter()
+        .map(|c| fnv64(c.machine().fingerprint().as_bytes()))
+        .collect();
 
-    // Phase 2: bit trials. Every cell transmits the same exactly
-    // balanced secret sequence; the per-unit seed feeds only the noise.
+    // Bit trials: every cell transmits the same exactly balanced secret
+    // sequence; the per-unit seed feeds only the noise.
     let bits = leakage::secret_bits(trials, seed);
-    let outcomes: Vec<BitTrial> = parallel_map(cells.len() * trials, threads, |i| {
-        let (cell, trial) = (i / trials, i % trials);
-        prepared[cell].run_bit_trial(bits[trial], mix_seed(seed, i as u64))
-    });
+    let specs: Vec<UnitSpec> = (0..cells.len() * trials)
+        .map(|i| {
+            let (cell, trial) = (i / trials, i % trials);
+            let scenario = &cells[cell];
+            UnitSpec {
+                kind: "attack",
+                key: format!(
+                    "variant={} scheme={} geometry={} noise={} bit={}",
+                    scenario.variant.slug(),
+                    scheme_slug(scenario.scheme),
+                    scenario.geometry.slug(),
+                    scenario.noise.slug(),
+                    bits[trial]
+                ),
+                trial: trial as u64,
+                seed: mix_seed(seed, i as u64),
+                config_digest: cell_digests[cell],
+            }
+        })
+        .collect();
+    let (outcomes, stats) = engine.run_units(
+        &specs,
+        |i| {
+            let (cell, trial) = (i / trials, i % trials);
+            let p = prepared[cell].get_or_init(|| cells[cell].prepare());
+            p.run_bit_trial(bits[trial], specs[i].seed)
+        },
+        encode_trial,
+        decode_trial,
+    );
 
     let mut json_rows = Vec::with_capacity(rows.len());
     let mut leaking_cells = 0usize;
@@ -314,7 +379,7 @@ pub fn run_attack_grid(grid: &AttackGrid, seed: u64, threads: usize) -> Result<J
         ("units", Json::from(cells.len() * trials)),
         ("leaking_cells", Json::from(leaking_cells)),
     ]);
-    Ok(obj([
+    let doc = obj([
         ("schema_version", Json::from(SCHEMA_VERSION)),
         ("kind", Json::from(DocKind::Attack.slug())),
         ("grid", Json::from(grid.name.as_str())),
@@ -325,7 +390,8 @@ pub fn run_attack_grid(grid: &AttackGrid, seed: u64, threads: usize) -> Result<J
         ("config", config),
         ("result", obj([("rows", Json::Arr(json_rows))])),
         ("summary", summary),
-    ]))
+    ]);
+    Ok((doc, stats))
 }
 
 fn score_json(scheme: SchemeKind, score: &leakage::LeakageScore) -> Json {
@@ -369,6 +435,27 @@ mod tests {
         grid.quick();
         assert_eq!(grid.trials, 6);
         assert_eq!(grid.schemes.len() * grid.variants.len(), cells);
+    }
+
+    #[test]
+    fn trial_codec_round_trips() {
+        for t in [
+            BitTrial {
+                secret: 1,
+                decoded: Some(0),
+                cycles: 123,
+            },
+            BitTrial {
+                secret: 0,
+                decoded: None,
+                cycles: 9,
+            },
+        ] {
+            assert_eq!(decode_trial(&encode_trial(&t).expect("encodes")), Some(t));
+        }
+        assert_eq!(decode_trial("garbage"), None);
+        assert_eq!(decode_trial("1 0"), None, "truncated payload is a miss");
+        assert_eq!(decode_trial("1 0 5 6"), None, "trailing junk is a miss");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `sia bench` — the repo's wall-clock microbenchmark suite and the
 //! producer of the schema-versioned `BENCH_baseline.json` perf snapshot.
 //!
-//! Three tiers, mirroring the simulation hot path bottom-up:
+//! Four tiers, mirroring the simulation hot path bottom-up:
 //!
 //! * **policy** — per-access cost of the set-associative cache under each
 //!   replacement policy, on both the flat enum-dispatched storage
@@ -14,7 +14,13 @@
 //!   (`pipeline_step`) — their ratio is the event-skip speedup on a
 //!   compute-bound kernel (memory-bound kernels skip far more);
 //! * **trial** — one end-to-end covert-channel attack trial, the unit of
-//!   every Monte-Carlo figure in the paper.
+//!   every Monte-Carlo figure in the paper;
+//! * **engine** — the execution engine's own overhead: empty-unit
+//!   dispatch through the work-stealing scheduler (`engine_dispatch/*`)
+//!   against the retired mutex-collect-and-sort executor
+//!   (`engine_dispatch_mutex/*`, their ratio is the scheduler-rewrite
+//!   speedup on dispatch-bound grids), and the per-unit cost of
+//!   splicing a fully warm on-disk cache (`engine_cache/warm_splice`).
 //!
 //! Wall-clock numbers are machine-dependent and are **not** covered by the
 //! determinism contract; everything else in the emitted document is.
@@ -370,6 +376,112 @@ fn bench_trials(samples: usize, out: &mut Vec<Measured>) {
     ));
 }
 
+/// The executor `si-engine`'s scheduler replaced: one global atomic
+/// claiming single indices, results funneled through a `Mutex<Vec>` and
+/// sorted at the end. Kept here as the reference side of the
+/// `engine_dispatch_over_mutex` ratio, exactly as the boxed cache
+/// storage survives as the `policy_*` reference.
+fn mutex_collect_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                collected.lock().expect("never poisoned").extend(local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().expect("never poisoned");
+    pairs.sort_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Units in one empty-dispatch sample: enough that per-unit scheduler
+/// overhead dominates thread spawn/join.
+const DISPATCH_UNITS: usize = 50_000;
+/// Units in one warm-cache splice sample.
+const SPLICE_UNITS: usize = 2_000;
+
+fn bench_engine(samples: usize, out: &mut Vec<Measured>) {
+    // At least two workers, even on a one-core machine: `threads <= 1`
+    // short-circuits both executors into the same serial loop, which
+    // would bench nothing but the fallback.
+    let threads = std::thread::available_parallelism().map_or(2, |n| usize::from(n).max(2));
+    // Empty units: the measured cost is pure dispatch (claim, call,
+    // slot write, reassembly), the overhead every real grid pays per
+    // unit on top of its simulation work.
+    out.push(measure(
+        "engine_dispatch/empty_50k",
+        samples,
+        DISPATCH_UNITS as u64,
+        "unit",
+        || {
+            let v = si_engine::scheduler::run_indexed(DISPATCH_UNITS, threads, |i| i as u64);
+            assert_eq!(v.len(), DISPATCH_UNITS);
+        },
+    ));
+    out.push(measure(
+        "engine_dispatch_mutex/empty_50k",
+        samples,
+        DISPATCH_UNITS as u64,
+        "unit",
+        || {
+            let v = mutex_collect_map(DISPATCH_UNITS, threads, |i| i as u64);
+            assert_eq!(v.len(), DISPATCH_UNITS);
+        },
+    ));
+    // Warm-cache splice: the untimed warmup pass executes and stores
+    // every unit, so each timed sample hits a fully warm cache — the
+    // cost `--cache` pays per unit it does not have to simulate.
+    let dir = std::env::temp_dir().join(format!("si-engine-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = si_engine::Engine::with_cache(threads, 1, &dir);
+    let specs: Vec<si_engine::UnitSpec> = (0..SPLICE_UNITS)
+        .map(|t| si_engine::UnitSpec {
+            kind: "bench",
+            key: "cell=warm-splice".to_owned(),
+            trial: t as u64,
+            seed: t as u64,
+            config_digest: 0,
+        })
+        .collect();
+    out.push(measure(
+        "engine_cache/warm_splice_2k",
+        samples,
+        SPLICE_UNITS as u64,
+        "unit",
+        || {
+            let (v, stats) = engine.run_units(
+                &specs,
+                |i| i as u64,
+                |v| Some(v.to_string()),
+                |p| p.parse().ok(),
+            );
+            assert_eq!(v.len(), SPLICE_UNITS);
+            assert_eq!(stats.executed + stats.cached, SPLICE_UNITS);
+        },
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn speedup_ratios<'a>(
     benches: &'a [Measured],
     slow_prefix: &str,
@@ -401,12 +513,20 @@ fn speedup_ratios<'a>(
 /// `quick` shrinks sample counts for CI smoke runs (the schema and bench
 /// set are identical; only the statistics get noisier).
 pub fn run_benches(quick: bool) -> Json {
-    let (policy_samples, pipeline_samples, trial_samples) =
-        if quick { (5, 3, 2) } else { (30, 10, 6) };
+    // Quick mode trims the expensive tiers but keeps enough samples per
+    // bench that the ratio-of-minima stays stable: the CI gate compares
+    // quick-mode ratios against the committed baseline, so quick-mode
+    // variance directly sets the gate's false-positive rate.
+    let (policy_samples, pipeline_samples, trial_samples, engine_samples) = if quick {
+        (10, 8, 2, 16)
+    } else {
+        (30, 10, 6, 16)
+    };
     let mut benches = Vec::new();
     bench_policies(policy_samples, &mut benches);
     bench_pipeline(pipeline_samples, &mut benches);
     bench_trials(trial_samples, &mut benches);
+    bench_engine(engine_samples, &mut benches);
 
     let mut speedups = obj([]);
     if let Some((geomean, pairs)) = speedup_ratios(&benches, "policy_boxed/", "policy_flat/") {
@@ -419,6 +539,11 @@ pub fn run_benches(quick: bool) -> Json {
     }
     if let Some((geomean, _)) = speedup_ratios(&benches, "pipeline_step/", "pipeline_advance/") {
         speedups.push("pipeline_advance_over_step", Json::from(geomean));
+    }
+    if let Some((geomean, _)) =
+        speedup_ratios(&benches, "engine_dispatch_mutex/", "engine_dispatch/")
+    {
+        speedups.push("engine_dispatch_over_mutex", Json::from(geomean));
     }
 
     obj([
@@ -501,5 +626,23 @@ mod tests {
         let speedups = parsed.get("speedups").expect("speedups present");
         assert!(speedups.get("policy_flat_over_boxed_geomean").is_some());
         assert!(speedups.get("pipeline_advance_over_step").is_some());
+        assert!(speedups.get("engine_dispatch_over_mutex").is_some());
+        let ids: Vec<&str> = match parsed.get("benches") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .filter_map(|b| match b.get("id") {
+                    Some(Json::Str(s)) => Some(s.as_str()),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        for required in [
+            "engine_dispatch/empty_50k",
+            "engine_dispatch_mutex/empty_50k",
+            "engine_cache/warm_splice_2k",
+        ] {
+            assert!(ids.contains(&required), "{required} missing");
+        }
     }
 }

@@ -5,7 +5,9 @@
 //! sia run fig07 --scheme dom        # one experiment
 //! sia run --all --trials 5          # CI smoke: everything, small
 //! sia sweep --grid defense          # declarative scenario sweep
+//! sia sweep --grid defense --cache  # incremental: only changed units run
 //! sia attack --grid headline        # interference attacks + leakage scores
+//! sia cache stats                   # content-addressed unit cache
 //! sia report results/               # results/*.json -> markdown tables
 //! sia bench                         # microbenchmarks -> BENCH_baseline.json
 //! sia bench --against BENCH_baseline.json   # perf-regression gate
@@ -18,11 +20,15 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use si_engine::UnitCache;
 use si_harness::attack::{run_attack_grid, AttackGrid, ATTACK_GRID_NAMES};
 use si_harness::json::{parse, Json};
 use si_harness::render::{render_report, splice_report, REPORT_BEGIN, REPORT_END};
 use si_harness::sweep::{run_sweep, GridSpec, GRID_NAMES};
-use si_harness::{parse_scheme, registry, run_experiment, Experiment, RunConfig};
+use si_harness::{
+    parse_scheme, registry, run_experiment_engine, Engine, ExecStats, Experiment, RunConfig,
+    CACHE_DEFAULT_DIR, CODE_EPOCH,
+};
 
 const USAGE: &str = "\
 sia — speculative-interference experiment harness
@@ -33,17 +39,21 @@ USAGE:
     sia run --all [OPTIONS]
     sia sweep [SWEEP OPTIONS]
     sia attack [ATTACK OPTIONS]
+    sia cache stats|clear [--dir <DIR>]
     sia report [PATH...] [REPORT OPTIONS]
     sia bench [--quick] [--out <FILE>] [--against <FILE>]
 
 RUN OPTIONS:
     --all              run every registered experiment
     --trials <N>       sample-size knob (per-experiment meaning; default varies)
-    --threads <N>      worker threads (default: available parallelism)
+    --threads <N>      worker threads (0 or absent: all available cores)
     --seed <N>         base seed (decimal or 0x-hex; default 0x51A02021)
     --scheme <S>       scheme override for single-scheme experiments
                        (e.g. dom, invisispec, fence-futuristic; see `sia list`)
     --out <DIR>        output directory (default: results/)
+    --cache            serve experiments with unchanged specs from the unit
+                       cache; execute and store the rest
+    --cache-dir <DIR>  cache location (default: results/.cache; implies --cache)
     --print            also print each result document to stdout
     --no-wall-time     omit wall_time_ms from result files (bit-stable output)
     -h, --help         show this help
@@ -58,6 +68,9 @@ SWEEP OPTIONS:
     --scale <N>        workload problem scale override
     --trials <N>       trials per cell override
     --threads/--seed   as for run
+    --cache            execute only units whose spec changed; splice the rest
+                       from the cache (output stays byte-identical)
+    --cache-dir <DIR>  cache location (default: results/.cache; implies --cache)
     --out <FILE>       output file (default: results/sweep-<grid>.json)
     --print            also print the result document to stdout
     --no-wall-time     omit wall_time_ms (bit-stable output)
@@ -70,9 +83,15 @@ ATTACK OPTIONS:
     --quick            CI smoke: six trials per cell, same cells
     --trials <N>       secret bits per cell override
     --threads/--seed   as for run
+    --cache/--cache-dir  as for sweep
     --out <FILE>       output file (default: results/attack-<grid>.json)
     --print            also print the result document to stdout
     --no-wall-time     omit wall_time_ms (bit-stable output)
+
+CACHE OPTIONS:
+    stats              entry count and total bytes of the unit cache
+    clear              delete every cached unit outcome
+    --dir <DIR>        cache location (default: results/.cache)
 
 REPORT OPTIONS:
     PATH...            result files or directories of *.json
@@ -101,11 +120,69 @@ fn parse_seed(text: &str) -> Result<u64, String> {
     .map_err(|e| format!("--seed: {e}"))
 }
 
+/// Parses a `--threads` value — the one thread policy every verb shares:
+/// `0` (like an absent flag) means all available cores, anything else is
+/// the worker count (the scheduler clamps to the unit count downstream).
+fn parse_threads(text: &str) -> Result<usize, String> {
+    let n: usize = text.parse().map_err(|e| format!("--threads: {e}"))?;
+    Ok(if n == 0 { default_threads() } else { n })
+}
+
+/// The `--threads` default: all available cores.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// The `--cache`/`--cache-dir` pair every executing verb shares.
+#[derive(Clone, Default)]
+struct CacheArgs {
+    enabled: bool,
+    dir: Option<String>,
+}
+
+impl CacheArgs {
+    /// Handles one argument if it belongs to this option family.
+    fn accept(
+        &mut self,
+        arg: &str,
+        value: &mut dyn FnMut(&str) -> Result<String, String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--cache" => self.enabled = true,
+            "--cache-dir" => {
+                self.dir = Some(value("--cache-dir")?);
+                self.enabled = true;
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Builds the engine this verb executes through.
+    fn engine(&self, threads: usize) -> Engine {
+        if self.enabled {
+            let dir = self.dir.clone().unwrap_or(CACHE_DEFAULT_DIR.to_owned());
+            Engine::with_cache(threads, CODE_EPOCH, dir)
+        } else {
+            Engine::new(threads)
+        }
+    }
+}
+
+/// Formats the engine's executed/cached split for a status line.
+fn stats_note(stats: &ExecStats) -> String {
+    format!(
+        "units={} executed={} cached={}",
+        stats.total, stats.executed, stats.cached
+    )
+}
+
 struct Args {
     ids: Vec<String>,
     all: bool,
     cfg: RunConfig,
     out_dir: String,
+    cache: CacheArgs,
     print: bool,
     wall_time: bool,
 }
@@ -116,6 +193,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         all: false,
         cfg: RunConfig::default(),
         out_dir: "results".to_owned(),
+        cache: CacheArgs::default(),
         print: false,
         wall_time: true,
     };
@@ -126,6 +204,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .cloned()
                 .ok_or_else(|| format!("{name} needs a value"))
         };
+        if args.cache.accept(arg, &mut value)? {
+            continue;
+        }
         match arg.as_str() {
             "--all" => args.all = true,
             "--trials" => {
@@ -135,11 +216,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .map_err(|e| format!("--trials: {e}"))?,
                 );
             }
-            "--threads" => {
-                args.cfg.threads = value("--threads")?
-                    .parse()
-                    .map_err(|e| format!("--threads: {e}"))?;
-            }
+            "--threads" => args.cfg.threads = parse_threads(&value("--threads")?)?,
             "--seed" => args.cfg.seed = parse_seed(&value("--seed")?)?,
             "--scheme" => {
                 let text = value("--scheme")?;
@@ -202,9 +279,10 @@ fn summary_line(envelope: &Json) -> String {
     }
 }
 
-fn run_one(exp: &dyn Experiment, args: &Args) -> Result<(), String> {
+fn run_one(exp: &dyn Experiment, args: &Args, engine: &Engine) -> Result<ExecStats, String> {
     let start = Instant::now();
-    let mut envelope = run_experiment(exp, &args.cfg)?;
+    let (outcome, stats) = run_experiment_engine(exp, &args.cfg, engine);
+    let mut envelope = outcome?;
     let wall_ms = start.elapsed().as_millis();
     if args.wall_time {
         envelope.push("wall_time_ms", Json::from(wall_ms as u64));
@@ -221,13 +299,18 @@ fn run_one(exp: &dyn Experiment, args: &Args) -> Result<(), String> {
         print!("{text}");
     }
     println!(
-        "{:<16} ok  {:>7}ms  {}  -> {}",
+        "{:<16} {}  {:>7}ms  {}  -> {}",
         exp.id(),
+        if stats.cached > 0 {
+            "ok (cached)"
+        } else {
+            "ok"
+        },
         wall_ms,
         summary_line(&envelope),
         path
     );
-    Ok(())
+    Ok(stats)
 }
 
 fn cmd_run(args: &Args) -> ExitCode {
@@ -251,12 +334,22 @@ fn cmd_run(args: &Args) -> ExitCode {
         eprintln!("error: nothing to run — name experiments or pass --all");
         return ExitCode::FAILURE;
     }
+    // Each experiment is one engine unit and parallelizes its own trials
+    // (`cfg.threads`), so the unit-level engine stays single-threaded.
+    let engine = args.cache.engine(1);
     let mut failures = 0usize;
+    let mut totals = ExecStats::default();
     for exp in &selected {
-        if let Err(e) = run_one(*exp, args) {
-            eprintln!("{:<16} FAILED: {e}", exp.id());
-            failures += 1;
+        match run_one(*exp, args, &engine) {
+            Ok(stats) => totals.absorb(stats),
+            Err(e) => {
+                eprintln!("{:<16} FAILED: {e}", exp.id());
+                failures += 1;
+            }
         }
+    }
+    if args.cache.enabled {
+        println!("engine           {}", stats_note(&totals));
     }
     if failures > 0 {
         eprintln!("{failures} of {} experiments failed", selected.len());
@@ -275,6 +368,7 @@ struct GridArgs {
     trials: Option<usize>,
     threads: usize,
     seed: u64,
+    cache: CacheArgs,
     out: Option<String>,
     print: bool,
     wall_time: bool,
@@ -294,8 +388,9 @@ fn parse_grid_args(
         quick: false,
         scale: None,
         trials: None,
-        threads: RunConfig::default().threads,
+        threads: default_threads(),
         seed: RunConfig::default().seed,
+        cache: CacheArgs::default(),
         out: None,
         print: false,
         wall_time: true,
@@ -307,6 +402,9 @@ fn parse_grid_args(
                 .cloned()
                 .ok_or_else(|| format!("{name} needs a value"))
         };
+        if args.cache.accept(arg, &mut value)? {
+            continue;
+        }
         match arg.as_str() {
             "--grid" => args.grid_name = value("--grid")?,
             "--filter" => args.filters.push(value("--filter")?),
@@ -325,11 +423,7 @@ fn parse_grid_args(
                         .map_err(|e| format!("--trials: {e}"))?,
                 );
             }
-            "--threads" => {
-                args.threads = value("--threads")?
-                    .parse()
-                    .map_err(|e| format!("--threads: {e}"))?;
-            }
+            "--threads" => args.threads = parse_threads(&value("--threads")?)?,
             "--seed" => args.seed = parse_seed(&value("--seed")?)?,
             "--out" => args.out = Some(value("--out")?),
             "--print" => args.print = true,
@@ -345,6 +439,7 @@ fn emit_grid_doc(
     verb: &str,
     grid_name: &str,
     mut envelope: Json,
+    stats: &ExecStats,
     wall_ms: u128,
     args: &GridArgs,
     path: &str,
@@ -365,9 +460,10 @@ fn emit_grid_doc(
         print!("{text}");
     }
     println!(
-        "{verb}:{:<10} ok  {:>7}ms  {}  -> {}",
+        "{verb}:{:<10} ok  {:>7}ms  {}  {}  -> {}",
         grid_name,
         wall_ms,
+        stats_note(stats),
         summary_line(&envelope),
         path
     );
@@ -394,11 +490,12 @@ fn cmd_sweep(argv: &[String]) -> Result<ExitCode, String> {
         .clone()
         .unwrap_or_else(|| format!("results/sweep-{}.json", args.grid_name));
     let start = Instant::now();
-    let envelope = run_sweep(&grid, args.seed, args.threads)?;
+    let (envelope, stats) = run_sweep(&grid, args.seed, &args.cache.engine(args.threads))?;
     emit_grid_doc(
         "sweep",
         &args.grid_name,
         envelope,
+        &stats,
         start.elapsed().as_millis(),
         &args,
         &path,
@@ -423,15 +520,51 @@ fn cmd_attack(argv: &[String]) -> Result<ExitCode, String> {
         .clone()
         .unwrap_or_else(|| format!("results/attack-{}.json", args.grid_name));
     let start = Instant::now();
-    let envelope = run_attack_grid(&grid, args.seed, args.threads)?;
+    let (envelope, stats) = run_attack_grid(&grid, args.seed, &args.cache.engine(args.threads))?;
     emit_grid_doc(
         "attack",
         &args.grid_name,
         envelope,
+        &stats,
         start.elapsed().as_millis(),
         &args,
         &path,
     )?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `sia cache stats|clear` — inspects or empties the unit cache.
+fn cmd_cache(argv: &[String]) -> Result<ExitCode, String> {
+    let mut action: Option<String> = None;
+    let mut dir = CACHE_DEFAULT_DIR.to_owned();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => {
+                dir = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--dir needs a value".to_owned())?;
+            }
+            "stats" | "clear" if action.is_none() => action = Some(arg.clone()),
+            other => return Err(format!("unknown cache option '{other}'")),
+        }
+    }
+    let cache = UnitCache::new(&dir);
+    match action.as_deref() {
+        Some("stats") => {
+            let stats = cache.stats().map_err(|e| format!("reading {dir}: {e}"))?;
+            println!(
+                "cache: {} entries, {} bytes in {dir}",
+                stats.entries, stats.bytes
+            );
+        }
+        Some("clear") => {
+            let removed = cache.clear().map_err(|e| format!("clearing {dir}: {e}"))?;
+            println!("cache: removed {removed} entries from {dir}");
+        }
+        _ => return Err("cache needs an action: stats or clear".into()),
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -653,6 +786,10 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }),
         Some("attack") => cmd_attack(&argv[1..]).unwrap_or_else(|e| {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }),
+        Some("cache") => cmd_cache(&argv[1..]).unwrap_or_else(|e| {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
         }),

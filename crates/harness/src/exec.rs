@@ -1,19 +1,20 @@
-//! The sharded trial executor: fans independent work items out across
-//! scoped threads while keeping results **bit-identical to a serial
-//! run**.
+//! Seed derivation and the trial fan-out shim.
 //!
-//! Two rules make that determinism hold:
+//! Execution itself lives in [`si_engine::scheduler`] — a chunked
+//! work-stealing executor that writes every result into a preallocated
+//! per-index slot, so output ordering is structural (no result mutex, no
+//! terminal sort) and 1-thread vs N-thread runs are byte-identical by
+//! construction. [`parallel_map`] survives as a thin shim over it for
+//! the experiment drivers; grid verbs (`sweep`, `attack`) go through
+//! [`si_engine::Engine::run_units`] directly so they also get the
+//! content-addressed result cache.
+//!
+//! Two rules keep determinism intact whichever path is used:
 //!
 //! 1. every item derives its own seed from the base seed and its index
 //!    ([`mix_seed`]), never from shared RNG state or thread identity;
-//! 2. results are re-assembled in item order, so the output vector is
-//!    independent of which thread finished first.
-//!
-//! Experiments therefore express trials as a pure function of
-//! `(index, seed)` and get parallelism for free.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! 2. results land in item order, so the output is independent of which
+//!    thread finished first.
 
 /// Derives a per-item seed from a base seed and item index (SplitMix64
 /// over the combined state — adjacent indices give uncorrelated seeds).
@@ -28,40 +29,13 @@ pub fn mix_seed(base: u64, index: u64) -> u64 {
 
 /// Maps `f` over `0..n` using up to `threads` worker threads, returning
 /// results in index order. `threads <= 1` runs inline; the parallel path
-/// produces the identical vector.
+/// produces the identical vector. Thin shim over the engine scheduler.
 pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = threads.clamp(1, n.max(1));
-    if workers <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local.push((i, f(i)));
-                }
-                collected
-                    .lock()
-                    .expect("result mutex never poisoned")
-                    .extend(local);
-            });
-        }
-    });
-    let mut pairs = collected.into_inner().expect("result mutex never poisoned");
-    pairs.sort_by_key(|(i, _)| *i);
-    debug_assert_eq!(pairs.len(), n);
-    pairs.into_iter().map(|(_, v)| v).collect()
+    si_engine::scheduler::run_indexed(n, threads, f)
 }
 
 #[cfg(test)]

@@ -21,11 +21,18 @@
 //!
 //! An experiment's JSON payload is a pure function of
 //! `(experiment, RunConfig)`. Trials fan out across threads through
-//! [`exec::parallel_map`], which derives a private seed per trial index
-//! ([`exec::mix_seed`]) and reassembles results in index order — so runs
-//! with `--threads 1` and `--threads N` are **bit-identical**, and CI
-//! can diff result files across machines. The thread count is therefore
-//! execution detail, deliberately excluded from the output envelope.
+//! [`exec::parallel_map`] (a shim over `si-engine`'s work-stealing
+//! scheduler), which derives a private seed per trial index
+//! ([`exec::mix_seed`]) and writes results into preallocated per-index
+//! slots — so runs with `--threads 1` and `--threads N` are
+//! **bit-identical**, and CI can diff result files across machines. The
+//! thread count is therefore execution detail, deliberately excluded
+//! from the output envelope.
+//!
+//! The same purity makes caching sound: the grid verbs compile their
+//! work into `si-engine` unit specs, and `--cache` re-runs splice
+//! unchanged units' outcomes from `results/.cache/` instead of
+//! re-simulating them (see [`CODE_EPOCH`] for the invalidation rule).
 //!
 //! ## Output schema
 //!
@@ -55,9 +62,29 @@ pub mod sweep;
 
 use json::{obj, Json};
 use si_cpu::MachineConfig;
+use si_engine::digest::fnv64;
 use si_schemes::SchemeKind;
 
 pub use json::{DocKind, SCHEMA_VERSION};
+pub use si_engine::{Engine, ExecStats, UnitSpec};
+
+/// The code-epoch every unit-cache key is derived under.
+///
+/// **Invalidation rule:** cached unit outcomes are valid only while the
+/// simulation computes the same function of each unit spec. Config-shape
+/// changes invalidate automatically (specs digest
+/// `MachineConfig::fingerprint`), but a *semantic* change to the
+/// simulator, the workloads, the attack machinery, or a verb's
+/// per-unit execution **must bump this constant** — that orphans every
+/// older `results/.cache/` entry at once. When in doubt, bump: a stale
+/// epoch only costs one cold re-run. CI's engine-smoke job regenerates
+/// the committed fixtures cold and byte-diffs warm reruns, so a
+/// forgotten bump that changes results is caught by the fixture and
+/// report drift gates.
+pub const CODE_EPOCH: u64 = 1;
+
+/// The on-disk location of the unit cache (`--cache` default).
+pub const CACHE_DEFAULT_DIR: &str = "results/.cache";
 
 /// Everything a single experiment run is parameterized by. The payload
 /// an experiment produces must be a pure function of this struct (plus
@@ -174,6 +201,45 @@ pub fn run_experiment(exp: &dyn Experiment, cfg: &RunConfig) -> Result<Json, Str
         ("result", result),
         ("summary", summary),
     ]))
+}
+
+/// Compiles one experiment run into its engine unit spec: the `run`
+/// verb's unit graph treats a whole experiment as one unit (its envelope
+/// is a pure function of `(experiment, trials, seed, scheme)`), so
+/// `sia run --cache` skips experiments whose spec is unchanged.
+pub fn experiment_unit_spec(exp: &dyn Experiment, cfg: &RunConfig) -> UnitSpec {
+    let scheme = cfg.scheme.filter(|_| exp.supports_scheme_override());
+    UnitSpec {
+        kind: "experiment",
+        key: format!(
+            "experiment={} trials={} scheme={} schema={SCHEMA_VERSION}",
+            exp.id(),
+            cfg.trials.unwrap_or_else(|| exp.default_trials()),
+            scheme.map_or("default", scheme_slug),
+        ),
+        trial: 0,
+        seed: cfg.seed,
+        config_digest: fnv64(MachineConfig::default().fingerprint().as_bytes()),
+    }
+}
+
+/// Runs one experiment through the engine: the envelope is served from
+/// the unit cache when the spec is unchanged, executed (and stored)
+/// otherwise. Failures are never cached — a flaky environment must not
+/// poison future runs.
+pub fn run_experiment_engine(
+    exp: &dyn Experiment,
+    cfg: &RunConfig,
+    engine: &Engine,
+) -> (Result<Json, String>, ExecStats) {
+    let spec = experiment_unit_spec(exp, cfg);
+    let (mut out, stats) = engine.run_units(
+        std::slice::from_ref(&spec),
+        |_| run_experiment(exp, cfg),
+        |outcome| outcome.as_ref().ok().map(Json::to_pretty),
+        |payload| json::parse(payload).ok().map(Ok),
+    );
+    (out.pop().expect("exactly one unit"), stats)
 }
 
 /// Canonical CLI/JSON slug for a scheme.

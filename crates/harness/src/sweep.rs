@@ -1,11 +1,12 @@
 //! Declarative scenario sweeps (`sia sweep`): a grid spec over the
 //! evaluation axes — defense scheme (× shadow model), workload kernel,
 //! cache geometry, noise environment, and branch-predictor size — that
-//! flattens into independent seeded trial units and runs through
-//! [`exec::parallel_map`], so 1-thread and N-thread sweeps stay
-//! bit-identical.
+//! compiles into a [`si_engine::UnitSpec`] stream and runs through
+//! [`si_engine::Engine::run_units`], so 1-thread and N-thread sweeps
+//! stay bit-identical and `--cache` re-runs execute only units whose
+//! spec changed.
 //!
-//! ## Grid → trial-unit flattening
+//! ## Grid → unit-spec compilation
 //!
 //! A [`GridSpec`] is five axis lists plus a workload `scale` and a
 //! `trials` count. The cross product of (geometry × noise × predictor ×
@@ -13,10 +14,13 @@
 //! [`SchemeKind::Unprotected`] baseline plus one **cell** per scheme in
 //! the grid. Every `(row, column, trial)` triple becomes one unit at a
 //! fixed index — row-major, then column (baseline first), then trial —
-//! and the unit's noise seed is `mix_seed(base_seed, unit_index)`.
-//! Because the index is assigned before fan-out and results reassemble
-//! in index order, the emitted JSON is a pure function of
-//! `(grid, seed)`, never of thread count or completion order.
+//! whose spec carries the cell axes, the workload scale, the machine's
+//! config fingerprint, and the unit's noise seed
+//! `mix_seed(base_seed, unit_index)`. Because the index is assigned
+//! before fan-out and outcomes reassemble in index order (executed or
+//! spliced from cache alike), the emitted JSON is a pure function of
+//! `(grid, seed)` — never of thread count, completion order, or cache
+//! temperature.
 //!
 //! ## Output (schema v2, `kind: "sweep"`)
 //!
@@ -39,10 +43,11 @@
 //! tables stay rectangular.
 
 use si_cpu::{GeometryPreset, MachineConfig, NoisePreset, PredictorPreset};
+use si_engine::{digest::fnv64, Engine, ExecStats, UnitSpec};
 use si_schemes::SchemeKind;
 use si_workloads::WorkloadKind;
 
-use crate::exec::{mix_seed, parallel_map};
+use crate::exec::mix_seed;
 use crate::json::{arr, obj, DocKind, Json, SCHEMA_VERSION};
 use crate::scheme_slug;
 
@@ -339,10 +344,30 @@ struct Unit {
     col: usize,
 }
 
-/// Runs a sweep and returns the schema-v2 result document. The document
-/// is a pure function of `(grid, seed)`; `threads` only changes wall
-/// time.
-pub fn run_sweep(grid: &GridSpec, seed: u64, threads: usize) -> Result<Json, String> {
+/// Serializes one sweep outcome for the unit cache.
+fn encode_outcome(outcome: &Result<u64, String>) -> Option<String> {
+    Some(match outcome {
+        Ok(cycles) => format!("ok {cycles}"),
+        // Kernel failures are deterministic (simulated timeouts, checksum
+        // mismatches), so caching them is sound and keeps warm re-runs
+        // from re-simulating known-failing cells.
+        Err(e) => format!("err {e}"),
+    })
+}
+
+/// Parses what [`encode_outcome`] wrote; anything else is a cache miss.
+fn decode_outcome(payload: &str) -> Option<Result<u64, String>> {
+    if let Some(cycles) = payload.strip_prefix("ok ") {
+        return cycles.parse().ok().map(Ok);
+    }
+    payload.strip_prefix("err ").map(|e| Err(e.to_owned()))
+}
+
+/// Runs a sweep through the execution engine and returns the schema-v2
+/// result document plus the engine's executed/cached split. The
+/// document is a pure function of `(grid, seed)`; the engine's thread
+/// count and cache only change wall time.
+pub fn run_sweep(grid: &GridSpec, seed: u64, engine: &Engine) -> Result<(Json, ExecStats), String> {
     if grid.scale == 0 {
         return Err("workload scale must be non-zero".into());
     }
@@ -355,26 +380,60 @@ pub fn run_sweep(grid: &GridSpec, seed: u64, threads: usize) -> Result<Json, Str
         .chain(grid.schemes.iter().copied())
         .collect();
 
-    // Flatten row-major, baseline column first, trials innermost. The
-    // unit index doubles as the per-unit seed derivation input.
+    // Compile the grid row-major, baseline column first, trials
+    // innermost. The unit index doubles as the per-unit seed derivation
+    // input; the spec additionally pins the cell axes and the machine's
+    // config fingerprint, so the cache key survives grid re-shapes only
+    // for units whose work is genuinely unchanged.
+    let row_digests: Vec<u64> = rows
+        .iter()
+        .map(|k| {
+            fnv64(
+                MachineConfig::from_presets(k.geometry, k.noise, k.predictor)
+                    .fingerprint()
+                    .as_bytes(),
+            )
+        })
+        .collect();
     let mut units = Vec::with_capacity(rows.len() * columns.len() * trials);
-    for row in 0..rows.len() {
-        for col in 0..columns.len() {
-            for _trial in 0..trials {
+    let mut specs = Vec::with_capacity(units.capacity());
+    for (row, k) in rows.iter().enumerate() {
+        for (col, &scheme) in columns.iter().enumerate() {
+            for trial in 0..trials {
+                specs.push(UnitSpec {
+                    kind: "sweep",
+                    key: format!(
+                        "scheme={} workload={} geometry={} noise={} predictor={} scale={}",
+                        scheme_slug(scheme),
+                        k.workload.label(),
+                        k.geometry.slug(),
+                        k.noise.slug(),
+                        k.predictor.slug(),
+                        grid.scale
+                    ),
+                    trial: trial as u64,
+                    seed: mix_seed(seed, units.len() as u64),
+                    config_digest: row_digests[row],
+                });
                 units.push(Unit { row, col });
             }
         }
     }
 
-    let outcomes = parallel_map(units.len(), threads, |i| {
-        let u = &units[i];
-        let k = &rows[u.row];
-        let mut cfg = MachineConfig::from_presets(k.geometry, k.noise, k.predictor);
-        cfg.noise.seed = mix_seed(seed, i as u64);
-        si_workloads::run(k.workload, grid.scale, columns[u.col], &cfg)
-            .map(|m| m.cycles)
-            .map_err(|e| e.to_string())
-    });
+    let (outcomes, stats) = engine.run_units(
+        &specs,
+        |i| {
+            let u = &units[i];
+            let k = &rows[u.row];
+            let mut cfg = MachineConfig::from_presets(k.geometry, k.noise, k.predictor);
+            cfg.noise.seed = specs[i].seed;
+            si_workloads::run(k.workload, grid.scale, columns[u.col], &cfg)
+                .map(|m| m.cycles)
+                .map_err(|e| e.to_string())
+        },
+        encode_outcome,
+        decode_outcome,
+    );
 
     // Aggregate per (row, column): mean cycles over successful trials.
     let mut json_rows = Vec::with_capacity(rows.len());
@@ -473,7 +532,7 @@ pub fn run_sweep(grid: &GridSpec, seed: u64, threads: usize) -> Result<Json, Str
             );
         }
     }
-    Ok(obj([
+    let doc = obj([
         ("schema_version", Json::from(SCHEMA_VERSION)),
         ("kind", Json::from(DocKind::Sweep.slug())),
         ("grid", Json::from(grid.name.as_str())),
@@ -484,7 +543,8 @@ pub fn run_sweep(grid: &GridSpec, seed: u64, threads: usize) -> Result<Json, Str
         ("config", config),
         ("result", obj([("rows", Json::Arr(json_rows))])),
         ("summary", summary),
-    ]))
+    ]);
+    Ok((doc, stats))
 }
 
 #[cfg(test)]
@@ -560,6 +620,19 @@ mod tests {
         );
         let err = grid.apply_filter("predictor=p2").unwrap_err();
         assert!(err.contains("p1k") && err.contains("p8k"), "{err}");
+    }
+
+    #[test]
+    fn outcome_codec_round_trips() {
+        for outcome in [
+            Ok(123_456_u64),
+            Err("kernel timed out after 1000000 cycles".to_owned()),
+        ] {
+            let payload = encode_outcome(&outcome).expect("encodes");
+            assert_eq!(decode_outcome(&payload), Some(outcome));
+        }
+        assert_eq!(decode_outcome("garbage"), None);
+        assert_eq!(decode_outcome("ok not-a-number"), None);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use si_harness::attack::{run_attack_grid, AttackGrid};
 use si_harness::json::{parse, Json};
 use si_harness::render::render_doc;
+use si_harness::Engine;
 
 /// A small grid that still exercises both transmitter variants and the
 /// VD-AD calibration path (2 schemes × 2 variants, 3 bits per cell).
@@ -24,11 +25,13 @@ fn small_grid() -> AttackGrid {
 #[test]
 fn attack_grid_is_bit_identical_across_thread_counts() {
     let grid = small_grid();
-    let serial = run_attack_grid(&grid, 0xA7_2021, 1)
+    let serial = run_attack_grid(&grid, 0xA7_2021, &Engine::new(1))
         .expect("serial run")
+        .0
         .to_pretty();
-    let parallel = run_attack_grid(&grid, 0xA7_2021, 8)
+    let parallel = run_attack_grid(&grid, 0xA7_2021, &Engine::new(8))
         .expect("parallel run")
+        .0
         .to_pretty();
     assert_eq!(serial, parallel, "thread count changed attack output");
 }
@@ -45,7 +48,7 @@ fn attack_seed_reaches_the_noise_draws() {
     grid.apply_filter("noise=jitter").expect("filter");
     grid.trials = 3;
     let result = |seed| {
-        let doc = run_attack_grid(&grid, seed, 2).expect("runs");
+        let (doc, _) = run_attack_grid(&grid, seed, &Engine::new(2)).expect("runs");
         doc.get("result").expect("result present").to_pretty()
     };
     assert_ne!(result(1), result(2), "attack results ignored the seed");
@@ -58,7 +61,8 @@ fn attack_seed_reaches_the_noise_draws() {
 #[test]
 fn attack_envelope_is_well_formed_and_qualitatively_right() {
     let grid = small_grid();
-    let doc = run_attack_grid(&grid, 7, 2).expect("runs");
+    let (doc, stats) = run_attack_grid(&grid, 7, &Engine::new(2)).expect("runs");
+    assert_eq!(stats.executed, stats.total, "uncached engine runs all");
     let parsed = parse(&doc.to_pretty()).expect("parses");
     assert_eq!(
         parsed.get("schema_version"),

@@ -6,6 +6,7 @@
 use si_harness::json::{parse, Json};
 use si_harness::render::render_doc;
 use si_harness::sweep::{run_sweep, GridSpec};
+use si_harness::Engine;
 
 /// A small grid that still exercises multiple axes (2 schemes × 2
 /// workloads × 2 noise presets, 2 trials per cell = 24 units).
@@ -26,11 +27,13 @@ fn small_grid() -> GridSpec {
 #[test]
 fn sweep_is_bit_identical_across_thread_counts() {
     let grid = small_grid();
-    let serial = run_sweep(&grid, 0xD5_2021, 1)
+    let serial = run_sweep(&grid, 0xD5_2021, &Engine::new(1))
         .expect("serial sweep")
+        .0
         .to_pretty();
-    let parallel = run_sweep(&grid, 0xD5_2021, 8)
+    let parallel = run_sweep(&grid, 0xD5_2021, &Engine::new(8))
         .expect("parallel sweep")
+        .0
         .to_pretty();
     assert_eq!(serial, parallel, "thread count changed sweep output");
 }
@@ -40,8 +43,9 @@ fn sweep_is_bit_identical_across_thread_counts() {
 #[test]
 fn sweep_seed_reaches_the_noise_draws() {
     let grid = small_grid();
-    let a = run_sweep(&grid, 1, 2).expect("runs").to_pretty();
-    let b = run_sweep(&grid, 2, 2).expect("runs").to_pretty();
+    let engine = Engine::new(2);
+    let a = run_sweep(&grid, 1, &engine).expect("runs").0.to_pretty();
+    let b = run_sweep(&grid, 2, &engine).expect("runs").0.to_pretty();
     assert_ne!(a, b, "sweep output ignored the seed");
 }
 
@@ -50,7 +54,8 @@ fn sweep_seed_reaches_the_noise_draws() {
 #[test]
 fn sweep_envelope_is_well_formed() {
     let grid = small_grid();
-    let doc = run_sweep(&grid, 7, 2).expect("runs");
+    let (doc, stats) = run_sweep(&grid, 7, &Engine::new(2)).expect("runs");
+    assert_eq!(stats.executed, stats.total, "uncached engine runs all");
     let parsed = parse(&doc.to_pretty()).expect("parses");
     assert_eq!(
         parsed.get("schema_version"),

@@ -15,13 +15,14 @@
 
 use si_harness::json::Json;
 use si_harness::sweep::{run_sweep, GridSpec};
+use si_harness::Engine;
 
 /// Width of one scheme column.
 const COL: usize = 18;
 
 fn main() {
     let grid = GridSpec::named("defense").expect("built-in grid");
-    let doc = run_sweep(&grid, 0x51A0_2021, 1).expect("sweep runs");
+    let (doc, _stats) = run_sweep(&grid, 0x51A0_2021, &Engine::new(1)).expect("sweep runs");
 
     println!("normalized execution time (1.00 = unprotected baseline)\n");
     print!("{:<10}", "workload");
