@@ -51,7 +51,7 @@
 
 pub mod leakage;
 
-use si_core::attacks::{Attack, AttackKind};
+use si_core::attacks::{Attack, AttackKind, TrialCheckpoint};
 use si_cpu::{GeometryPreset, MachineConfig, NoisePreset, PredictorPreset};
 use si_schemes::SchemeKind;
 
@@ -127,6 +127,11 @@ pub struct AttackScenario {
     pub geometry: GeometryPreset,
     /// Noise environment the trials run under.
     pub noise: NoisePreset,
+    /// Force the from-scratch trial path even on checkpointable cells
+    /// (the `--no-checkpoint` differential mode). Folded into the machine
+    /// config — and therefore into unit fingerprints — so cached results
+    /// from the two paths never alias.
+    pub disable_checkpoint: bool,
 }
 
 impl AttackScenario {
@@ -142,42 +147,64 @@ impl AttackScenario {
             scheme,
             geometry,
             noise,
+            disable_checkpoint: false,
         }
     }
 
     /// The machine configuration trials run on (per-trial noise seeds
     /// are applied by [`PreparedScenario::run_bit_trial`]).
     pub fn machine(&self) -> MachineConfig {
-        MachineConfig::from_presets(self.geometry, self.noise, PredictorPreset::P1k)
+        let mut cfg = MachineConfig::from_presets(self.geometry, self.noise, PredictorPreset::P1k);
+        cfg.disable_checkpoint = self.disable_checkpoint;
+        cfg
     }
 
     fn attack(&self) -> Attack {
         Attack::new(self.variant.attack_kind(), self.scheme, self.machine())
     }
 
-    /// Resolves everything per-trial runs share — in particular the
-    /// attacker's fixed-time reference offset for the VD-AD ordering,
-    /// auto-calibrated on a noise-free machine (deterministic, so every
-    /// caller computes the same value). Calibrate once per cell, not per
-    /// trial: it costs two extra victim runs.
+    /// Resolves everything per-trial runs share: the attacker's
+    /// fixed-time reference offset for the VD-AD ordering (auto-calibrated
+    /// on a noise-free machine, deterministic, so every caller computes
+    /// the same value), and — on checkpointable cells — one parked
+    /// [`TrialCheckpoint`] per secret value, so each subsequent trial
+    /// forks the warm machine instead of re-simulating warmup, mistraining
+    /// and calibration. Prepare once per cell, not per trial.
     pub fn prepare(&self) -> PreparedScenario {
         let attack = self.attack();
         let reference_delta = attack
             .attacker_provides_reference()
             .then(|| attack.calibrate());
+        let checkpoints = if attack.checkpointable() {
+            match (attack.checkpoint_trial(0), attack.checkpoint_trial(1)) {
+                (Some(c0), Some(c1)) => Some(Box::new([c0, c1])),
+                // Training timed out: fall back to the scratch path, which
+                // reports the timeout per-trial exactly as before.
+                _ => None,
+            }
+        } else {
+            None
+        };
         PreparedScenario {
             scenario: *self,
             reference_delta,
+            checkpoints,
         }
     }
 }
 
 /// A scenario with its shared per-cell state resolved (see
 /// [`AttackScenario::prepare`]).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PreparedScenario {
     scenario: AttackScenario,
     reference_delta: Option<u64>,
+    /// Parked machine snapshots for secrets 0 and 1; `None` when the cell
+    /// is not checkpointable (noisy presets, `disable_checkpoint`) or
+    /// training timed out. Boxed to keep the struct small; the snapshots
+    /// inside are `Arc`-shared, so cloning a `PreparedScenario` stays
+    /// cheap.
+    checkpoints: Option<Box<[TrialCheckpoint; 2]>>,
 }
 
 /// The outcome of transmitting one secret bit.
@@ -204,21 +231,58 @@ impl PreparedScenario {
         self.reference_delta
     }
 
-    /// Transmits one secret bit: fresh machine, fresh mistraining, one
-    /// attack episode, one receiver decode. Pure function of
-    /// `(self, secret, seed)` — `seed` drives only the injected noise,
-    /// so quiet-machine trials are seed-independent and noisy trials are
-    /// reproducible.
+    /// Whether trials of this cell run from checkpoint forks (see
+    /// [`AttackScenario::prepare`]).
+    pub fn checkpointed(&self) -> bool {
+        self.checkpoints.is_some()
+    }
+
+    /// Transmits one secret bit: one attack episode, one receiver decode.
+    /// Pure function of `(self, secret, seed)` — `seed` drives only the
+    /// injected noise, so quiet-machine trials are seed-independent and
+    /// noisy trials are reproducible. On checkpointable cells the trial
+    /// forks the parked per-secret snapshot; otherwise it re-runs the
+    /// machine from scratch. Both paths produce byte-identical results —
+    /// `--no-checkpoint` in the CLI forces the scratch path to prove it.
     pub fn run_bit_trial(&self, secret: u64, seed: u64) -> BitTrial {
         let mut attack = self.scenario.attack();
         attack.machine.noise.seed = seed;
         attack.reference_delta = self.reference_delta;
-        let result = attack.run_trial(secret);
+        let result = match &self.checkpoints {
+            Some(cks) => attack.run_trial_from(&cks[(secret & 1) as usize]),
+            None => attack.run_trial(secret),
+        };
         BitTrial {
             secret,
             decoded: result.decoded,
             cycles: result.cycles,
         }
+    }
+
+    /// Batched trial mode: transmits every `(secret, seed)` pair in one
+    /// flat pass, laying the per-trial work out lane by lane over the
+    /// shared per-secret snapshots. Semantically exactly
+    /// `pairs.map(|(s, seed)| run_bit_trial(s, seed))` — the batch form
+    /// amortizes the attack-object setup per lane and is the unit the
+    /// harness's `--batch` dispatch and the `batched_trials/*` bench tier
+    /// time.
+    pub fn run_bit_trials(&self, pairs: &[(u64, u64)]) -> Vec<BitTrial> {
+        let mut attack = self.scenario.attack();
+        attack.reference_delta = self.reference_delta;
+        let mut out = Vec::with_capacity(pairs.len());
+        for &(secret, seed) in pairs {
+            attack.machine.noise.seed = seed;
+            let result = match &self.checkpoints {
+                Some(cks) => attack.run_trial_from(&cks[(secret & 1) as usize]),
+                None => attack.run_trial(secret),
+            };
+            out.push(BitTrial {
+                secret,
+                decoded: result.decoded,
+                cycles: result.cycles,
+            });
+        }
+        out
     }
 }
 
@@ -236,6 +300,69 @@ mod tests {
             Some(InterferenceVariant::MshrPressure)
         );
         assert_eq!(InterferenceVariant::parse("nope"), None);
+    }
+
+    /// The differential contract behind `--no-checkpoint`: trials run
+    /// from a checkpoint fork must be byte-identical to the same trials
+    /// run from scratch, for both secrets and multiple seeds.
+    #[test]
+    fn checkpointed_and_scratch_trials_are_byte_identical() {
+        for variant in InterferenceVariant::all() {
+            let mut scenario = AttackScenario::new(
+                variant,
+                SchemeKind::InvisiSpecSpectre,
+                GeometryPreset::KabyLake,
+                NoisePreset::Quiet,
+            );
+            let fast = scenario.prepare();
+            assert!(fast.checkpointed(), "{variant:?}");
+            scenario.disable_checkpoint = true;
+            let slow = scenario.prepare();
+            assert!(!slow.checkpointed(), "{variant:?}");
+            assert_eq!(fast.reference_delta(), slow.reference_delta());
+            for secret in [0u64, 1] {
+                for seed in [11u64, 42] {
+                    assert_eq!(
+                        fast.run_bit_trial(secret, seed),
+                        slow.run_bit_trial(secret, seed),
+                        "{variant:?} secret={secret} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Batched execution is semantically a map of `run_bit_trial`.
+    #[test]
+    fn batched_trials_match_the_one_at_a_time_executor() {
+        let prepared = AttackScenario::new(
+            InterferenceVariant::PortContention,
+            SchemeKind::DomSpectre,
+            GeometryPreset::KabyLake,
+            NoisePreset::Quiet,
+        )
+        .prepare();
+        let pairs: Vec<(u64, u64)> = (0..6u64).map(|i| (i % 2, 100 + i)).collect();
+        let batched = prepared.run_bit_trials(&pairs);
+        let singles: Vec<BitTrial> = pairs
+            .iter()
+            .map(|&(s, seed)| prepared.run_bit_trial(s, seed))
+            .collect();
+        assert_eq!(batched, singles);
+    }
+
+    /// Noisy presets draw from the RNG streams during setup, so they must
+    /// refuse checkpointing and keep the scratch path.
+    #[test]
+    fn noisy_cells_fall_back_to_the_scratch_path() {
+        let prepared = AttackScenario::new(
+            InterferenceVariant::PortContention,
+            SchemeKind::Unprotected,
+            GeometryPreset::KabyLake,
+            NoisePreset::Jitter,
+        )
+        .prepare();
+        assert!(!prepared.checkpointed());
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! Struct-of-arrays cache state for batched same-config trials.
+//!
+//! A [`BatchedCache`] holds N *lanes* — N logically independent copies of
+//! one [`SetAssocCache`] — with the tag and validity-stamp arenas laid out
+//! **lane-innermost** (`[set][way][lane]`): the tags of one way across all
+//! lanes are contiguous, so the tag-scan inner loop of a batched access
+//! runs over a dense lane vector and auto-vectorizes across trials
+//! instead of across ways. Replacement metadata stays per-lane
+//! ([`FlatPolicy`] is already flat within a lane); the policy-update loop
+//! iterates lanes only for the lanes whose outcome actually diverged.
+//!
+//! The intended use (see `si-attack`'s batched trial executor) is a batch
+//! of same-config trials whose access streams are *mostly* identical —
+//! warmup, priming, and calibration touch the same lines in every trial,
+//! and only the secret-dependent accesses diverge:
+//!
+//! * [`access_uniform`](BatchedCache::access_uniform) is the fast path —
+//!   every lane accesses the same line, one scan services the batch;
+//! * [`access_per_lane`](BatchedCache::access_per_lane) handles the
+//!   divergent steps, degrading to a strided per-lane scan.
+//!
+//! Every lane is bit-equivalent to an independent scalar cache fed the
+//! same stream — `tests/cache_equivalence.rs`-style differential tests at
+//! the bottom of this module drive random mixed streams through both and
+//! compare outcomes, probes, set views, and statistics lane by lane.
+
+use crate::replacement::flat::FlatPolicy;
+use crate::{AccessOutcome, CacheConfig, CacheStats, SetAssocCache, WayView};
+
+/// N independent copies of one set-associative cache in lane-innermost
+/// struct-of-arrays layout.
+///
+/// # Example
+///
+/// ```
+/// use si_cache::{BatchedCache, CacheConfig, PolicyKind, SetAssocCache};
+///
+/// let mut seed = SetAssocCache::new("L1D", CacheConfig::new(16, 2, PolicyKind::Lru));
+/// seed.access(7); // warm state shared by every trial
+/// let mut batch = BatchedCache::broadcast(&seed, 4);
+/// let out = batch.access_uniform(7); // all four trials hit
+/// assert!(out.iter().all(|o| o.hit));
+/// // Trials diverge on the secret-dependent line:
+/// let out = batch.access_per_lane(&[100, 200, 100, 300]);
+/// assert!(out.iter().all(|o| !o.hit));
+/// assert!(batch.probe(0, 100) && !batch.probe(0, 200));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedCache {
+    config: CacheConfig,
+    lanes: usize,
+    /// Line tags, `[(set * ways + way) * lanes + lane]`.
+    tags: Vec<u64>,
+    /// Validity stamps, same layout: slot valid iff `stamp == gen`.
+    stamp: Vec<u32>,
+    /// Shared validity generation (lanes never reset independently).
+    gen: u32,
+    set_mask: Option<u64>,
+    /// Per-lane replacement metadata (flat within each lane).
+    policies: Vec<FlatPolicy>,
+    stats: Vec<CacheStats>,
+    /// Scan scratch, `[lane]`: way holding the probed line (`ways` = none).
+    hit_way: Vec<usize>,
+    /// Scan scratch, `[lane]`: leftmost invalid way (`ways` = set full).
+    leftmost: Vec<usize>,
+    /// Scan scratch, `[lane]`: bitmask of invalid ways among the first 64.
+    invalid_mask: Vec<u64>,
+}
+
+impl BatchedCache {
+    /// Replicates `src`'s full state (tags, validity, replacement
+    /// metadata, statistics) into `lanes` independent lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn broadcast(src: &SetAssocCache, lanes: usize) -> BatchedCache {
+        assert!(lanes > 0, "a batch needs at least one lane");
+        let config = *src.config();
+        let (tags, stamp, gen, policy, stats) = src.flat_parts();
+        let slots = config.sets * config.ways;
+        let mut lane_tags = vec![0; slots * lanes];
+        let mut lane_stamp = vec![0; slots * lanes];
+        for slot in 0..slots {
+            lane_tags[slot * lanes..(slot + 1) * lanes].fill(tags[slot]);
+            lane_stamp[slot * lanes..(slot + 1) * lanes].fill(stamp[slot]);
+        }
+        BatchedCache {
+            set_mask: config
+                .sets
+                .is_power_of_two()
+                .then(|| config.sets as u64 - 1),
+            config,
+            lanes,
+            tags: lane_tags,
+            stamp: lane_stamp,
+            gen,
+            policies: vec![policy.clone(); lanes],
+            stats: vec![stats; lanes],
+            hit_way: vec![0; lanes],
+            leftmost: vec![0; lanes],
+            invalid_mask: vec![0; lanes],
+        }
+    }
+
+    /// Number of lanes in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The shared cache configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn set_index(&self, line: u64) -> usize {
+        match self.set_mask {
+            Some(mask) => (line & mask) as usize,
+            None => self.config.set_of(line),
+        }
+    }
+
+    /// Slot index of `(set, way, lane)` in the lane-innermost arenas.
+    #[inline]
+    fn slot(&self, set: usize, way: usize, lane: usize) -> usize {
+        (set * self.config.ways + way) * self.lanes + lane
+    }
+
+    /// Every lane accesses the same `line` — the vectorized fast path.
+    ///
+    /// One lane-innermost pass over the set fills the scan scratch for all
+    /// lanes at once; the per-lane policy fixup then applies exactly the
+    /// hit/fill rules of [`SetAssocCache::access`]. Returns one outcome
+    /// per lane, in lane order.
+    pub fn access_uniform(&mut self, line: u64) -> Vec<AccessOutcome> {
+        let set = self.set_index(line);
+        let ways = self.config.ways;
+        let lanes = self.lanes;
+        let gen = self.gen;
+        let base = set * ways * lanes;
+        self.hit_way[..lanes].fill(ways);
+        self.leftmost[..lanes].fill(ways);
+        self.invalid_mask[..lanes].fill(0);
+        for w in 0..ways {
+            let row = base + w * lanes;
+            let tags = &self.tags[row..row + lanes];
+            let stamps = &self.stamp[row..row + lanes];
+            // Dense lane-innermost inner loop: no early exit, no
+            // cross-lane dependence — vectorizes across trials.
+            for l in 0..lanes {
+                let valid = stamps[l] == gen;
+                let hit = valid && tags[l] == line && self.hit_way[l] == ways;
+                if hit {
+                    self.hit_way[l] = w;
+                }
+                let vacant = !valid;
+                if vacant && self.leftmost[l] == ways {
+                    self.leftmost[l] = w;
+                }
+                if vacant && w < 64 {
+                    self.invalid_mask[l] |= 1 << w;
+                }
+            }
+        }
+        (0..lanes).map(|l| self.settle_lane(set, line, l)).collect()
+    }
+
+    /// Lane `l` accesses `lines[l]` — the divergent path for the
+    /// secret-dependent steps of a batch. Lanes whose line maps to
+    /// different sets scan independently (strided); semantics per lane
+    /// are identical to [`SetAssocCache::access`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines.len() != self.lanes()`.
+    pub fn access_per_lane(&mut self, lines: &[u64]) -> Vec<AccessOutcome> {
+        assert_eq!(lines.len(), self.lanes, "one line per lane");
+        lines
+            .iter()
+            .enumerate()
+            .map(|(l, &line)| {
+                let set = self.set_index(line);
+                self.scan_lane(set, line, l);
+                self.settle_lane(set, line, l)
+            })
+            .collect()
+    }
+
+    /// Scalar scan of one lane's set, writing the lane's scratch entries.
+    fn scan_lane(&mut self, set: usize, line: u64, lane: usize) {
+        let ways = self.config.ways;
+        let gen = self.gen;
+        self.hit_way[lane] = ways;
+        self.leftmost[lane] = ways;
+        self.invalid_mask[lane] = 0;
+        for w in 0..ways {
+            let slot = self.slot(set, w, lane);
+            if self.stamp[slot] == gen {
+                if self.tags[slot] == line && self.hit_way[lane] == ways {
+                    self.hit_way[lane] = w;
+                }
+            } else {
+                if self.leftmost[lane] == ways {
+                    self.leftmost[lane] = w;
+                }
+                if w < 64 {
+                    self.invalid_mask[lane] |= 1 << w;
+                }
+            }
+        }
+    }
+
+    /// Applies the hit/fill outcome for one lane from its scan scratch —
+    /// the policy-update half of [`SetAssocCache::access`].
+    fn settle_lane(&mut self, set: usize, line: u64, lane: usize) -> AccessOutcome {
+        let ways = self.config.ways;
+        if self.hit_way[lane] < ways {
+            self.stats[lane].hits += 1;
+            self.policies[lane].on_hit(set, self.hit_way[lane]);
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+        self.stats[lane].misses += 1;
+        let evicted = self.fill_lane(set, line, lane);
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Fills `line` into one lane of `set` — mirrors
+    /// `SetAssocCache::fill_into`, reading placement from the lane's scan
+    /// scratch. Associativities above 64 fall back to re-deriving
+    /// validity from the stamps, exactly like the scalar cache.
+    fn fill_lane(&mut self, set: usize, line: u64, lane: usize) -> Option<u64> {
+        let ways = self.config.ways;
+        let gen = self.gen;
+        let insert = if self.policies[lane].places_leftmost() {
+            (self.leftmost[lane] < ways).then(|| self.leftmost[lane])
+        } else if self.leftmost[lane] == ways {
+            None
+        } else if ways <= 64 {
+            self.policies[lane].choose_insert_way_mask(set, self.invalid_mask[lane])
+        } else {
+            let base = set * ways * self.lanes + lane;
+            let lanes = self.lanes;
+            let stamp = &self.stamp;
+            self.policies[lane].choose_insert_way(set, |w| stamp[base + w * lanes] == gen)
+        };
+        if let Some(w) = insert {
+            let slot = self.slot(set, w, lane);
+            self.tags[slot] = line;
+            self.stamp[slot] = gen;
+            self.policies[lane].on_insert(set, w);
+            return None;
+        }
+        let victim = self.policies[lane].choose_victim(set);
+        debug_assert!(victim < ways, "policy returned way out of range");
+        let slot = self.slot(set, victim, lane);
+        debug_assert_eq!(self.stamp[slot], gen, "victim way must be valid");
+        let evicted = self.tags[slot];
+        self.policies[lane].on_invalidate(set, victim);
+        self.tags[slot] = line;
+        self.policies[lane].on_insert(set, victim);
+        self.stats[lane].evictions += 1;
+        Some(evicted)
+    }
+
+    /// Checks presence of `line` in one lane without touching any state.
+    pub fn probe(&self, lane: usize, line: u64) -> bool {
+        let set = self.set_index(line);
+        (0..self.config.ways).any(|w| {
+            let slot = self.slot(set, w, lane);
+            self.stamp[slot] == self.gen && self.tags[slot] == line
+        })
+    }
+
+    /// Removes `line` from one lane if present (flush analog); returns
+    /// whether it was present.
+    pub fn invalidate(&mut self, lane: usize, line: u64) -> bool {
+        let set = self.set_index(line);
+        let hit = (0..self.config.ways).find(|&w| {
+            let slot = self.slot(set, w, lane);
+            self.stamp[slot] == self.gen && self.tags[slot] == line
+        });
+        match hit {
+            Some(w) => {
+                let slot = self.slot(set, w, lane);
+                self.stamp[slot] = self.gen - 1;
+                self.policies[lane].on_invalidate(set, w);
+                self.stats[lane].invalidations += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// One lane's accumulated statistics (broadcast carries the source
+    /// cache's counters into every lane).
+    pub fn lane_stats(&self, lane: usize) -> CacheStats {
+        self.stats[lane]
+    }
+
+    /// Number of valid lines resident in one lane.
+    pub fn lane_occupancy(&self, lane: usize) -> usize {
+        let slots = self.config.sets * self.config.ways;
+        (0..slots)
+            .filter(|slot| self.stamp[slot * self.lanes + lane] == self.gen)
+            .count()
+    }
+
+    /// Diagnostic view of one lane's set, matching
+    /// [`SetAssocCache::set_view`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` or `lane` is out of range.
+    pub fn lane_set_view(&self, lane: usize, set: usize) -> Vec<WayView> {
+        assert!(set < self.config.sets, "set {set} out of range");
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let meta = self.policies[lane].state_of_set(set);
+        (0..self.config.ways)
+            .zip(meta)
+            .map(|(w, meta)| {
+                let slot = self.slot(set, w, lane);
+                WayView {
+                    line: (self.stamp[slot] == self.gen).then(|| self.tags[slot]),
+                    meta,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::PolicyKind;
+
+    /// Deterministic xorshift64* stream for the differential drivers.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+
+    fn policies() -> Vec<PolicyKind> {
+        vec![
+            PolicyKind::Lru,
+            PolicyKind::Fifo,
+            PolicyKind::TreePlru,
+            PolicyKind::Srrip,
+            PolicyKind::qlru_h11_m1_r0_u0(),
+        ]
+    }
+
+    /// Warm a scalar cache, broadcast it, then drive batch and B scalar
+    /// replicas through the same mixed uniform/divergent stream and
+    /// compare everything lane by lane.
+    fn differential(policy: PolicyKind, seed: u64) {
+        const LANES: usize = 5;
+        let config = CacheConfig::new(8, 4, policy);
+        let mut rng = Rng(seed | 1);
+        let mut seed_cache = SetAssocCache::new("seed", config);
+        for _ in 0..64 {
+            seed_cache.access(rng.next() % 48);
+        }
+        let mut batch = BatchedCache::broadcast(&seed_cache, LANES);
+        let mut scalars: Vec<SetAssocCache> = (0..LANES).map(|_| seed_cache.clone()).collect();
+        for step in 0..400 {
+            if step % 3 != 0 {
+                let line = rng.next() % 48;
+                let got = batch.access_uniform(line);
+                for (lane, s) in scalars.iter_mut().enumerate() {
+                    assert_eq!(got[lane], s.access(line), "uniform step {step} lane {lane}");
+                }
+            } else {
+                let lines: Vec<u64> = (0..LANES).map(|_| rng.next() % 48).collect();
+                let got = batch.access_per_lane(&lines);
+                for (lane, s) in scalars.iter_mut().enumerate() {
+                    assert_eq!(
+                        got[lane],
+                        s.access(lines[lane]),
+                        "divergent step {step} lane {lane}"
+                    );
+                }
+            }
+            if step % 17 == 0 {
+                let victim = rng.next() % 48;
+                for (lane, s) in scalars.iter_mut().enumerate() {
+                    assert_eq!(batch.invalidate(lane, victim), s.invalidate(victim));
+                }
+            }
+        }
+        for (lane, s) in scalars.iter().enumerate() {
+            assert_eq!(batch.lane_stats(lane), s.stats(), "stats lane {lane}");
+            assert_eq!(batch.lane_occupancy(lane), s.occupancy());
+            for set in 0..config.sets {
+                assert_eq!(
+                    batch.lane_set_view(lane, set),
+                    s.set_view(set),
+                    "set {set} lane {lane}"
+                );
+            }
+            for line in 0..48 {
+                assert_eq!(batch.probe(lane, line), s.probe(line));
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_match_independent_scalar_caches_for_every_policy() {
+        for policy in policies() {
+            for seed in [1, 0xdead_beef, 0x5eed_5eed] {
+                differential(policy, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_replicates_warm_state_into_every_lane() {
+        let mut seed = SetAssocCache::new("s", CacheConfig::new(4, 2, PolicyKind::Lru));
+        seed.access(3);
+        seed.access(7);
+        let batch = BatchedCache::broadcast(&seed, 3);
+        for lane in 0..3 {
+            assert!(batch.probe(lane, 3));
+            assert!(batch.probe(lane, 7));
+            assert!(!batch.probe(lane, 11));
+            assert_eq!(batch.lane_stats(lane), seed.stats());
+            assert_eq!(batch.lane_occupancy(lane), 2);
+        }
+    }
+
+    #[test]
+    fn divergent_accesses_stay_lane_local() {
+        let seed = SetAssocCache::new("s", CacheConfig::new(4, 2, PolicyKind::Lru));
+        let mut batch = BatchedCache::broadcast(&seed, 3);
+        batch.access_per_lane(&[100, 200, 300]);
+        assert!(batch.probe(0, 100) && !batch.probe(0, 200) && !batch.probe(0, 300));
+        assert!(batch.probe(1, 200) && !batch.probe(1, 100));
+        assert!(batch.probe(2, 300));
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_uses_modulo_indexing() {
+        let config = CacheConfig::new(6, 2, PolicyKind::Lru);
+        let mut scalar = SetAssocCache::new("s", config);
+        let mut batch = BatchedCache::broadcast(&scalar.clone(), 2);
+        for line in [0, 6, 12, 7, 13, 5] {
+            let got = batch.access_uniform(line);
+            let want = scalar.access(line);
+            assert_eq!(got, vec![want; 2], "line {line}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one line per lane")]
+    fn per_lane_access_requires_one_line_per_lane() {
+        let seed = SetAssocCache::new("s", CacheConfig::new(4, 2, PolicyKind::Lru));
+        let mut batch = BatchedCache::broadcast(&seed, 3);
+        batch.access_per_lane(&[1, 2]);
+    }
+}

@@ -92,7 +92,7 @@ pub struct LlcEvent {
     pub hit: bool,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CoreCaches {
     l1i: SetAssocCache,
     l1d: SetAssocCache,
@@ -133,7 +133,7 @@ pub struct SharedMshrStats {
 /// let cross = h.read(2, 1, 0x4000, AccessClass::Data, Visibility::Visible);
 /// assert_eq!(cross.level, HitLevel::Llc);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Hierarchy {
     config: HierarchyConfig,
     cores: Vec<CoreCaches>,

@@ -28,6 +28,7 @@
 //! assert!(l1.access(0x1000 >> 6).hit);
 //! ```
 
+pub mod batch;
 mod cache;
 mod config;
 pub mod evset;
@@ -38,6 +39,7 @@ pub mod reference;
 pub mod replacement;
 mod stats;
 
+pub use batch::BatchedCache;
 pub use cache::{AccessOutcome, SetAssocCache, WayView};
 pub use config::{CacheConfig, HierarchyConfig, LatencyConfig};
 pub use hierarchy::{

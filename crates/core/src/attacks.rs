@@ -7,11 +7,11 @@
 //! the Table 1 matrix and the Figure 11 channel sweeps are built from
 //! trials.
 
-use si_cpu::{AgentOp, Machine, MachineConfig};
+use si_cpu::{AgentOp, Machine, MachineCheckpoint, MachineConfig, Timeout};
 use si_schemes::SchemeKind;
 
 use crate::receiver::{Decoded, FlushReload, OrderReceiver};
-use crate::rendezvous::run_rounds;
+use crate::rendezvous::{drain_to_halt, release, wait_for_park};
 use crate::victims::{
     irs_victim, mshr_victim, npeu_victim, npeu_victim_padded, spectre_v1_victim, NpeuVariant,
     Scaffold,
@@ -35,6 +35,32 @@ pub struct TrialResult {
     pub cycles: u64,
     /// Victim-core pipeline trace (empty unless [`Attack::trace`] is set).
     pub trace: Vec<(u64, si_cpu::TraceEvent)>,
+}
+
+/// A trial parked at its attack round: the machine snapshot plus the
+/// cycle-accounting anchors from setup. Produced by
+/// [`Attack::checkpoint_trial`], consumed (any number of times) by
+/// [`Attack::run_trial_from`]. Cloning is cheap — the snapshot is shared
+/// copy-on-write via [`MachineCheckpoint`].
+#[derive(Debug, Clone)]
+pub struct TrialCheckpoint {
+    checkpoint: MachineCheckpoint,
+    secret: u64,
+    start: u64,
+    deadline: u64,
+}
+
+impl TrialCheckpoint {
+    /// The secret bit this checkpoint's victim was planted with — forks
+    /// replay the attack round for this secret only.
+    pub fn secret(&self) -> u64 {
+        self.secret
+    }
+
+    /// The cycle the snapshot is parked at.
+    pub fn cycle(&self) -> u64 {
+        self.checkpoint.cycle()
+    }
 }
 
 /// The attack selector: which gadget and which ordering (§3.3.1).
@@ -257,15 +283,80 @@ impl Attack {
             .and_then(|(_, off)| off)
     }
 
-    /// Runs the trial machinery. When `record_event` is set, the victim
-    /// event's cycle offset from the final release is returned alongside
-    /// the result instead of a decode.
+    /// Runs the trial machinery from scratch: setup, training-round park
+    /// loop, then the attack round. When `record_event` is set, the
+    /// victim event's cycle offset from the final release is returned
+    /// alongside the result instead of a decode.
     fn run_trial_inner(
         &self,
         secret: u64,
         reference_delta: Option<u64>,
         record_event: bool,
     ) -> Option<(TrialResult, Option<u64>)> {
+        let (mut m, start, deadline) = self.setup_and_park(secret).ok()?;
+        self.finish_parked(&mut m, start, deadline, reference_delta, record_event)
+    }
+
+    /// Whether trials of this attack may run from a checkpoint fork and
+    /// stay byte-identical to run-from-scratch: quiet noise (neither RNG
+    /// stream is consumed during setup, so reseeding at the fork point is
+    /// exact), checkpointing not disabled by config, and no tracing (a
+    /// trace spans the whole trial, training included).
+    pub fn checkpointable(&self) -> bool {
+        !self.machine.disable_checkpoint
+            && !self.trace
+            && self.machine.noise.dram_jitter == 0
+            && self.machine.noise.background_period == 0
+    }
+
+    /// Runs the trial setup once for `secret` — machine built, secret
+    /// planted, training episodes released — and snapshots the machine
+    /// parked at the attack round. [`Attack::run_trial_from`] forks the
+    /// snapshot per trial instead of re-simulating all of this.
+    ///
+    /// Returns `None` if the victim times out during training.
+    pub fn checkpoint_trial(&self, secret: u64) -> Option<TrialCheckpoint> {
+        let (m, start, deadline) = self.setup_and_park(secret).ok()?;
+        Some(TrialCheckpoint {
+            checkpoint: MachineCheckpoint::from_machine(m),
+            secret,
+            start,
+            deadline,
+        })
+    }
+
+    /// Runs one trial from a checkpoint fork: restores the parked
+    /// machine, reseeds the noise streams with this attack's configured
+    /// seed, and runs only the attack round. Under
+    /// [`Attack::checkpointable`] configs the result is cycle- and
+    /// byte-identical to [`Attack::run_trial`] with the same secret and
+    /// seed — the `--no-checkpoint` differential path exists to prove it.
+    pub fn run_trial_from(&self, ck: &TrialCheckpoint) -> TrialResult {
+        let delta = if self.attacker_provides_reference() {
+            Some(match self.reference_delta {
+                Some(d) => d,
+                None => self.calibrate(),
+            })
+        } else {
+            None
+        };
+        let mut m = ck.checkpoint.fork_with_seed(self.machine.noise.seed);
+        self.finish_parked(&mut m, ck.start, ck.deadline, delta, false)
+            .map(|(r, _)| r)
+            .unwrap_or(TrialResult {
+                decoded: None,
+                cycles: TRIAL_BUDGET,
+                trace: Vec::new(),
+            })
+    }
+
+    /// Builds the trial machine and runs it to the attack-round park
+    /// (§4.2.3 steps 1–2): program loaded under the scheme, secret
+    /// planted, every training episode released and consumed, victim
+    /// parked awaiting the final round. Returns the machine plus the
+    /// trial's start cycle and absolute deadline so the finish phase
+    /// accounts cycles identically however it is reached.
+    fn setup_and_park(&self, secret: u64) -> Result<(Machine, u64, u64), Timeout> {
         let s = self.scaffold();
         let layout = s.layout.clone();
         let program = self.victim_program(&s);
@@ -276,7 +367,29 @@ impl Attack {
         }
         m.memory_mut().write_u64(layout.secret_addr, secret);
         let start = m.cycle();
-        let attack_round = s.train_iters; // last round
+        let deadline = start + TRIAL_BUDGET;
+        for _ in 0..s.train_iters {
+            wait_for_park(&mut m, VICTIM_CORE, &layout, deadline)?;
+            release(&mut m, VICTIM_CORE, &layout, deadline)?;
+        }
+        wait_for_park(&mut m, VICTIM_CORE, &layout, deadline)?;
+        Ok((m, start, deadline))
+    }
+
+    /// The attack round and everything after it, starting from a machine
+    /// parked at the final rendezvous: prime/flush preparation, the
+    /// release, the drain to halt, and the receiver's decode. `start` and
+    /// `deadline` come from [`Attack::setup_and_park`] (possibly via a
+    /// checkpoint), keeping cycle accounting identical on both paths.
+    fn finish_parked(
+        &self,
+        m: &mut Machine,
+        start: u64,
+        deadline: u64,
+        reference_delta: Option<u64>,
+        record_event: bool,
+    ) -> Option<(TrialResult, Option<u64>)> {
+        let layout = self.scaffold().layout;
         let order_rx = self.uses_order_receiver().then(|| {
             OrderReceiver::new(
                 ATTACKER_CORE,
@@ -289,73 +402,60 @@ impl Attack {
             .then(|| FlushReload::new(ATTACKER_CORE, layout.target_fn));
         let spectre_rx = matches!(self.kind, AttackKind::SpectreV1).then_some(());
         let kind = self.kind;
-        let releases = run_rounds(
-            &mut m,
-            VICTIM_CORE,
-            &layout,
-            s.rounds(),
-            |m, round| {
-                if round != attack_round {
-                    return;
-                }
-                // Attack-round preparation (§4.2.3 step 2): prime the
-                // monitored set, flush the branch bound and the
-                // secret-dependent transmitter lines.
-                if let Some(rx) = &order_rx {
-                    rx.prime(m);
-                }
-                if let Some(rx) = &icache_rx {
-                    rx.flush(m);
-                }
-                if spectre_rx.is_some() {
-                    m.run_op(AgentOp::Flush(layout.s_addr(0)));
-                    m.run_op(AgentOp::Flush(layout.s_addr(1)));
-                }
-                // A flushed branch bound gives the slow-resolving window
-                // for the data-side attacks; the instruction-side variants
-                // instead put the squash on load A's critical path, so N
-                // must stay warm there (the gadget's delay of A *is* the
-                // squash delay).
-                if !matches!(kind, AttackKind::NpeuVdVi | AttackKind::NpeuViAd) {
-                    m.run_op(AgentOp::Flush(layout.n_addr));
-                }
-                if matches!(
-                    kind,
-                    AttackKind::NpeuVdVd
-                        | AttackKind::NpeuVdAd
-                        | AttackKind::NpeuVdVi
-                        | AttackKind::NpeuViAd
-                ) {
-                    // The secret-0 transmitter line must be cold so the
-                    // DoM-delayed path stays empty.
-                    m.run_op(AgentOp::Flush(layout.s_addr(0)));
-                }
-                if kind == AttackKind::IrsICache {
-                    // Cold transmitter for secret=1.
-                    m.run_op(AgentOp::Flush(layout.s_addr(1)));
-                }
-                if let Some(delta) = reference_delta {
-                    m.schedule_op(
-                        m.cycle() + delta,
-                        AgentOp::Access {
-                            core: ATTACKER_CORE,
-                            addr: layout.b_addr,
-                        },
-                    );
-                }
-            },
-            TRIAL_BUDGET,
-        )
-        .ok()?;
+        // Attack-round preparation (§4.2.3 step 2): prime the monitored
+        // set, flush the branch bound and the secret-dependent
+        // transmitter lines.
+        if let Some(rx) = &order_rx {
+            rx.prime(m);
+        }
+        if let Some(rx) = &icache_rx {
+            rx.flush(m);
+        }
+        if spectre_rx.is_some() {
+            m.run_op(AgentOp::Flush(layout.s_addr(0)));
+            m.run_op(AgentOp::Flush(layout.s_addr(1)));
+        }
+        // A flushed branch bound gives the slow-resolving window for the
+        // data-side attacks; the instruction-side variants instead put
+        // the squash on load A's critical path, so N must stay warm there
+        // (the gadget's delay of A *is* the squash delay).
+        if !matches!(kind, AttackKind::NpeuVdVi | AttackKind::NpeuViAd) {
+            m.run_op(AgentOp::Flush(layout.n_addr));
+        }
+        if matches!(
+            kind,
+            AttackKind::NpeuVdVd
+                | AttackKind::NpeuVdAd
+                | AttackKind::NpeuVdVi
+                | AttackKind::NpeuViAd
+        ) {
+            // The secret-0 transmitter line must be cold so the
+            // DoM-delayed path stays empty.
+            m.run_op(AgentOp::Flush(layout.s_addr(0)));
+        }
+        if kind == AttackKind::IrsICache {
+            // Cold transmitter for secret=1.
+            m.run_op(AgentOp::Flush(layout.s_addr(1)));
+        }
+        if let Some(delta) = reference_delta {
+            m.schedule_op(
+                m.cycle() + delta,
+                AgentOp::Access {
+                    core: ATTACKER_CORE,
+                    addr: layout.b_addr,
+                },
+            );
+        }
+        let final_release = release(m, VICTIM_CORE, &layout, deadline).ok()?;
+        drain_to_halt(m, VICTIM_CORE, deadline).ok()?;
         let cycles = m.cycle() - start;
         if record_event {
-            let release = *releases.last()?;
             let v_line = si_cache::line_of(self.victim_line_addr(&layout));
             let offset = m
                 .take_llc_log()
                 .iter()
-                .find(|e| e.line == v_line && e.core == VICTIM_CORE && e.cycle >= release)
-                .map(|e| e.cycle - release);
+                .find(|e| e.line == v_line && e.core == VICTIM_CORE && e.cycle >= final_release)
+                .map(|e| e.cycle - final_release);
             return Some((
                 TrialResult {
                     decoded: None,
@@ -366,7 +466,7 @@ impl Attack {
             ));
         }
         let decoded = if let Some(rx) = &order_rx {
-            match rx.probe(&mut m) {
+            match rx.probe(m) {
                 // V first means "not delayed": NPEU/MSHR victims are
                 // delayed when the gadget runs, i.e. when secret = 1.
                 Decoded::VictimFirst => Some(0),
@@ -375,13 +475,13 @@ impl Attack {
             }
         } else if let Some(rx) = &icache_rx {
             // Target fetched (hit) iff the transmitter hit, i.e. secret 0.
-            Some(if rx.reload(&mut m) { 0 } else { 1 })
+            Some(if rx.reload(m) { 0 } else { 1 })
         } else {
             // Spectre v1: reload both candidate lines.
             let fr0 = FlushReload::new(ATTACKER_CORE, layout.s_addr(0));
             let fr1 = FlushReload::new(ATTACKER_CORE, layout.s_addr(1));
-            let h1 = fr1.reload(&mut m);
-            let h0 = fr0.reload(&mut m);
+            let h1 = fr1.reload(m);
+            let h0 = fr0.reload(m);
             match (h0, h1) {
                 (true, false) => Some(0),
                 (false, true) => Some(1),
@@ -401,5 +501,56 @@ impl Attack {
             },
             None,
         ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tentpole equivalence: on a checkpointable config, restoring the
+    /// parked snapshot and running the attack round must be cycle- and
+    /// byte-identical to running the whole trial from scratch — for both
+    /// secrets and across distinct per-trial seeds.
+    #[test]
+    fn checkpointed_trials_are_byte_identical_to_scratch() {
+        for kind in [AttackKind::MshrVdAd, AttackKind::NpeuVdVd] {
+            let base = Attack::new(
+                kind,
+                SchemeKind::InvisiSpecSpectre,
+                MachineConfig::default(),
+            );
+            assert!(base.checkpointable());
+            for secret in [0u64, 1] {
+                let ck = base.checkpoint_trial(secret).expect("training timed out");
+                assert_eq!(ck.secret(), secret);
+                for seed in [1u64, 7, 42] {
+                    let mut a = base.clone();
+                    a.machine.noise.seed = seed;
+                    let scratch = a.run_trial(secret);
+                    let forked = a.run_trial_from(&ck);
+                    assert_eq!(forked, scratch, "{kind:?} secret={secret} seed={seed}");
+                }
+            }
+        }
+    }
+
+    /// `disable_checkpoint` and tracing both force the scratch path.
+    #[test]
+    fn checkpoint_eligibility_respects_config() {
+        let mut a = Attack::new(
+            AttackKind::MshrVdAd,
+            SchemeKind::InvisiSpecSpectre,
+            MachineConfig::default(),
+        );
+        assert!(a.checkpointable());
+        a.machine.disable_checkpoint = true;
+        assert!(!a.checkpointable());
+        a.machine.disable_checkpoint = false;
+        a.trace = true;
+        assert!(!a.checkpointable());
+        a.trace = false;
+        a.machine.noise.dram_jitter = 3;
+        assert!(!a.checkpointable());
     }
 }

@@ -14,10 +14,81 @@
 //!   spinning load misses its stale cached copy and observes the release;
 //! * the victim consumes the release (zeroing both flags) and runs one
 //!   episode.
+//!
+//! The phases are exposed individually ([`wait_for_park`], [`release`],
+//! [`drain_to_halt`]) so the checkpoint layer can split a trial at a park
+//! point: training rounds run once, the parked machine is snapshotted,
+//! and each trial resumes with the final round. [`run_rounds`] is
+//! composed from the same phases, so the split path executes the
+//! identical operation sequence.
 
 use si_cpu::{AgentOp, Machine, Timeout};
 
 use crate::AttackLayout;
+
+/// Advances the machine until the victim on `victim_core` parks (stores 1
+/// to its signal address). `advance` skips idle stretches exactly; memory
+/// (the signal) can only change inside ticked cycles, so polling between
+/// advances observes every transition.
+///
+/// # Errors
+///
+/// Returns [`Timeout`] if the victim halts or `deadline` passes first.
+pub fn wait_for_park(
+    m: &mut Machine,
+    victim_core: usize,
+    layout: &AttackLayout,
+    deadline: u64,
+) -> Result<(), Timeout> {
+    while m.memory().read_u64(layout.signal_addr) != 1 {
+        if m.cycle() >= deadline || m.core(victim_core).halted() {
+            return Err(Timeout { cycles: m.cycle() });
+        }
+        m.advance(deadline);
+    }
+    Ok(())
+}
+
+/// Releases a parked victim — writes the wait flag and flushes its line so
+/// the spin load re-reads memory — then advances until the victim consumes
+/// the release (clears its signal). Returns the release cycle, the episode
+/// start reference used to schedule fixed-time attacker accesses.
+///
+/// # Errors
+///
+/// Returns [`Timeout`] if the victim halts or `deadline` passes first.
+pub fn release(
+    m: &mut Machine,
+    victim_core: usize,
+    layout: &AttackLayout,
+    deadline: u64,
+) -> Result<u64, Timeout> {
+    m.memory_mut().write_u64(layout.wait_addr, 1);
+    m.run_op(AgentOp::Flush(layout.wait_addr));
+    let released_at = m.cycle();
+    while m.memory().read_u64(layout.signal_addr) != 0 {
+        if m.cycle() >= deadline || m.core(victim_core).halted() {
+            return Err(Timeout { cycles: m.cycle() });
+        }
+        m.advance(deadline);
+    }
+    Ok(released_at)
+}
+
+/// Advances until the victim halts (the final episode running out).
+///
+/// # Errors
+///
+/// Returns [`Timeout`] if `deadline` passes first.
+pub fn drain_to_halt(m: &mut Machine, victim_core: usize, deadline: u64) -> Result<(), Timeout> {
+    while !m.core(victim_core).halted() {
+        if m.cycle() >= deadline {
+            return Err(Timeout { cycles: m.cycle() });
+        }
+        m.advance(deadline);
+    }
+    Ok(())
+}
 
 /// Runs `rounds` rendezvous rounds against the victim on `victim_core`,
 /// invoking `on_round(machine, round)` while the victim is parked, then
@@ -41,35 +112,11 @@ pub fn run_rounds(
     let deadline = m.cycle() + max_cycles;
     let mut release_cycles = Vec::with_capacity(rounds);
     for round in 0..rounds {
-        // Wait for the victim to park. `advance` skips idle stretches
-        // exactly; memory (the signal) can only change inside ticked
-        // cycles, so polling between advances observes every transition.
-        while m.memory().read_u64(layout.signal_addr) != 1 {
-            if m.cycle() >= deadline || m.core(victim_core).halted() {
-                return Err(Timeout { cycles: m.cycle() });
-            }
-            m.advance(deadline);
-        }
+        wait_for_park(m, victim_core, layout, deadline)?;
         on_round(m, round);
-        // Release: write the flag and flush its line so the spin load
-        // re-reads memory.
-        m.memory_mut().write_u64(layout.wait_addr, 1);
-        m.run_op(AgentOp::Flush(layout.wait_addr));
-        release_cycles.push(m.cycle());
-        // Wait until the victim consumes the release (signal cleared).
-        while m.memory().read_u64(layout.signal_addr) != 0 {
-            if m.cycle() >= deadline || m.core(victim_core).halted() {
-                return Err(Timeout { cycles: m.cycle() });
-            }
-            m.advance(deadline);
-        }
+        release_cycles.push(release(m, victim_core, layout, deadline)?);
     }
     // Let the final episode run to completion.
-    while !m.core(victim_core).halted() {
-        if m.cycle() >= deadline {
-            return Err(Timeout { cycles: m.cycle() });
-        }
-        m.advance(deadline);
-    }
+    drain_to_halt(m, victim_core, deadline)?;
     Ok(release_cycles)
 }

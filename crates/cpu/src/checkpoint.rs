@@ -1,0 +1,239 @@
+//! Copy-on-write machine checkpoints for trial forking.
+//!
+//! Attack grids run many bit-trials over an *identically prepared*
+//! machine: warmup, predictor training, and calibration are the same for
+//! every trial of a cell, and only the secret value and the per-trial
+//! noise seed differ. A [`MachineCheckpoint`] snapshots the complete
+//! machine state once — flat cache tag/stamp arenas, MSHR files, each
+//! core's pipeline/ROB/RS/scheme state, the RNG streams, shared memory,
+//! and the agent-op schedule — and every subsequent trial *forks* from
+//! the snapshot instead of re-simulating setup.
+//!
+//! The copy-on-write contract: the snapshot itself is immutable and
+//! shared (`Arc`), so holding a checkpoint costs one machine's memory no
+//! matter how many trials fork from it; each [`fork`](MachineCheckpoint::fork)
+//! materializes a private deep copy only at the moment a trial actually
+//! runs — mutation never touches the shared snapshot.
+//!
+//! Seed handling is the one deliberate divergence point:
+//! [`fork_with_seed`](MachineCheckpoint::fork_with_seed) reseeds both
+//! noise RNG streams exactly as `Machine::new` would have for the trial's
+//! seed. A fork is therefore byte-equivalent to a from-scratch machine
+//! **iff neither stream was drawn from before the snapshot** — true for
+//! quiet-noise configs (no DRAM jitter, no background agent), which is
+//! the eligibility rule the attack layer enforces. The differential path
+//! (`MachineConfig::disable_checkpoint`, `--no-checkpoint` in the CLI)
+//! keeps the scratch path alive and proves the equivalence end to end.
+
+use std::sync::Arc;
+
+use crate::machine::Machine;
+
+/// An immutable, shareable snapshot of a whole [`Machine`].
+///
+/// # Example
+///
+/// ```
+/// use si_cpu::{Machine, MachineCheckpoint, MachineConfig};
+/// use si_isa::{Assembler, R1};
+///
+/// let mut asm = Assembler::new(0);
+/// asm.mov_imm(R1, 7);
+/// asm.halt();
+/// let mut m = Machine::new(MachineConfig::default());
+/// m.load_program(0, &asm.assemble()?);
+///
+/// let ck = MachineCheckpoint::capture(&m);
+/// // Forks are independent: running one does not disturb the snapshot.
+/// let mut a = ck.fork();
+/// a.run_core_to_halt(0, 10_000)?;
+/// let mut b = ck.fork();
+/// b.run_core_to_halt(0, 10_000)?;
+/// assert_eq!(a.core(0).reg(R1), b.core(0).reg(R1));
+/// assert_eq!(a.cycle(), b.cycle());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineCheckpoint {
+    snapshot: Arc<Machine>,
+}
+
+impl MachineCheckpoint {
+    /// Snapshots `machine` (one deep copy; forks share it from then on).
+    pub fn capture(machine: &Machine) -> MachineCheckpoint {
+        MachineCheckpoint {
+            snapshot: Arc::new(machine.clone()),
+        }
+    }
+
+    /// Wraps an owned machine without copying — for capture sites that
+    /// already own the prepared machine.
+    pub fn from_machine(machine: Machine) -> MachineCheckpoint {
+        MachineCheckpoint {
+            snapshot: Arc::new(machine),
+        }
+    }
+
+    /// The cycle the snapshot was taken at (forks resume from here, so
+    /// cycle accounting is identical to an unforked run).
+    pub fn cycle(&self) -> u64 {
+        self.snapshot.cycle()
+    }
+
+    /// Read-only view of the snapshot.
+    pub fn machine(&self) -> &Machine {
+        &self.snapshot
+    }
+
+    /// Materializes a private copy of the snapshot (the copy-on-write
+    /// "write": nothing was copied until a trial actually runs).
+    pub fn fork(&self) -> Machine {
+        (*self.snapshot).clone()
+    }
+
+    /// Forks and reseeds the noise RNG streams for one trial, exactly as
+    /// a from-scratch `Machine::new` with `noise.seed = seed` would have.
+    /// See the module docs for when this is byte-equivalent to scratch.
+    pub fn fork_with_seed(&self, seed: u64) -> Machine {
+        let mut m = self.fork();
+        m.reseed_noise(seed);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use si_isa::{Assembler, R1, R2, R3};
+
+    fn counting_machine() -> Machine {
+        let mut asm = Assembler::new(0);
+        asm.data_u64(0x2000, 5);
+        asm.mov_imm(R1, 0x2000);
+        asm.load(R2, R1, 0);
+        let top = asm.here("top");
+        asm.add_imm(R3, R3, 1);
+        asm.branch_ltu(R3, R2, top);
+        asm.halt();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_program(0, &asm.assemble().unwrap());
+        m
+    }
+
+    /// Observable machine facts the round-trip tests compare. (The raw
+    /// `Debug` rendering is unsuitable: `Memory`'s hash map iterates in
+    /// instance-specific order.)
+    fn observe(m: &Machine) -> (u64, [u64; 4], u64, bool) {
+        (
+            m.cycle(),
+            [
+                m.core(0).reg(R1),
+                m.core(0).reg(R2),
+                m.core(0).reg(R3),
+                m.memory().read_u64(0x2000),
+            ],
+            m.core(0).stats().retired,
+            m.core(0).halted(),
+        )
+    }
+
+    #[test]
+    fn fork_resumes_exactly_where_capture_left_off() {
+        let mut m = counting_machine();
+        m.run_cycles(20); // stop mid-flight
+        let ck = MachineCheckpoint::capture(&m);
+        assert_eq!(ck.cycle(), m.cycle());
+        // Reference trajectory: the original machine runs to halt.
+        m.run_core_to_halt(0, 100_000).unwrap();
+        let want = observe(&m);
+        // A fork reproduces it bit-for-bit.
+        let mut f = ck.fork();
+        f.run_core_to_halt(0, 100_000).unwrap();
+        assert_eq!(observe(&f), want);
+    }
+
+    #[test]
+    fn mutating_a_fork_leaves_the_snapshot_intact() {
+        let mut m = counting_machine();
+        m.run_cycles(10);
+        let ck = MachineCheckpoint::capture(&m);
+        let before = observe(ck.machine());
+        // Mutate one fork aggressively: run it to halt and scribble on
+        // its memory.
+        let mut dirty = ck.fork();
+        dirty.run_core_to_halt(0, 100_000).unwrap();
+        dirty.memory_mut().write_u64(0x2000, 999);
+        // The snapshot and fresh forks are unaffected.
+        assert_eq!(observe(ck.machine()), before);
+        let mut clean = ck.fork();
+        assert_eq!(observe(&clean), before);
+        clean.run_core_to_halt(0, 100_000).unwrap();
+        assert_eq!(clean.memory().read_u64(0x2000), 5);
+    }
+
+    #[test]
+    fn randomized_round_trip_snapshot_mutate_restore_equals_fresh() {
+        // Proptest-style loop: at random capture points, a mutated fork
+        // must never perturb what later forks observe, and every fork's
+        // full trajectory must match the uncheckpointed machine's.
+        for seed in 1_u64..=12 {
+            let mut stop = seed.wrapping_mul(0x9e37_79b9).wrapping_rem(60) + 1;
+            let mut reference = counting_machine();
+            reference.run_core_to_halt(0, 100_000).unwrap();
+            let want = observe(&reference);
+            let mut m = counting_machine();
+            m.run_cycles(stop);
+            let ck = MachineCheckpoint::capture(&m);
+            // Mutate: drive one fork partway, then abandon it.
+            let mut scratchpad = ck.fork();
+            stop = stop / 2 + 1;
+            scratchpad.run_cycles(stop);
+            scratchpad.memory_mut().write_u64(0x2000, seed);
+            drop(scratchpad);
+            // Restore == fresh: a new fork finishes identically to the
+            // never-checkpointed run.
+            let mut f = ck.fork();
+            f.run_core_to_halt(0, 100_000).unwrap();
+            assert_eq!(observe(&f), want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fork_with_seed_matches_a_fresh_machine_with_that_seed() {
+        // On quiet noise the RNG streams are never consumed, so a
+        // reseeded fork of a fresh machine must be indistinguishable
+        // from a machine constructed with the trial seed.
+        let trial_seed = 0x1234_5678;
+        let base = counting_machine();
+        let ck = MachineCheckpoint::capture(&base);
+        let mut forked = ck.fork_with_seed(trial_seed);
+        assert_eq!(forked.config().noise.seed, trial_seed);
+        let mut cfg = MachineConfig::default();
+        cfg.noise.seed = trial_seed;
+        let mut asm = Assembler::new(0);
+        asm.data_u64(0x2000, 5);
+        asm.mov_imm(R1, 0x2000);
+        asm.load(R2, R1, 0);
+        let top = asm.here("top");
+        asm.add_imm(R3, R3, 1);
+        asm.branch_ltu(R3, R2, top);
+        asm.halt();
+        let mut fresh = Machine::new(cfg);
+        fresh.load_program(0, &asm.assemble().unwrap());
+        forked.run_core_to_halt(0, 100_000).unwrap();
+        fresh.run_core_to_halt(0, 100_000).unwrap();
+        assert_eq!(observe(&forked), observe(&fresh));
+    }
+
+    #[test]
+    fn checkpoints_are_cheap_to_share() {
+        let m = counting_machine();
+        let ck = MachineCheckpoint::capture(&m);
+        let clones: Vec<MachineCheckpoint> = (0..64).map(|_| ck.clone()).collect();
+        // All clones alias one snapshot (copy-on-write sharing).
+        for c in &clones {
+            assert!(std::ptr::eq(c.machine(), ck.machine()));
+        }
+    }
+}

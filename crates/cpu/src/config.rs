@@ -244,6 +244,14 @@ pub struct MachineConfig {
     /// are bit-identical either way (the equivalence tests drive both
     /// modes); skipping is only a wall-clock optimization.
     pub disable_idle_skip: bool,
+    /// Debug/differential knob: forbid checkpoint/fork trial execution
+    /// (`--no-checkpoint`), forcing every trial to re-simulate its full
+    /// setup. Results are bit-identical either way — the checkpoint layer
+    /// is a wall-clock optimization — but the flag is part of the config,
+    /// so [`MachineConfig::fingerprint`](crate::preset) (and with it every
+    /// engine unit address) distinguishes the two execution paths: cached
+    /// results from one path are never served to the other.
+    pub disable_checkpoint: bool,
 }
 
 impl Default for MachineConfig {
@@ -253,6 +261,7 @@ impl Default for MachineConfig {
             hierarchy: HierarchyConfig::kaby_lake_like(2),
             noise: NoiseConfig::default(),
             disable_idle_skip: false,
+            disable_checkpoint: false,
         }
     }
 }

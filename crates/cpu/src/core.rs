@@ -95,6 +95,42 @@ pub struct Core {
     seq_scratch: Vec<u64>,
 }
 
+impl Clone for Core {
+    /// Deep-copies the core, including the scheme's private state via
+    /// [`SpeculationScheme::boxed_clone`] — the field that keeps `Clone`
+    /// from being derivable. Machine checkpointing relies on this being a
+    /// complete copy: any field omitted here would leak state between
+    /// forked trials.
+    fn clone(&self) -> Core {
+        Core {
+            id: self.id,
+            config: self.config.clone(),
+            program: self.program.clone(),
+            frontend: self.frontend.clone(),
+            predictor: self.predictor.clone(),
+            rob: self.rob.clone(),
+            rs: self.rs.clone(),
+            exec: self.exec.clone(),
+            rat: self.rat.clone(),
+            arch_regs: self.arch_regs,
+            mshrs: self.mshrs.clone(),
+            pending_loads: self.pending_loads.clone(),
+            load_completions: self.load_completions.clone(),
+            spec_ifetch_fills: self.spec_ifetch_fills.clone(),
+            wb_queue: self.wb_queue.clone(),
+            scheme: self.scheme.boxed_clone(),
+            halted: self.halted,
+            next_seq: self.next_seq,
+            stats: self.stats,
+            trace: self.trace.clone(),
+            view_scratch: self.view_scratch.clone(),
+            issue_scratch: self.issue_scratch.clone(),
+            done_scratch: self.done_scratch.clone(),
+            seq_scratch: self.seq_scratch.clone(),
+        }
+    }
+}
+
 /// A proof that ticking the core would be a pure stall for every cycle in
 /// `[now, until)`, carrying the per-cycle stall accounting the skipped
 /// ticks would have performed. Produced by [`Core::quiet_plan`]; replayed

@@ -31,7 +31,7 @@ pub struct FetchedInstr {
 }
 
 /// Fetch + decode-queue state for one core.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Frontend {
     pc: u64,
     stalled_until: u64,

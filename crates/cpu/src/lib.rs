@@ -35,6 +35,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod checkpoint;
 mod config;
 mod core;
 mod exec;
@@ -51,6 +52,7 @@ mod trace;
 
 pub use si_cache::MshrFile;
 
+pub use checkpoint::MachineCheckpoint;
 pub use config::{CoreConfig, FuTable, FuTiming, MachineConfig, NoiseConfig};
 pub use core::{Core, TickCtx};
 pub use exec::{ExecPayload, ExecUnits, InFlight};

@@ -78,7 +78,7 @@ impl std::fmt::Display for Timeout {
 
 impl std::error::Error for Timeout {}
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Shared {
     hierarchy: Hierarchy,
     memory: Memory,
@@ -105,7 +105,7 @@ struct Shared {
 /// assert_eq!(m.core(0).reg(R2), 40);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     config: MachineConfig,
     shared: Shared,
@@ -159,6 +159,21 @@ impl Machine {
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// Reseeds both noise RNG streams (DRAM jitter and the background
+    /// agent) exactly as [`Machine::new`] would have from a config with
+    /// `noise.seed = seed`, and records the seed in the config.
+    ///
+    /// This is the per-trial divergence point of checkpoint forking
+    /// ([`crate::checkpoint::MachineCheckpoint::fork_with_seed`]): when
+    /// neither stream has been consumed since construction — quiet-noise
+    /// configs never draw from them — the reseeded machine is
+    /// indistinguishable from one built fresh with the trial's seed.
+    pub fn reseed_noise(&mut self, seed: u64) {
+        self.config.noise.seed = seed;
+        self.shared.rng = StdRng::seed_from_u64(seed);
+        self.noise_rng = StdRng::seed_from_u64(seed ^ 0xbadc_0ffe);
     }
 
     /// Current cycle.

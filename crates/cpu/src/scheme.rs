@@ -142,9 +142,11 @@ pub struct UnsafeLoadCtx {
 
 /// An invisible-speculation scheme or defense, as seen by the core.
 ///
-/// Implementations must be deterministic. All methods with default bodies
-/// are optional hooks for defenses and rollback schemes.
-pub trait SpeculationScheme: std::fmt::Debug {
+/// Implementations must be deterministic, and — so checkpointed machines
+/// can be shared across trial workers — thread-safe plain data
+/// (`Send + Sync`). All methods with default bodies are optional hooks
+/// for defenses and rollback schemes.
+pub trait SpeculationScheme: std::fmt::Debug + Send + Sync {
     /// Human-readable name (used in experiment tables).
     fn name(&self) -> String;
 
@@ -154,6 +156,12 @@ pub trait SpeculationScheme: std::fmt::Debug {
 
     /// Plans the data access of a load that is **not** safe.
     fn plan_unsafe_load(&mut self, ctx: &UnsafeLoadCtx) -> LoadPlan;
+
+    /// Clones the scheme behind its box, including any private state
+    /// (MuonTrap's filter cache, a shadow model's bookkeeping). Required
+    /// so a whole core — and with it a machine checkpoint — can be
+    /// duplicated for copy-on-write trial forking.
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme>;
 
     /// Called when a mispredicted branch squashes; `spec_filled_lines` are
     /// LLC line addresses filled by squashed loads that accessed visibly
@@ -215,6 +223,10 @@ impl SpeculationScheme for Unprotected {
 
     fn plan_unsafe_load(&mut self, _ctx: &UnsafeLoadCtx) -> LoadPlan {
         LoadPlan::Visible
+    }
+
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(*self)
     }
 }
 

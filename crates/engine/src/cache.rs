@@ -20,13 +20,34 @@ use crate::unit::UnitSpec;
 /// File extension of cache entries.
 const ENTRY_EXT: &str = "unit";
 
-/// Aggregate cache statistics (`sia cache stats`).
+/// Aggregate cache statistics (`sia cache stats`), split by liveness:
+/// an entry is **live** when its stored epoch matches the inspecting
+/// build's `CODE_EPOCH`, **orphaned** otherwise. Orphans are unreachable
+/// by lookups (the epoch is folded into the address and the verified
+/// canonical line) but still occupy disk until `cache clear` — counting
+/// them separately keeps CI assertions insensitive to epoch bumps.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Number of cached unit entries.
-    pub entries: u64,
-    /// Total size of the entries in bytes.
-    pub bytes: u64,
+    /// Entries whose epoch matches the current build.
+    pub live_entries: u64,
+    /// Total size of the live entries in bytes.
+    pub live_bytes: u64,
+    /// Entries stranded by an earlier code epoch (or unreadable).
+    pub orphaned_entries: u64,
+    /// Total size of the orphaned entries in bytes.
+    pub orphaned_bytes: u64,
+}
+
+impl CacheStats {
+    /// All entries on disk, live and orphaned.
+    pub fn entries(&self) -> u64 {
+        self.live_entries + self.orphaned_entries
+    }
+
+    /// Total size of all entries in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.live_bytes + self.orphaned_bytes
+    }
 }
 
 /// A content-addressed store of unit outcomes.
@@ -81,14 +102,24 @@ impl UnitCache {
         std::fs::rename(&tmp, &path)
     }
 
-    /// Counts entries and bytes. A missing cache directory is an empty
-    /// cache, not an error.
-    pub fn stats(&self) -> io::Result<CacheStats> {
+    /// Counts entries and bytes, split into live (stored under
+    /// `code_epoch`) and orphaned (any other epoch, or unreadable). A
+    /// missing cache directory is an empty cache, not an error.
+    pub fn stats(&self, code_epoch: u64) -> io::Result<CacheStats> {
+        let prefix = format!("epoch={code_epoch} ");
         let mut stats = CacheStats::default();
         self.walk_entries(|path| {
-            if let Ok(meta) = std::fs::metadata(path) {
-                stats.entries += 1;
-                stats.bytes += meta.len();
+            let Ok(meta) = std::fs::metadata(path) else {
+                return;
+            };
+            let live = std::fs::read_to_string(path)
+                .is_ok_and(|text| text.lines().next().is_some_and(|l| l.starts_with(&prefix)));
+            if live {
+                stats.live_entries += 1;
+                stats.live_bytes += meta.len();
+            } else {
+                stats.orphaned_entries += 1;
+                stats.orphaned_bytes += meta.len();
             }
         })?;
         Ok(stats)
@@ -192,7 +223,7 @@ mod tests {
         let dir = cache.entry_path(&s.address(1));
         let dir = dir.parent().expect("fan-out dir");
         std::fs::write(dir.join(".tmp-99999-deadbeef"), "garbage").expect("dropping");
-        assert_eq!(cache.stats().expect("stats").entries, 1);
+        assert_eq!(cache.stats(1).expect("stats").entries(), 1);
         assert_eq!(cache.clear().expect("clear"), 1);
         let _ = std::fs::remove_dir_all(cache.dir());
     }
@@ -200,14 +231,38 @@ mod tests {
     #[test]
     fn stats_and_clear_count_entries() {
         let cache = temp_cache("stats");
-        assert_eq!(cache.stats().expect("stats"), CacheStats::default());
+        assert_eq!(cache.stats(1).expect("stats"), CacheStats::default());
         for t in 0..5 {
             cache.store(&spec(t), 1, "x").expect("store");
         }
-        let stats = cache.stats().expect("stats");
-        assert_eq!(stats.entries, 5);
-        assert!(stats.bytes > 0);
+        let stats = cache.stats(1).expect("stats");
+        assert_eq!(stats.live_entries, 5);
+        assert_eq!(stats.orphaned_entries, 0);
+        assert!(stats.live_bytes > 0);
         assert_eq!(cache.clear().expect("clear"), 5);
-        assert_eq!(cache.stats().expect("stats"), CacheStats::default());
+        assert_eq!(cache.stats(1).expect("stats"), CacheStats::default());
+    }
+
+    /// Entries stranded by an epoch bump stay on disk (until `clear`)
+    /// but are reported as orphaned, not live — so CI assertions on live
+    /// counts survive epoch bumps.
+    #[test]
+    fn epoch_bumps_orphan_entries_instead_of_counting_them_live() {
+        let cache = temp_cache("epochs");
+        for t in 0..3 {
+            cache.store(&spec(t), 1, "x").expect("store");
+        }
+        cache.store(&spec(0), 2, "y").expect("store");
+        let stats = cache.stats(2).expect("stats");
+        assert_eq!(stats.live_entries, 1);
+        assert_eq!(stats.orphaned_entries, 3);
+        assert_eq!(stats.entries(), 4);
+        assert_eq!(stats.bytes(), stats.live_bytes + stats.orphaned_bytes);
+        // The old build still sees its own entries as the live ones.
+        let old = cache.stats(1).expect("stats");
+        assert_eq!(old.live_entries, 3);
+        assert_eq!(old.orphaned_entries, 1);
+        // `clear` removes everything, orphans included.
+        assert_eq!(cache.clear().expect("clear"), 4);
     }
 }

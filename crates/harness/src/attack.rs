@@ -75,6 +75,12 @@ pub struct AttackGrid {
     pub noises: Vec<NoisePreset>,
     /// Secret bits transmitted per cell.
     pub trials: usize,
+    /// Force every cell onto the from-scratch trial path (the CLI's
+    /// `--no-checkpoint`). Folded into each cell's machine fingerprint —
+    /// and therefore its unit addresses — so cached outcomes from the two
+    /// paths never alias; the emitted document itself is identical either
+    /// way, which is exactly what the differential CI job byte-diffs.
+    pub disable_checkpoint: bool,
 }
 
 impl AttackGrid {
@@ -106,6 +112,7 @@ impl AttackGrid {
                 geometries: vec![GeometryPreset::KabyLake],
                 noises: vec![NoisePreset::Quiet],
                 trials: 24,
+                disable_checkpoint: false,
             },
             "geometry" => AttackGrid {
                 name: name.to_owned(),
@@ -114,6 +121,7 @@ impl AttackGrid {
                 geometries: GeometryPreset::all(),
                 noises: vec![NoisePreset::Quiet],
                 trials: 12,
+                disable_checkpoint: false,
             },
             "noise" => AttackGrid {
                 name: name.to_owned(),
@@ -122,6 +130,7 @@ impl AttackGrid {
                 geometries: vec![GeometryPreset::KabyLake],
                 noises: NoisePreset::all(),
                 trials: 24,
+                disable_checkpoint: false,
             },
             "full" => AttackGrid {
                 name: name.to_owned(),
@@ -133,6 +142,7 @@ impl AttackGrid {
                 geometries: vec![GeometryPreset::KabyLake],
                 noises: vec![NoisePreset::Quiet],
                 trials: 24,
+                disable_checkpoint: false,
             },
             other => {
                 return Err(format!(
@@ -275,14 +285,7 @@ pub fn run_attack_grid(
     if rows.is_empty() || grid.schemes.is_empty() {
         return Err("grid has no cells (an axis is empty)".into());
     }
-    let cells: Vec<AttackScenario> = rows
-        .iter()
-        .flat_map(|row| {
-            grid.schemes.iter().map(move |scheme| {
-                AttackScenario::new(row.variant, *scheme, row.geometry, row.noise)
-            })
-        })
-        .collect();
+    let cells = grid_cells(grid, &rows);
 
     // Per-cell shared state (the VD-AD reference calibration) resolves
     // lazily: the first executing unit of a cell calibrates, later units
@@ -328,7 +331,82 @@ pub fn run_attack_grid(
         encode_trial,
         decode_trial,
     );
+    Ok((
+        attack_doc(grid, seed, trials, &rows, &cells, &outcomes),
+        stats,
+    ))
+}
 
+/// Runs an attack grid in batched trial mode: no unit engine, no cache —
+/// each cell's trials are laid out in contiguous batches of `batch` and
+/// dispatched over `threads` workers, each batch executed through
+/// [`PreparedScenario::run_bit_trials`]. Outcomes land in the same
+/// cell-major order the engine path uses, and every per-unit seed and
+/// secret bit is derived identically, so the emitted document is
+/// byte-identical to [`run_attack_grid`]'s for the same `(grid, seed)`.
+pub fn run_attack_grid_batched(
+    grid: &AttackGrid,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+) -> Result<(Json, ExecStats), String> {
+    let trials = grid.trials.max(1);
+    let batch = batch.max(1);
+    let rows = grid.rows();
+    if rows.is_empty() || grid.schemes.is_empty() {
+        return Err("grid has no cells (an axis is empty)".into());
+    }
+    let cells = grid_cells(grid, &rows);
+    let prepared: Vec<OnceLock<PreparedScenario>> = cells.iter().map(|_| OnceLock::new()).collect();
+    let bits = leakage::secret_bits(trials, seed);
+    // One task per (cell, batch) pair; batches never straddle cells.
+    let batches_per_cell = trials.div_ceil(batch);
+    let tasks = cells.len() * batches_per_cell;
+    let results: Vec<Vec<BitTrial>> = crate::exec::parallel_map(tasks, threads, |t| {
+        let (cell, chunk) = (t / batches_per_cell, t % batches_per_cell);
+        let lo = chunk * batch;
+        let hi = ((chunk + 1) * batch).min(trials);
+        let p = prepared[cell].get_or_init(|| cells[cell].prepare());
+        let pairs: Vec<(u64, u64)> = (lo..hi)
+            .map(|trial| (bits[trial], mix_seed(seed, (cell * trials + trial) as u64)))
+            .collect();
+        p.run_bit_trials(&pairs)
+    });
+    let outcomes: Vec<BitTrial> = results.concat();
+    let stats = ExecStats {
+        total: outcomes.len(),
+        executed: outcomes.len(),
+        cached: 0,
+    };
+    Ok((
+        attack_doc(grid, seed, trials, &rows, &cells, &outcomes),
+        stats,
+    ))
+}
+
+/// The grid's cells in row-major order, each carrying the grid's
+/// checkpoint policy.
+fn grid_cells(grid: &AttackGrid, rows: &[RowKey]) -> Vec<AttackScenario> {
+    rows.iter()
+        .flat_map(|row| {
+            grid.schemes.iter().map(move |scheme| {
+                let mut s = AttackScenario::new(row.variant, *scheme, row.geometry, row.noise);
+                s.disable_checkpoint = grid.disable_checkpoint;
+                s
+            })
+        })
+        .collect()
+}
+
+/// Assembles the schema-v2 attack document from cell-major outcomes.
+fn attack_doc(
+    grid: &AttackGrid,
+    seed: u64,
+    trials: usize,
+    rows: &[RowKey],
+    cells: &[AttackScenario],
+    outcomes: &[BitTrial],
+) -> Json {
     let mut json_rows = Vec::with_capacity(rows.len());
     let mut leaking_cells = 0usize;
     for (r, key) in rows.iter().enumerate() {
@@ -379,7 +457,7 @@ pub fn run_attack_grid(
         ("units", Json::from(cells.len() * trials)),
         ("leaking_cells", Json::from(leaking_cells)),
     ]);
-    let doc = obj([
+    obj([
         ("schema_version", Json::from(SCHEMA_VERSION)),
         ("kind", Json::from(DocKind::Attack.slug())),
         ("grid", Json::from(grid.name.as_str())),
@@ -390,8 +468,7 @@ pub fn run_attack_grid(
         ("config", config),
         ("result", obj([("rows", Json::Arr(json_rows))])),
         ("summary", summary),
-    ]);
-    Ok((doc, stats))
+    ])
 }
 
 fn score_json(scheme: SchemeKind, score: &leakage::LeakageScore) -> Json {
@@ -456,6 +533,55 @@ mod tests {
         assert_eq!(decode_trial("garbage"), None);
         assert_eq!(decode_trial("1 0"), None, "truncated payload is a miss");
         assert_eq!(decode_trial("1 0 5 6"), None, "trailing junk is a miss");
+    }
+
+    /// A tiny one-cell grid for the execution-path equivalence tests.
+    fn tiny_grid() -> AttackGrid {
+        let mut grid = AttackGrid::named("headline").expect("grid");
+        grid.apply_filter("variant=port-contention")
+            .expect("filter");
+        grid.apply_filter("scheme=invisispec").expect("filter");
+        grid.schemes.truncate(1);
+        grid.trials = 4;
+        grid
+    }
+
+    /// The three execution paths — engine with checkpointing, engine with
+    /// `--no-checkpoint`, and batched — must emit byte-identical
+    /// documents for the same `(grid, seed)`.
+    #[test]
+    fn no_checkpoint_and_batched_paths_emit_identical_documents() {
+        let grid = tiny_grid();
+        let engine = Engine::new(1);
+        let (fast, _) = run_attack_grid(&grid, 7, &engine).expect("grid runs");
+        let mut scratch_grid = grid.clone();
+        scratch_grid.disable_checkpoint = true;
+        let (scratch, _) = run_attack_grid(&scratch_grid, 7, &engine).expect("grid runs");
+        assert_eq!(fast.to_pretty(), scratch.to_pretty());
+        for batch in [1, 3, 16] {
+            let (batched, stats) = run_attack_grid_batched(&grid, 7, 2, batch).expect("grid runs");
+            assert_eq!(fast.to_pretty(), batched.to_pretty(), "batch={batch}");
+            assert_eq!(stats.cached, 0);
+            assert_eq!(stats.executed, grid.unit_count());
+        }
+    }
+
+    /// `disable_checkpoint` changes every cell's machine fingerprint, so
+    /// the two paths can never alias in the unit cache.
+    #[test]
+    fn no_checkpoint_changes_unit_addresses() {
+        let grid = tiny_grid();
+        let mut scratch_grid = grid.clone();
+        scratch_grid.disable_checkpoint = true;
+        let digest = |g: &AttackGrid| {
+            fnv64(
+                grid_cells(g, &g.rows())[0]
+                    .machine()
+                    .fingerprint()
+                    .as_bytes(),
+            )
+        };
+        assert_ne!(digest(&grid), digest(&scratch_grid));
     }
 
     #[test]

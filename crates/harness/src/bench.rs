@@ -61,12 +61,19 @@ pub const BENCH_WARN_FRACTION: f64 = 0.90;
 /// deliberately ignored.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BenchComparison {
-    /// Ratios that regressed past [`BENCH_FAIL_FRACTION`] (or vanished).
+    /// Ratios that regressed past [`BENCH_FAIL_FRACTION`] (or vanished),
+    /// plus baseline bench tiers the current build no longer emits.
     pub failures: Vec<String>,
     /// Ratios that regressed past [`BENCH_WARN_FRACTION`].
     pub warnings: Vec<String>,
     /// Ratios present in both documents and compared.
     pub checked: usize,
+    /// Baseline bench tier ids missing from the current run (each is also
+    /// a failure: a silently dropped tier must not pass the gate).
+    pub missing_tiers: Vec<String>,
+    /// Tier ids the current run emits that the baseline lacks — new
+    /// benchmarks awaiting a baseline regeneration; informational only.
+    pub new_tiers: Vec<String>,
 }
 
 impl BenchComparison {
@@ -74,6 +81,23 @@ impl BenchComparison {
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
     }
+}
+
+/// The sorted bench tier ids of a bench document (empty when the
+/// document carries no `benches` array — old snapshots predate it).
+fn bench_ids(doc: &Json) -> Vec<String> {
+    let mut ids: Vec<String> = match doc.get("benches") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .filter_map(|b| match b.get("id") {
+                Some(Json::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    ids.sort();
+    ids
 }
 
 /// Flattens every numeric leaf under a `speedups` object into
@@ -118,6 +142,25 @@ pub fn compare_speedups(current: &Json, baseline: &Json) -> Result<BenchComparis
     let base = leaves(baseline, "baseline")?;
     let cur = leaves(current, "current")?;
     let mut cmp = BenchComparison::default();
+    // Tier roll call before ratio math: every tier the baseline recorded
+    // must still be emitted by the current build, or the gate fails —
+    // a deleted benchmark would otherwise vanish without a trace (its
+    // ratios might survive via other pairs, or never have had one).
+    let base_ids = bench_ids(baseline);
+    let cur_ids = bench_ids(current);
+    for id in &base_ids {
+        if !cur_ids.contains(id) {
+            cmp.missing_tiers.push(id.clone());
+            cmp.failures.push(format!(
+                "tier {id}: in the baseline but not emitted by this build"
+            ));
+        }
+    }
+    for id in &cur_ids {
+        if !base_ids.contains(id) {
+            cmp.new_tiers.push(id.clone());
+        }
+    }
     for (path, base_ratio) in &base {
         let Some((_, cur_ratio)) = cur.iter().find(|(p, _)| p == path) else {
             cmp.failures
@@ -345,26 +388,31 @@ fn bench_trials(samples: usize, out: &mut Vec<Measured>) {
             SchemeKind::Unprotected,
         ),
     ] {
+        // The production trial path: every grid trial forks the cell's
+        // parked checkpoint (setup and training simulated exactly once,
+        // untimed here, as `prepare()` does it once per cell), so that is
+        // what the end-to-end tier times.
         let attack = Attack::new(kind, scheme, MachineConfig::default());
+        let ck = attack.checkpoint_trial(1).expect("training converges");
         out.push(measure(
             format!("trial_e2e/{name}"),
             samples,
             1,
             "trial",
             || {
-                attack.run_trial(1);
+                attack.run_trial_from(&ck);
             },
         ));
     }
     // One scored attack-grid bit trial (the `sia attack` unit), reference
     // calibration included once up front as the grid runner does it.
-    let prepared = si_attack::AttackScenario::new(
+    let cell = si_attack::AttackScenario::new(
         si_attack::InterferenceVariant::MshrPressure,
         SchemeKind::InvisiSpecSpectre,
         si_cpu::GeometryPreset::KabyLake,
         si_cpu::NoisePreset::Quiet,
-    )
-    .prepare();
+    );
+    let prepared = cell.prepare();
     out.push(measure(
         "trial_e2e/attack_mshr_invisispec",
         samples,
@@ -372,6 +420,75 @@ fn bench_trials(samples: usize, out: &mut Vec<Measured>) {
         "trial",
         || {
             prepared.run_bit_trial(1, 42);
+        },
+    ));
+    // The fork-vs-scratch pair behind the `trial_fork_over_scratch`
+    // ratio: the same grid unit once through the checkpoint fork and once
+    // through the `--no-checkpoint` differential path. Both emit the
+    // byte-identical BitTrial; only the simulated-setup replay differs.
+    out.push(measure(
+        "trial_fork/attack_mshr_invisispec",
+        samples,
+        1,
+        "trial",
+        || {
+            prepared.run_bit_trial(1, 42);
+        },
+    ));
+    let mut scratch_cell = cell;
+    scratch_cell.disable_checkpoint = true;
+    let scratch = scratch_cell.prepare();
+    out.push(measure(
+        "trial_scratch/attack_mshr_invisispec",
+        samples,
+        1,
+        "trial",
+        || {
+            scratch.run_bit_trial(1, 42);
+        },
+    ));
+    // Batched struct-of-lanes dispatch: eight trials per sample through
+    // `run_bit_trials`, the unit the CLI's `--batch` mode executes.
+    const BATCH: u64 = 8;
+    let pairs: Vec<(u64, u64)> = (0..BATCH).map(|i| (i % 2, 42 + i)).collect();
+    out.push(measure(
+        "batched_trials/mshr_invisispec_x8",
+        samples,
+        BATCH,
+        "trial",
+        || {
+            prepared.run_bit_trials(&pairs);
+        },
+    ));
+}
+
+/// The checkpoint layer's own primitives: one deep snapshot of a
+/// mid-flight machine (`capture`) and one copy-on-write fork from the
+/// shared snapshot (`fork`) — the fixed per-cell and per-trial costs the
+/// fork path pays instead of re-simulating setup.
+fn bench_checkpoint(samples: usize, out: &mut Vec<Measured>) {
+    let mut m = Machine::new(MachineConfig::default());
+    m.load_program(0, &pointer_chase_program());
+    m.run_cycles(5_000); // mid-chase: caches, MSHRs and ROB populated
+    out.push(measure(
+        "checkpoint_restore/capture_midrun",
+        samples,
+        1,
+        "snapshot",
+        || {
+            let ck = si_cpu::MachineCheckpoint::capture(&m);
+            assert!(ck.cycle() > 0);
+        },
+    ));
+    let ck = si_cpu::MachineCheckpoint::capture(&m);
+    out.push(measure(
+        "checkpoint_restore/fork_midrun",
+        samples,
+        1,
+        "fork",
+        || {
+            let f = ck.fork_with_seed(7);
+            assert_eq!(f.cycle(), ck.cycle());
         },
     ));
 }
@@ -526,6 +643,7 @@ pub fn run_benches(quick: bool) -> Json {
     bench_policies(policy_samples, &mut benches);
     bench_pipeline(pipeline_samples, &mut benches);
     bench_trials(trial_samples, &mut benches);
+    bench_checkpoint(engine_samples, &mut benches);
     bench_engine(engine_samples, &mut benches);
 
     let mut speedups = obj([]);
@@ -544,6 +662,9 @@ pub fn run_benches(quick: bool) -> Json {
         speedup_ratios(&benches, "engine_dispatch_mutex/", "engine_dispatch/")
     {
         speedups.push("engine_dispatch_over_mutex", Json::from(geomean));
+    }
+    if let Some((geomean, _)) = speedup_ratios(&benches, "trial_scratch/", "trial_fork/") {
+        speedups.push("trial_fork_over_scratch", Json::from(geomean));
     }
 
     obj([
@@ -599,6 +720,47 @@ mod tests {
         // Improvements never warn.
         let cmp = compare_speedups(&bench_doc(3.0, 4.0), &bench_doc(2.0, 2.7)).unwrap();
         assert!(cmp.passed() && cmp.warnings.is_empty());
+    }
+
+    /// Satellite gate hardening: a tier recorded in the baseline that
+    /// this build no longer emits is a failure, and the comparison
+    /// carries the full tier diff in both directions.
+    #[test]
+    fn dropped_bench_tiers_fail_the_gate_with_a_tier_diff() {
+        let with_tiers = |ids: &[&str]| {
+            let mut doc = bench_doc(2.0, 2.7);
+            doc.push(
+                "benches",
+                arr(ids
+                    .iter()
+                    .map(|id| obj([("id", Json::from(*id))]))
+                    .collect::<Vec<_>>()),
+            );
+            doc
+        };
+        let baseline = with_tiers(&["trial_e2e/a", "trial_fork/a", "checkpoint_restore/fork"]);
+        let current = with_tiers(&["trial_e2e/a", "batched_trials/x8"]);
+        let cmp = compare_speedups(&current, &baseline).unwrap();
+        assert!(!cmp.passed());
+        assert_eq!(
+            cmp.missing_tiers,
+            ["checkpoint_restore/fork", "trial_fork/a"],
+            "sorted baseline-only tiers"
+        );
+        assert_eq!(cmp.new_tiers, ["batched_trials/x8"]);
+        assert!(
+            cmp.failures.iter().any(|f| f.contains("trial_fork/a")),
+            "{:?}",
+            cmp.failures
+        );
+        // Identical tier sets: clean pass, no diff.
+        let cmp = compare_speedups(&baseline, &baseline).unwrap();
+        assert!(cmp.passed() && cmp.missing_tiers.is_empty() && cmp.new_tiers.is_empty());
+        // A baseline without a benches array (pre-tier snapshots) only
+        // gates ratios.
+        let cmp = compare_speedups(&current, &bench_doc(2.0, 2.7)).unwrap();
+        assert!(cmp.passed());
+        assert_eq!(cmp.new_tiers.len(), 2);
     }
 
     #[test]

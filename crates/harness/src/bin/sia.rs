@@ -21,7 +21,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use si_engine::UnitCache;
-use si_harness::attack::{run_attack_grid, AttackGrid, ATTACK_GRID_NAMES};
+use si_harness::attack::{run_attack_grid, run_attack_grid_batched, AttackGrid, ATTACK_GRID_NAMES};
 use si_harness::json::{parse, Json};
 use si_harness::render::{render_report, splice_report, REPORT_BEGIN, REPORT_END};
 use si_harness::sweep::{run_sweep, GridSpec, GRID_NAMES};
@@ -82,6 +82,14 @@ ATTACK OPTIONS:
                        valid values in the error
     --quick            CI smoke: six trials per cell, same cells
     --trials <N>       secret bits per cell override
+    --no-checkpoint    force every trial onto the from-scratch path instead
+                       of forking the per-cell machine checkpoint; output
+                       is byte-identical either way (the differential CI
+                       job diffs the two to prove it)
+    --batch <N>        batched trial mode: dispatch trials in per-cell
+                       batches of N through the struct-of-arrays executor
+                       (no unit engine; incompatible with --cache); output
+                       is byte-identical to the engine path
     --threads/--seed   as for run
     --cache/--cache-dir  as for sweep
     --out <FILE>       output file (default: results/attack-<grid>.json)
@@ -372,6 +380,8 @@ struct GridArgs {
     out: Option<String>,
     print: bool,
     wall_time: bool,
+    no_checkpoint: bool,
+    batch: Option<usize>,
 }
 
 /// Parses the sweep/attack option set. `verb` labels errors;
@@ -394,7 +404,10 @@ fn parse_grid_args(
         out: None,
         print: false,
         wall_time: true,
+        no_checkpoint: false,
+        batch: None,
     };
+    let attack_verb = verb == "attack";
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -422,6 +435,16 @@ fn parse_grid_args(
                         .parse()
                         .map_err(|e| format!("--trials: {e}"))?,
                 );
+            }
+            "--no-checkpoint" if attack_verb => args.no_checkpoint = true,
+            "--batch" if attack_verb => {
+                let n: usize = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if n == 0 {
+                    return Err("--batch needs a batch size of at least 1".into());
+                }
+                args.batch = Some(n);
             }
             "--threads" => args.threads = parse_threads(&value("--threads")?)?,
             "--seed" => args.seed = parse_seed(&value("--seed")?)?,
@@ -515,12 +538,19 @@ fn cmd_attack(argv: &[String]) -> Result<ExitCode, String> {
     if let Some(t) = args.trials {
         grid.trials = t;
     }
+    grid.disable_checkpoint = args.no_checkpoint;
+    if args.batch.is_some() && args.cache.enabled {
+        return Err("--batch bypasses the unit engine and cannot be combined with --cache".into());
+    }
     let path = args
         .out
         .clone()
         .unwrap_or_else(|| format!("results/attack-{}.json", args.grid_name));
     let start = Instant::now();
-    let (envelope, stats) = run_attack_grid(&grid, args.seed, &args.cache.engine(args.threads))?;
+    let (envelope, stats) = match args.batch {
+        Some(batch) => run_attack_grid_batched(&grid, args.seed, args.threads, batch)?,
+        None => run_attack_grid(&grid, args.seed, &args.cache.engine(args.threads))?,
+    };
     emit_grid_doc(
         "attack",
         &args.grid_name,
@@ -553,10 +583,12 @@ fn cmd_cache(argv: &[String]) -> Result<ExitCode, String> {
     let cache = UnitCache::new(&dir);
     match action.as_deref() {
         Some("stats") => {
-            let stats = cache.stats().map_err(|e| format!("reading {dir}: {e}"))?;
+            let stats = cache
+                .stats(CODE_EPOCH)
+                .map_err(|e| format!("reading {dir}: {e}"))?;
             println!(
-                "cache: {} entries, {} bytes in {dir}",
-                stats.entries, stats.bytes
+                "cache: {} live entries ({} bytes), {} orphaned entries ({} bytes) in {dir}",
+                stats.live_entries, stats.live_bytes, stats.orphaned_entries, stats.orphaned_bytes
             );
         }
         Some("clear") => {
@@ -752,6 +784,18 @@ fn bench_regression_gate(current: &Json, baseline: &Json, baseline_path: &str) -
             }
             for f in &cmp.failures {
                 eprintln!("bench --against  FAIL: {f}");
+            }
+            // Full tier diff whenever the tier sets drifted at all, so
+            // the fix (regenerate the baseline, or restore the tier) is
+            // obvious from the log alone.
+            if !cmp.missing_tiers.is_empty() || !cmp.new_tiers.is_empty() {
+                eprintln!("bench --against  tier diff vs {baseline_path}:");
+                for id in &cmp.missing_tiers {
+                    eprintln!("bench --against    - {id} (baseline only)");
+                }
+                for id in &cmp.new_tiers {
+                    eprintln!("bench --against    + {id} (this build only; regenerate the baseline to gate it)");
+                }
             }
             if cmp.passed() {
                 println!(

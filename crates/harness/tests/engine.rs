@@ -74,6 +74,41 @@ fn attack_warm_rerun_is_byte_identical_with_zero_executed_units() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The checkpoint layer composes with the engine cache: with
+/// checkpointing on (the default), a warm `--cache` re-run executes
+/// zero units and splices a byte-identical document. Flipping
+/// `disable_checkpoint` is folded into the config digest, so the
+/// scratch run re-executes everything instead of aliasing the
+/// checkpointed entries — yet still emits the same bytes.
+#[test]
+fn checkpointed_warm_rerun_executes_zero_units_and_scratch_does_not_alias() {
+    let mut grid = quick_attack_grid();
+    assert!(!grid.disable_checkpoint, "checkpointing is the default");
+    let dir = temp_cache("attack-ck-warm");
+    let cached = Engine::with_cache(4, CODE_EPOCH, &dir);
+
+    let (ck_doc, cold) = run_attack_grid(&grid, 0xC0FFEE, &cached).expect("runs");
+    let (warm_doc, warm) = run_attack_grid(&grid, 0xC0FFEE, &cached).expect("runs");
+    assert_eq!(cold.executed, cold.total);
+    assert_eq!(warm.executed, 0, "checkpointed warm pass executes nothing");
+    assert_eq!(warm.cached, warm.total);
+    assert_eq!(ck_doc.to_pretty(), warm_doc.to_pretty());
+
+    grid.disable_checkpoint = true;
+    let (scratch_doc, scratch) = run_attack_grid(&grid, 0xC0FFEE, &cached).expect("runs");
+    assert_eq!(
+        scratch.executed, scratch.total,
+        "--no-checkpoint units must not alias the checkpointed entries"
+    );
+    assert_eq!(scratch.cached, 0);
+    assert_eq!(
+        ck_doc.to_pretty(),
+        scratch_doc.to_pretty(),
+        "both paths emit the same bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Widening the scheme axis appends columns; on a single-row grid every
 /// pre-existing unit keeps its index (and so its spec and mixed seed),
 /// so only the new column's units execute.

@@ -66,6 +66,10 @@ impl AdvancedDefense {
 }
 
 impl SpeculationScheme for AdvancedDefense {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> String {
         format!(
             "Advanced-{}{}{}",

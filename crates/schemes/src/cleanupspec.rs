@@ -66,6 +66,10 @@ impl Default for CleanupSpec {
 }
 
 impl SpeculationScheme for CleanupSpec {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(*self)
+    }
+
     fn protects_ifetch(&self) -> bool {
         true // shadow/filter/rollback structures cover the I-side
     }

@@ -57,6 +57,10 @@ impl Default for ConditionalSpeculation {
 }
 
 impl SpeculationScheme for ConditionalSpeculation {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(*self)
+    }
+
     fn protects_ifetch(&self) -> bool {
         true // shadow/filter/rollback structures cover the I-side
     }

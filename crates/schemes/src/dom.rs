@@ -67,6 +67,10 @@ impl DelayOnMiss {
 }
 
 impl SpeculationScheme for DelayOnMiss {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> String {
         format!("DoM-{}", self.shadow.suffix())
     }

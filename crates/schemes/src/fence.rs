@@ -64,6 +64,10 @@ impl FenceDefense {
 }
 
 impl SpeculationScheme for FenceDefense {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> String {
         format!("Fence-{}", self.model.suffix())
     }

@@ -62,6 +62,10 @@ impl InvisiSpec {
 }
 
 impl SpeculationScheme for InvisiSpec {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(*self)
+    }
+
     fn name(&self) -> String {
         format!("InvisiSpec-{}", self.shadow.suffix())
     }

@@ -43,7 +43,7 @@ use crate::ShadowModel;
 ///     other => panic!("expected a fast filter hit, got {other:?}"),
 /// }
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MuonTrap {
     shadow: ShadowModel,
     filter: SetAssocCache,
@@ -79,6 +79,10 @@ impl MuonTrap {
 }
 
 impl SpeculationScheme for MuonTrap {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(self.clone())
+    }
+
     fn protects_ifetch(&self) -> bool {
         true // shadow/filter/rollback structures cover the I-side
     }

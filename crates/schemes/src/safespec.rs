@@ -51,6 +51,10 @@ impl SafeSpec {
 }
 
 impl SpeculationScheme for SafeSpec {
+    fn boxed_clone(&self) -> Box<dyn SpeculationScheme> {
+        Box::new(*self)
+    }
+
     fn protects_ifetch(&self) -> bool {
         true // shadow/filter/rollback structures cover the I-side
     }
