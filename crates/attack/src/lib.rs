@@ -117,7 +117,7 @@ impl InterferenceVariant {
 
 /// One attack-evaluation cell: which transmitter, against which scheme,
 /// on which machine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackScenario {
     /// The interference transmitter.
     pub variant: InterferenceVariant,
@@ -132,6 +132,13 @@ pub struct AttackScenario {
     /// config — and therefore into unit fingerprints — so cached results
     /// from the two paths never alias.
     pub disable_checkpoint: bool,
+    /// Run this victim program instead of the one the variant's attack
+    /// kind builds. The scan confirm stage sets this to mount the attack
+    /// around the exact program a [`si_scan::Finding`] came from; the
+    /// program must follow the rendezvous victim scaffold
+    /// (`si_core::victims`) with [`si_core::DEFAULT_TRAIN_ITERS`]
+    /// training rounds and the default kaby-lake address plan.
+    pub victim_override: Option<si_isa::Program>,
 }
 
 impl AttackScenario {
@@ -148,7 +155,34 @@ impl AttackScenario {
             geometry,
             noise,
             disable_checkpoint: false,
+            victim_override: None,
         }
+    }
+
+    /// Synthesizes the confirm-stage scenario for a static scan finding:
+    /// the finding's channel picks the interference variant whose
+    /// receiver can observe it, and the scanned program itself becomes
+    /// the victim. Returns `None` for channels with no runnable template
+    /// (e.g. `branch-resolve`). Geometry and noise are pinned to the
+    /// quiet default machine — the same one the corpus layouts are
+    /// planned against — so confirmation stays deterministic.
+    pub fn from_finding(
+        finding: &si_scan::Finding,
+        scheme: SchemeKind,
+        victim: si_isa::Program,
+    ) -> Option<AttackScenario> {
+        let variant = match finding.channel.confirm_class()? {
+            si_scan::ConfirmClass::MshrPressure => InterferenceVariant::MshrPressure,
+            si_scan::ConfirmClass::PortContention => InterferenceVariant::PortContention,
+        };
+        let mut scenario = AttackScenario::new(
+            variant,
+            scheme,
+            GeometryPreset::KabyLake,
+            NoisePreset::Quiet,
+        );
+        scenario.victim_override = Some(victim);
+        Some(scenario)
     }
 
     /// The machine configuration trials run on (per-trial noise seeds
@@ -160,7 +194,9 @@ impl AttackScenario {
     }
 
     fn attack(&self) -> Attack {
-        Attack::new(self.variant.attack_kind(), self.scheme, self.machine())
+        let mut attack = Attack::new(self.variant.attack_kind(), self.scheme, self.machine());
+        attack.victim_override = self.victim_override.clone();
+        attack
     }
 
     /// Resolves everything per-trial runs share: the attacker's
@@ -186,7 +222,7 @@ impl AttackScenario {
             None
         };
         PreparedScenario {
-            scenario: *self,
+            scenario: self.clone(),
             reference_delta,
             checkpoints,
         }

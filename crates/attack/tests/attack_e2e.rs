@@ -66,6 +66,64 @@ fn fence_defense_holds_every_channel_at_chance() {
     }
 }
 
+/// The scan→confirm bridge: scenarios synthesized from static findings
+/// (victim override mounted around the scanned program) must reproduce
+/// the paper's leak matrix — and the novel divider gadget, which no
+/// hand-built attack cell covers, must leak through the same
+/// port-contention receiver.
+#[test]
+fn scenarios_from_scan_findings_confirm_dynamically() {
+    let corpus = si_scan::corpus();
+    let cases = [
+        ("paper-mshr", si_scan::Channel::MshrLoad),
+        ("paper-npeu", si_scan::Channel::PortFpSqrt),
+        ("novel-div", si_scan::Channel::PortFpDiv),
+    ];
+    for (name, channel) in cases {
+        let entry = corpus.iter().find(|e| e.name == name).unwrap();
+        let report = si_scan::scan(&entry.program, &entry.secrets, &Default::default());
+        let finding = report
+            .findings
+            .iter()
+            .find(|f| f.channel == channel)
+            .unwrap_or_else(|| panic!("{name} must yield a {} finding", channel.slug()));
+        let scenario = AttackScenario::from_finding(
+            finding,
+            SchemeKind::InvisiSpecSpectre,
+            entry.program.clone(),
+        )
+        .expect("channel has a confirm template");
+        let prepared = scenario.prepare();
+        for (secret, seed) in [(0u64, 7u64), (1, 8)] {
+            assert_eq!(
+                prepared.run_bit_trial(secret, seed).decoded,
+                Some(secret),
+                "{name} confirm trial secret={secret}"
+            );
+        }
+    }
+}
+
+#[test]
+fn branch_resolve_findings_have_no_confirm_template() {
+    assert!(si_scan::Channel::BranchResolve.confirm_class().is_none());
+    let entry = si_scan::corpus()
+        .into_iter()
+        .find(|e| e.name == "paper-mshr")
+        .unwrap();
+    let report = si_scan::scan(&entry.program, &entry.secrets, &Default::default());
+    let f = report.findings[0];
+    let none = AttackScenario::from_finding(
+        &si_scan::Finding {
+            channel: si_scan::Channel::BranchResolve,
+            ..f
+        },
+        SchemeKind::Unprotected,
+        entry.program,
+    );
+    assert!(none.is_none());
+}
+
 #[test]
 fn quiet_trials_are_seed_independent_and_bit_exact() {
     let prepared = AttackScenario::new(

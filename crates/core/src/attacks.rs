@@ -26,6 +26,11 @@ pub const ATTACKER_CORE: usize = 1;
 /// Cycle budget per trial.
 const TRIAL_BUDGET: u64 = 2_000_000;
 
+/// Default training iterations per trial ([`Attack::new`]); victim
+/// programs built outside [`Attack`] (e.g. the scan corpus) must bake
+/// the same depth into their scaffold or the rendezvous counts diverge.
+pub const DEFAULT_TRAIN_ITERS: usize = 6;
+
 /// Result of one attack trial.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrialResult {
@@ -129,6 +134,12 @@ pub struct Attack {
     pub reference_delta: Option<u64>,
     /// Record the victim core's pipeline trace during trials.
     pub trace: bool,
+    /// Run this victim program instead of the hand-built one for
+    /// [`Attack::kind`]. The program must follow the scaffold shape
+    /// (same rendezvous rounds, same [`AttackLayout`] addresses) — the
+    /// scan confirm stage uses this to dynamically test statically
+    /// discovered gadgets with the stock receiver plumbing.
+    pub victim_override: Option<si_isa::Program>,
 }
 
 impl Attack {
@@ -139,9 +150,10 @@ impl Attack {
             kind,
             machine,
             scheme,
-            train_iters: 6,
+            train_iters: DEFAULT_TRAIN_ITERS,
             reference_delta: None,
             trace: false,
+            victim_override: None,
         }
     }
 
@@ -162,6 +174,9 @@ impl Attack {
     }
 
     fn victim_program(&self, s: &Scaffold) -> si_isa::Program {
+        if let Some(p) = &self.victim_override {
+            return p.clone();
+        }
         match self.kind {
             AttackKind::NpeuVdVd => npeu_victim(s, NpeuVariant::VictimPair),
             AttackKind::NpeuVdAd => npeu_victim(s, NpeuVariant::AttackerReference),

@@ -47,7 +47,10 @@ pub mod rendezvous;
 pub mod security;
 pub mod victims;
 
-pub use attacks::{Attack, AttackKind, TrialCheckpoint, TrialResult, ATTACKER_CORE, VICTIM_CORE};
+pub use attacks::{
+    Attack, AttackKind, TrialCheckpoint, TrialResult, ATTACKER_CORE, DEFAULT_TRAIN_ITERS,
+    VICTIM_CORE,
+};
 pub use layout::AttackLayout;
 pub use receiver::{Decoded, FlushReload, OrderReceiver};
 pub use security::{check_ideal_invisibility, llc_pattern, CheckOutcome, PatternMode};

@@ -313,6 +313,85 @@ pub fn mshr_victim(s: &Scaffold) -> Program {
     asm.assemble().expect("victim assembles")
 }
 
+/// Builds a *non-leaking* scaffold victim — the scan corpus's
+/// false-positive bait. The wrong path carries the same secret access
+/// and transmitter loads as [`spectre_v1_victim`], but a speculation
+/// fence sits **in front of them**: nothing after the fence issues until
+/// the branch resolves, at which point the mispredicted path is squashed
+/// — so the tainted loads never execute speculatively and no
+/// interference ever forms. A sound window analysis must report zero
+/// findings here (the window ends at the fence), and a dynamic confirm
+/// run decodes nothing.
+pub fn fenced_bait_victim(s: &Scaffold) -> Program {
+    let l = &s.layout;
+    let mut asm = Assembler::new(l.code_base);
+    let loop_top = emit_prologue(&mut asm, s);
+    let gadget = asm.label("gadget");
+    let join = asm.label("join");
+    asm.load(R5, R23, 0);
+    asm.branch_ltu(R3, R5, gadget);
+    asm.jump(join);
+    asm.bind(gadget);
+    asm.fence(); // squashes before anything below can issue
+    emit_access_load(&mut asm);
+    emit_transmitter(&mut asm);
+    asm.jump(join);
+    asm.bind(join);
+    emit_epilogue(&mut asm, s, loop_top);
+    asm.assemble().expect("victim assembles")
+}
+
+/// Builds the scan corpus's *novel* gadget: the [`npeu_victim`] VD-VD
+/// shape, but the interference gadget is a chain of transmitter-fed
+/// **divides** instead of square roots. `Div` shares the non-pipelined
+/// port-0 unit with `Sqrt` (§4.1's FU table), so the divides delay the
+/// `f(z)` square-root chain exactly as the paper gadget does — a leaking
+/// port-contention cell that none of the hand-built attack kinds cover
+/// (they all transmit through `sqrt`).
+pub fn div_victim(s: &Scaffold) -> Program {
+    let l = &s.layout;
+    let mut asm = Assembler::new(l.code_base);
+    asm.mov_imm(R27, l.a_addr as i64);
+    asm.mov_imm(R28, l.b_addr as i64);
+    let loop_top = emit_prologue(&mut asm, s);
+    let gadget = asm.label("gadget");
+    let join = asm.label("join");
+    // Same z / f(z) / g(z) structure as the NPEU victim-pair shape.
+    asm.mov_imm(R8, 3);
+    for _ in 0..NPEU_Z_MULS {
+        asm.mul(R8, R8, R8);
+    }
+    asm.sqrt(R9, R8);
+    for _ in 1..NPEU_F_SQRTS {
+        asm.sqrt(R9, R9);
+    }
+    asm.and(R9, R9, R0);
+    asm.add(R9, R27, R9);
+    asm.load(R11, R9, 0); // y = load(A) — the victim access V
+    asm.mul(R10, R8, R8);
+    for _ in 1..NPEU_G_MULS {
+        asm.mul(R10, R10, R8);
+    }
+    asm.and(R10, R10, R0);
+    asm.add(R10, R28, R10);
+    asm.load(R12, R10, 0); // z = load(B) — the reference access R
+    asm.load(R5, R23, 0);
+    asm.branch_ltu(R3, R5, gadget);
+    asm.jump(join);
+    asm.bind(gadget);
+    emit_access_load(&mut asm);
+    emit_transmitter(&mut asm);
+    // The novel interference: transmitter-fed divides on the
+    // non-pipelined unit (r26 holds 1, so the quotient is just r7).
+    for _ in 0..NPEU_GADGET_SQRTS {
+        asm.emit(Instruction::div(R13, R7, R26));
+    }
+    asm.jump(join);
+    asm.bind(join);
+    emit_epilogue(&mut asm, s, loop_top);
+    asm.assemble().expect("victim assembles")
+}
+
 /// Builds the `G^I_RS` victim (Figures 5 & 10, §4.3): the gadget is a wall
 /// of ALU ops dependent on the transmitter. On a transmitter miss they pin
 /// the reservation station, dispatch stalls, the decode queue fills, and
@@ -402,6 +481,41 @@ mod tests {
         assert!(mshr_victim(&s).len() > 40);
         assert!(irs_victim(&s, 88).len() > 100);
         assert!(spectre_v1_victim(&s).len() > 20);
+        assert!(fenced_bait_victim(&s).len() > 20);
+        assert!(div_victim(&s).len() > 40);
+    }
+
+    #[test]
+    fn bait_fence_precedes_the_gadget_loads() {
+        use si_isa::Opcode;
+        let s = scaffold();
+        let p = fenced_bait_victim(&s);
+        // Find the wrong-path fence: the one followed directly by the
+        // access-load shl (the prologue fence is followed by a shl too,
+        // so key on the *last* fence in the image).
+        let fences: Vec<u64> = p
+            .iter()
+            .filter(|(_, i)| i.opcode == Opcode::Fence)
+            .map(|(pc, _)| pc)
+            .collect();
+        assert_eq!(fences.len(), 2, "prologue fence + gadget fence");
+        let gadget_fence = fences[1];
+        let next = p.fetch(gadget_fence + si_isa::INSTR_BYTES).unwrap();
+        assert_eq!(next.opcode, Opcode::Shl, "access load follows the fence");
+    }
+
+    #[test]
+    fn div_victim_gadget_uses_the_non_pipelined_divider() {
+        use si_isa::{FuClass, Opcode};
+        let s = scaffold();
+        let p = div_victim(&s);
+        let divs = p.iter().filter(|(_, i)| i.opcode == Opcode::Div).count();
+        assert_eq!(divs, NPEU_GADGET_SQRTS);
+        assert_eq!(Opcode::Div.fu_class(), FuClass::FpDiv);
+        // Transmitter-fed: every divide reads r7.
+        for (_, i) in p.iter().filter(|(_, i)| i.opcode == Opcode::Div) {
+            assert_eq!(i.src1, R7);
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! sia sweep --grid defense          # declarative scenario sweep
 //! sia sweep --grid defense --cache  # incremental: only changed units run
 //! sia attack --grid headline        # interference attacks + leakage scores
+//! sia scan                          # static gadget scan + dynamic confirm
 //! sia cache stats                   # content-addressed unit cache
 //! sia report results/               # results/*.json -> markdown tables
 //! sia bench                         # microbenchmarks -> BENCH_baseline.json
@@ -24,6 +25,7 @@ use si_engine::UnitCache;
 use si_harness::attack::{run_attack_grid, run_attack_grid_batched, AttackGrid, ATTACK_GRID_NAMES};
 use si_harness::json::{parse, Json};
 use si_harness::render::{render_report, splice_report, REPORT_BEGIN, REPORT_END};
+use si_harness::scan::{run_scan, ScanJob};
 use si_harness::sweep::{run_sweep, GridSpec, GRID_NAMES};
 use si_harness::{
     parse_scheme, registry, run_experiment_engine, Engine, ExecStats, Experiment, RunConfig,
@@ -39,6 +41,7 @@ USAGE:
     sia run --all [OPTIONS]
     sia sweep [SWEEP OPTIONS]
     sia attack [ATTACK OPTIONS]
+    sia scan [SCAN OPTIONS]
     sia cache stats|clear [--dir <DIR>]
     sia report [PATH...] [REPORT OPTIONS]
     sia bench [--quick] [--out <FILE>] [--against <FILE>]
@@ -93,6 +96,18 @@ ATTACK OPTIONS:
     --threads/--seed   as for run
     --cache/--cache-dir  as for sweep
     --out <FILE>       output file (default: results/attack-<grid>.json)
+    --print            also print the result document to stdout
+    --no-wall-time     omit wall_time_ms (bit-stable output)
+
+SCAN OPTIONS:
+    --quick            CI smoke: six confirm trials per cell, same corpus
+    --trials <N>       secret bits per confirm cell override (default 12)
+    --horizon <N>      speculative-window horizon in instructions
+                       (default 128, the ROB depth)
+    --threads/--seed   as for run
+    --cache/--cache-dir  as for sweep (caches the confirm bit-trials;
+                       the static scan itself is cheap and always runs)
+    --out <FILE>       output file (default: results/scan-corpus.json)
     --print            also print the result document to stdout
     --no-wall-time     omit wall_time_ms (bit-stable output)
 
@@ -563,6 +578,93 @@ fn cmd_attack(argv: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `sia scan` — static gadget scan over the committed corpus plus
+/// engine-backed dynamic confirmation of every confirmable finding class.
+fn cmd_scan(argv: &[String]) -> Result<ExitCode, String> {
+    let mut job = ScanJob::standard();
+    let mut quick = false;
+    let mut trials: Option<usize> = None;
+    let mut horizon: Option<usize> = None;
+    // Only the shared emit/engine knobs of GridArgs apply to scan; the
+    // grid-shaped fields stay at their defaults.
+    let mut args = GridArgs {
+        grid_name: "corpus".to_owned(),
+        filters: Vec::new(),
+        quick: false,
+        scale: None,
+        trials: None,
+        threads: default_threads(),
+        seed: RunConfig::default().seed,
+        cache: CacheArgs::default(),
+        out: None,
+        print: false,
+        wall_time: true,
+        no_checkpoint: false,
+        batch: None,
+    };
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        if args.cache.accept(arg, &mut value)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--trials" => {
+                trials = Some(
+                    value("--trials")?
+                        .parse()
+                        .map_err(|e| format!("--trials: {e}"))?,
+                );
+            }
+            "--horizon" => {
+                let n: usize = value("--horizon")?
+                    .parse()
+                    .map_err(|e| format!("--horizon: {e}"))?;
+                if n == 0 {
+                    return Err("--horizon needs a window depth of at least 1".into());
+                }
+                horizon = Some(n);
+            }
+            "--threads" => args.threads = parse_threads(&value("--threads")?)?,
+            "--seed" => args.seed = parse_seed(&value("--seed")?)?,
+            "--out" => args.out = Some(value("--out")?),
+            "--print" => args.print = true,
+            "--no-wall-time" => args.wall_time = false,
+            other => return Err(format!("unknown scan option '{other}'")),
+        }
+    }
+    if quick {
+        job.quick();
+    }
+    if let Some(t) = trials {
+        job.trials = t;
+    }
+    if let Some(h) = horizon {
+        job.horizon = h;
+    }
+    let path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "results/scan-corpus.json".to_owned());
+    let start = Instant::now();
+    let (envelope, stats) = run_scan(&job, args.seed, &args.cache.engine(args.threads))?;
+    emit_grid_doc(
+        "scan",
+        "corpus",
+        envelope,
+        &stats,
+        start.elapsed().as_millis(),
+        &args,
+        &path,
+    )?;
+    Ok(ExitCode::SUCCESS)
+}
+
 /// `sia cache stats|clear` — inspects or empties the unit cache.
 fn cmd_cache(argv: &[String]) -> Result<ExitCode, String> {
     let mut action: Option<String> = None;
@@ -830,6 +932,10 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }),
         Some("attack") => cmd_attack(&argv[1..]).unwrap_or_else(|e| {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }),
+        Some("scan") => cmd_scan(&argv[1..]).unwrap_or_else(|e| {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
         }),

@@ -32,6 +32,8 @@ pub enum DocKind {
     Sweep,
     /// An attack-grid evaluation (`sia attack`).
     Attack,
+    /// A static gadget scan with dynamic confirmation (`sia scan`).
+    Scan,
     /// A microbenchmark snapshot (`sia bench`).
     Bench,
 }
@@ -43,6 +45,7 @@ impl DocKind {
             DocKind::Experiment => "experiment",
             DocKind::Sweep => "sweep",
             DocKind::Attack => "attack",
+            DocKind::Scan => "scan",
             DocKind::Bench => "bench",
         }
     }
@@ -57,6 +60,7 @@ pub fn doc_kind(doc: &Json) -> Option<DocKind> {
             "experiment" => Some(DocKind::Experiment),
             "sweep" => Some(DocKind::Sweep),
             "attack" => Some(DocKind::Attack),
+            "scan" => Some(DocKind::Scan),
             "bench" => Some(DocKind::Bench),
             _ => None,
         },

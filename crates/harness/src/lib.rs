@@ -58,6 +58,7 @@ pub mod experiments;
 pub mod json;
 pub mod render;
 pub mod report;
+pub mod scan;
 pub mod sweep;
 
 use json::{obj, Json};

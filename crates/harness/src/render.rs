@@ -55,6 +55,7 @@ pub fn render_doc(stem: &str, doc: &Json) -> Result<String, String> {
         Some(DocKind::Experiment) => Ok(render_experiment(stem, doc)),
         Some(DocKind::Sweep) => Ok(render_sweep(stem, doc)),
         Some(DocKind::Attack) => Ok(render_attack(stem, doc)),
+        Some(DocKind::Scan) => Ok(render_scan(stem, doc)),
         Some(DocKind::Bench) => Ok(render_bench(stem, doc)),
         None => Err(format!("{stem}: not a harness result document")),
     }
@@ -308,6 +309,151 @@ fn render_attack(stem: &str, doc: &Json) -> String {
     out
 }
 
+/// Scan documents: a per-program overview table (sizes, window count,
+/// finding count, confirmed/static-only split), then one findings table
+/// listing every gadget (confirmed findings **bold**), then a confirm
+/// table with each (program, class, scheme) cell's accuracy.
+fn render_scan(stem: &str, doc: &Json) -> String {
+    let title = doc.get("title").map(cell).unwrap_or_default();
+    let mut out = format!("### `{stem}` — {title}\n\n");
+    if let Some(Json::Obj(pairs)) = doc.get("config") {
+        let line: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.to_compact()))
+            .collect();
+        out.push_str(&format!("config: `{}`\n\n", line.join(" ")));
+    }
+    let empty = Vec::new();
+    let programs = match doc.get("result").and_then(|r| r.get("programs")) {
+        Some(Json::Arr(items)) => items,
+        _ => &empty,
+    };
+
+    // Overview: one row per corpus program.
+    let mut overview = Vec::with_capacity(programs.len());
+    for p in programs {
+        let findings = match p.get("findings") {
+            Some(Json::Arr(f)) => f.as_slice(),
+            _ => &[],
+        };
+        let confirmed = findings
+            .iter()
+            .filter(|f| f.get("status").map(cell).as_deref() == Some("confirmed"))
+            .count();
+        overview.push(vec![
+            format!("`{}`", p.get("name").map(cell).unwrap_or_default()),
+            p.get("instructions").map(cell).unwrap_or_default(),
+            p.get("branches").map(cell).unwrap_or_default(),
+            p.get("windows").map(cell).unwrap_or_default(),
+            findings.len().to_string(),
+            confirmed.to_string(),
+            (findings.len() - confirmed).to_string(),
+        ]);
+    }
+    out.push_str(&markdown_table(
+        &[
+            "program".to_owned(),
+            "instructions".to_owned(),
+            "branches".to_owned(),
+            "windows".to_owned(),
+            "findings".to_owned(),
+            "confirmed".to_owned(),
+            "static-only".to_owned(),
+        ],
+        &overview,
+    ));
+
+    // Findings: every gadget row, confirmed ones bold.
+    let mut finding_rows = Vec::new();
+    for p in programs {
+        let name = p.get("name").map(cell).unwrap_or_default();
+        let findings = match p.get("findings") {
+            Some(Json::Arr(f)) => f.as_slice(),
+            _ => &[],
+        };
+        for f in findings {
+            let status = f.get("status").map(cell).unwrap_or_default();
+            let decorate = |s: String| {
+                if status == "confirmed" {
+                    format!("**{s}**")
+                } else {
+                    s
+                }
+            };
+            finding_rows.push(vec![
+                format!("`{name}`"),
+                f.get("branch_pc").map(cell).unwrap_or_default(),
+                f.get("direction").map(cell).unwrap_or_default(),
+                f.get("sink_pc").map(cell).unwrap_or_default(),
+                decorate(f.get("channel").map(cell).unwrap_or_default()),
+                f.get("window_len").map(cell).unwrap_or_default(),
+                decorate(status.clone()),
+            ]);
+        }
+    }
+    if !finding_rows.is_empty() {
+        out.push('\n');
+        out.push_str(&markdown_table(
+            &[
+                "program".to_owned(),
+                "branch".to_owned(),
+                "direction".to_owned(),
+                "sink".to_owned(),
+                "channel".to_owned(),
+                "window".to_owned(),
+                "status".to_owned(),
+            ],
+            &finding_rows,
+        ));
+    }
+
+    // Confirm cells: accuracy per (program, class, scheme).
+    let mut confirm_rows = Vec::new();
+    for p in programs {
+        let name = p.get("name").map(cell).unwrap_or_default();
+        let blocks = match p.get("confirm") {
+            Some(Json::Arr(b)) => b.as_slice(),
+            _ => &[],
+        };
+        for block in blocks {
+            let class = block.get("class").map(cell).unwrap_or_default();
+            let cells = match block.get("cells") {
+                Some(Json::Arr(c)) => c.as_slice(),
+                _ => &[],
+            };
+            for c in cells {
+                let leaks = matches!(c.get("leaks"), Some(Json::Bool(true)));
+                let accuracy = match c.get("accuracy") {
+                    Some(Json::F64(a)) if leaks => format!("**{a:.2}**"),
+                    Some(Json::F64(a)) => format!("{a:.2}"),
+                    _ => PLACEHOLDER.to_owned(),
+                };
+                confirm_rows.push(vec![
+                    format!("`{name}`"),
+                    format!("`{class}`"),
+                    format!("`{}`", c.get("scheme").map(cell).unwrap_or_default()),
+                    accuracy,
+                    if leaks { "leaks" } else { "chance" }.to_owned(),
+                ]);
+            }
+        }
+    }
+    if !confirm_rows.is_empty() {
+        out.push('\n');
+        out.push_str(&markdown_table(
+            &[
+                "program".to_owned(),
+                "class".to_owned(),
+                "scheme".to_owned(),
+                "accuracy".to_owned(),
+                "verdict".to_owned(),
+            ],
+            &confirm_rows,
+        ));
+    }
+    out
+}
+
 /// Bench documents: the derived speedup ratios only (raw wall-clock
 /// numbers are machine-dependent and stay out of generated docs).
 fn render_bench(stem: &str, doc: &Json) -> String {
@@ -478,6 +624,65 @@ mod tests {
         assert!(md.contains("### `fig99` — A title"));
         assert!(md.contains("config: `trials=3`"));
         assert!(md.contains("| `separation` | 42.0 |"));
+    }
+
+    #[test]
+    fn scan_sections_tabulate_findings_and_confirm_cells() {
+        use crate::json::arr;
+        let doc = obj([
+            ("schema_version", Json::from(2u64)),
+            ("kind", Json::from("scan")),
+            ("title", Json::from("A scan")),
+            ("config", obj([("horizon", Json::from(128u64))])),
+            (
+                "result",
+                obj([(
+                    "programs",
+                    arr([obj([
+                        ("name", Json::from("paper-mshr")),
+                        ("instructions", Json::from(40u64)),
+                        ("branches", Json::from(3u64)),
+                        ("windows", Json::from(5u64)),
+                        ("confirmable", Json::from(true)),
+                        (
+                            "findings",
+                            arr([obj([
+                                ("branch_pc", Json::from("0x1010")),
+                                ("direction", Json::from("taken")),
+                                ("sink_pc", Json::from("0x1040")),
+                                ("channel", Json::from("mshr-load")),
+                                ("window_len", Json::from(7u64)),
+                                ("status", Json::from("confirmed")),
+                            ])]),
+                        ),
+                        (
+                            "confirm",
+                            arr([obj([
+                                ("class", Json::from("mshr-pressure")),
+                                ("confirmed", Json::from(true)),
+                                (
+                                    "cells",
+                                    arr([obj([
+                                        ("scheme", Json::from("invisispec-spectre")),
+                                        ("accuracy", Json::from(1.0)),
+                                        ("leaks", Json::from(true)),
+                                    ])]),
+                                ),
+                            ])]),
+                        ),
+                    ])]),
+                )]),
+            ),
+            ("summary", obj([])),
+        ]);
+        let md = render_doc("scan-corpus", &doc).expect("renders");
+        assert!(md.contains("### `scan-corpus` — A scan"));
+        assert!(md.contains("| `paper-mshr` | 40 | 3 | 5 | 1 | 1 | 0 |"));
+        assert!(md.contains("**mshr-load**"));
+        assert!(md.contains("**confirmed**"));
+        assert!(md.contains(
+            "| `paper-mshr` | `mshr-pressure` | `invisispec-spectre` | **1.00** | leaks |"
+        ));
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Source lint: document-emitting code must not iterate hashed
+//! collections.
+//!
+//! Every byte of `results/*.json` must be a pure function of the inputs —
+//! the drift gate, the thread-count diff, and the cache equivalence CI
+//! jobs all depend on it. `HashMap`/`HashSet` iteration order is
+//! randomized per process in principle (and unspecified in practice), so
+//! one stray `for (k, v) in map` in a doc builder silently breaks the
+//! guarantee in a way no single-run test can catch. This lint fails the
+//! build the moment a hashed collection is even *named* in the harness or
+//! scan sources; ordered code uses `BTreeMap`/`BTreeSet`/`Vec` instead.
+//!
+//! The interpreter's `HashMap`-backed sparse memory (si-isa) is fine —
+//! it is never iterated into output — which is why the lint covers the
+//! two document-emitting crates rather than the whole workspace.
+
+use std::path::{Path, PathBuf};
+
+/// Recursively collects every `.rs` file under `dir`, sorted for stable
+/// failure messages.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| panic!("{}: {e}", dir.display()));
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn doc_emitting_sources_never_name_hashed_collections() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let roots = [manifest.join("src"), manifest.join("../scan/src")];
+    let mut sources = Vec::new();
+    for root in &roots {
+        assert!(root.is_dir(), "lint root missing: {}", root.display());
+        rust_sources(root, &mut sources);
+    }
+    assert!(
+        sources.len() >= 10,
+        "lint walked only {} files — the source layout moved?",
+        sources.len()
+    );
+    let mut violations = Vec::new();
+    for path in &sources {
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        for (lineno, line) in text.lines().enumerate() {
+            for needle in ["HashMap", "HashSet"] {
+                if line.contains(needle) {
+                    violations.push(format!(
+                        "{}:{}: {}",
+                        path.display(),
+                        lineno + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "hashed collections in document-emitting code (use BTreeMap/BTreeSet/Vec):\n{}",
+        violations.join("\n")
+    );
+}

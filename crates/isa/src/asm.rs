@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::{BranchCond, Instruction, Program, ProgramBuilder, Reg};
+use crate::{BranchCond, Instruction, Program, ProgramBuilder, Reg, SecretSpec};
 
 /// A code label created by [`Assembler::label`]; bind it to an address with
 /// [`Assembler::bind`] and reference it from branches and jumps before or
@@ -12,19 +12,32 @@ use crate::{BranchCond, Instruction, Program, ProgramBuilder, Reg};
 pub struct Label(usize);
 
 /// Error produced by [`Assembler::assemble`].
+///
+/// Errors carry the label's *name* and the address of the referencing
+/// instruction, so a failure in a generated program (e.g. a scan-corpus
+/// builder) points at the offending site instead of an opaque label id.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AsmError {
     /// A label was referenced but never bound to an address.
-    UnboundLabel(usize),
-    /// A label was bound twice.
-    Rebound(usize),
+    UnboundLabel {
+        /// The label's name, as given to [`Assembler::label`].
+        name: String,
+        /// Address of the first branch/jump that references it.
+        referenced_at: u64,
+    },
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AsmError::UnboundLabel(i) => write!(f, "label #{i} referenced but never bound"),
-            AsmError::Rebound(i) => write!(f, "label #{i} bound more than once"),
+            AsmError::UnboundLabel {
+                name,
+                referenced_at,
+            } => write!(
+                f,
+                "label {name:?} referenced by the instruction at 0x{referenced_at:x} \
+                 but never bound"
+            ),
         }
     }
 }
@@ -57,6 +70,8 @@ pub struct Assembler {
     builder: ProgramBuilder,
     /// Bound address per label id.
     bound: Vec<Option<u64>>,
+    /// Name per label id (for diagnostics).
+    label_names: Vec<String>,
     /// Instruction addresses whose `imm` must be patched with a label address.
     patches: Vec<(u64, Label)>,
     names: HashMap<String, Label>,
@@ -69,6 +84,7 @@ impl Assembler {
         Assembler {
             builder: ProgramBuilder::new(start),
             bound: Vec::new(),
+            label_names: Vec::new(),
             patches: Vec::new(),
             names: HashMap::new(),
         }
@@ -79,6 +95,7 @@ impl Assembler {
     pub fn label(&mut self, name: &str) -> Label {
         let l = Label(self.bound.len());
         self.bound.push(None);
+        self.label_names.push(name.to_owned());
         self.names.insert(name.to_owned(), l);
         l
     }
@@ -99,16 +116,19 @@ impl Assembler {
     ///
     /// # Panics
     ///
-    /// Panics if the label is already bound (the error surfaces at
-    /// [`Assembler::assemble`] time as [`AsmError::Rebound`] would require
-    /// deferred detection; binding twice is always a bug, so it panics
-    /// eagerly).
+    /// Panics if the label is already bound (deferring the error to
+    /// [`Assembler::assemble`] would require carrying it; binding twice
+    /// is always a bug, so it panics eagerly — naming the label and both
+    /// bind addresses).
     pub fn bind(&mut self, label: Label) {
-        assert!(
-            self.bound[label.0].is_none(),
-            "label #{} bound more than once",
-            label.0
-        );
+        if let Some(first) = self.bound[label.0] {
+            panic!(
+                "label {:?} bound more than once (first at 0x{:x}, again at 0x{:x})",
+                self.label_names[label.0],
+                first,
+                self.builder.cursor()
+            );
+        }
         self.bound[label.0] = Some(self.builder.cursor());
     }
 
@@ -315,22 +335,53 @@ impl Assembler {
         }
     }
 
+    // --- secret annotations ----------------------------------------------
+
+    /// Marks `len` bytes starting at `start` as secret (see
+    /// [`SecretSpec::mark_range`]).
+    pub fn mark_secret_range(&mut self, start: u64, len: u64) {
+        self.builder.secrets_mut().mark_range(start, len);
+    }
+
+    /// Marks `reg` as holding a secret at program entry (see
+    /// [`SecretSpec::mark_reg`]).
+    pub fn mark_secret_reg(&mut self, reg: Reg) {
+        self.builder.secrets_mut().mark_reg(reg);
+    }
+
+    /// Enables or disables the guarded-load secret convention (see
+    /// [`SecretSpec::set_guarded_loads`]; on by default).
+    pub fn set_guarded_loads(&mut self, on: bool) {
+        self.builder.secrets_mut().set_guarded_loads(on);
+    }
+
+    /// The program's declared secret sources — clone before
+    /// [`Assembler::assemble`], which consumes the assembler.
+    pub fn secrets(&self) -> &SecretSpec {
+        self.builder.secrets()
+    }
+
     /// Resolves all label references and returns the program.
     ///
     /// # Errors
     ///
-    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
-    /// bound.
+    /// Returns [`AsmError::UnboundLabel`] — naming the label and the
+    /// referencing instruction's address — if any referenced label was
+    /// never bound.
     pub fn assemble(self) -> Result<Program, AsmError> {
         let Assembler {
             builder,
             bound,
+            label_names,
             patches,
             ..
         } = self;
         let mut program = builder.build();
         for (pc, label) in patches {
-            let addr = bound[label.0].ok_or(AsmError::UnboundLabel(label.0))?;
+            let addr = bound[label.0].ok_or_else(|| AsmError::UnboundLabel {
+                name: label_names[label.0].clone(),
+                referenced_at: pc,
+            })?;
             let mut instr = *program
                 .fetch(pc)
                 .expect("patched instruction must exist; assembler bug");
@@ -372,16 +423,44 @@ mod tests {
     }
 
     #[test]
-    fn unbound_label_is_an_error() {
-        let mut asm = Assembler::new(0);
+    fn unbound_label_error_names_the_label_and_reference_site() {
+        let mut asm = Assembler::new(0x100);
+        asm.nop();
         let nowhere = asm.label("nowhere");
-        asm.jump(nowhere);
-        assert_eq!(asm.assemble(), Err(AsmError::UnboundLabel(0)));
+        asm.jump(nowhere); // at 0x108
+        let err = asm.assemble().unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::UnboundLabel {
+                name: "nowhere".to_owned(),
+                referenced_at: 0x108,
+            }
+        );
+        let text = err.to_string();
+        assert!(text.contains("\"nowhere\""), "{text}");
+        assert!(text.contains("0x108"), "{text}");
     }
 
     #[test]
-    #[should_panic(expected = "bound more than once")]
-    fn rebinding_panics() {
+    fn unbound_label_error_reports_the_first_reference() {
+        let mut asm = Assembler::new(0);
+        let lost = asm.label("lost");
+        asm.branch_eq(R1, R2, lost); // at 0x0 — the reported site
+        asm.jump(lost); // at 0x8
+        match asm.assemble().unwrap_err() {
+            AsmError::UnboundLabel {
+                name,
+                referenced_at,
+            } => {
+                assert_eq!(name, "lost");
+                assert_eq!(referenced_at, 0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label \"l\" bound more than once (first at 0x0, again at 0x8)")]
+    fn rebinding_panics_with_both_sites() {
         let mut asm = Assembler::new(0);
         let l = asm.label("l");
         asm.bind(l);
@@ -421,6 +500,19 @@ mod tests {
         asm.halt();
         let p = asm.assemble().unwrap();
         assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn secret_annotations_ride_the_assembler() {
+        let mut asm = Assembler::new(0);
+        assert!(asm.secrets().guarded_loads(), "victim convention default");
+        asm.mark_secret_range(0x8000, 8);
+        asm.mark_secret_reg(R1);
+        asm.set_guarded_loads(false);
+        let secrets = asm.secrets().clone();
+        assert!(secrets.addr_is_secret(0x8004));
+        assert!(secrets.reg_is_secret(R1));
+        assert!(!secrets.guarded_loads());
     }
 
     #[test]

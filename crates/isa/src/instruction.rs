@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::{BranchCond, Opcode, Reg, R0};
+use crate::{BranchCond, Opcode, Reg, INSTR_BYTES, R0};
 
 /// One micro-ISA instruction.
 ///
@@ -248,6 +248,26 @@ impl Instruction {
             None
         }
     }
+
+    /// Whether this is a conditional branch (the only instruction whose
+    /// direction can be mispredicted — the entry point of a speculative
+    /// window).
+    pub fn is_conditional_branch(&self) -> bool {
+        self.opcode == Opcode::Branch
+    }
+
+    /// Architectural control-flow successors of this instruction when it
+    /// sits at `pc`: `Halt` has none, `Jump` only its target, a
+    /// conditional branch both the fall-through and the taken target
+    /// (fall-through first), everything else the fall-through.
+    pub fn successors(&self, pc: u64) -> Vec<u64> {
+        match self.opcode {
+            Opcode::Halt => vec![],
+            Opcode::Jump => vec![self.imm as u64],
+            Opcode::Branch => vec![pc + INSTR_BYTES, self.imm as u64],
+            _ => vec![pc + INSTR_BYTES],
+        }
+    }
 }
 
 impl fmt::Display for Instruction {
@@ -316,6 +336,17 @@ mod tests {
         assert_eq!(b.target(), Some(0x4000));
         assert_eq!(Instruction::jump(0x8000).target(), Some(0x8000));
         assert_eq!(Instruction::nop().target(), None);
+    }
+
+    #[test]
+    fn successors_cover_control_shapes() {
+        let b = Instruction::branch(BranchCond::Ltu, R1, R2, 0x4000);
+        assert!(b.is_conditional_branch());
+        assert_eq!(b.successors(0x100), vec![0x108, 0x4000]);
+        assert_eq!(Instruction::jump(0x80).successors(0x100), vec![0x80]);
+        assert!(Instruction::halt().successors(0x100).is_empty());
+        assert_eq!(Instruction::nop().successors(0x100), vec![0x108]);
+        assert!(!Instruction::jump(0x80).is_conditional_branch());
     }
 
     #[test]

@@ -38,6 +38,7 @@ mod interp;
 mod opcode;
 mod program;
 mod reg;
+mod secret;
 
 pub use asm::{AsmError, Assembler, Label};
 pub use encode::{decode, encode, EncodeError};
@@ -49,6 +50,7 @@ pub use reg::{
     Reg, NUM_REGS, R0, R1, R10, R11, R12, R13, R14, R15, R16, R17, R18, R19, R2, R20, R21, R22,
     R23, R24, R25, R26, R27, R28, R29, R3, R30, R31, R4, R5, R6, R7, R8, R9,
 };
+pub use secret::SecretSpec;
 
 /// Size of one encoded instruction in bytes.
 ///

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::{Instruction, INSTR_BYTES};
+use crate::{Instruction, SecretSpec, INSTR_BYTES};
 
 /// A complete program image: instructions at fixed addresses, initial data
 /// bytes, and an entry point.
@@ -104,6 +104,32 @@ impl Program {
             self.data.insert(a, b);
         }
     }
+
+    /// Control-flow successors of the instruction at `pc` that actually
+    /// have instructions placed ([`Instruction::successors`] filtered to
+    /// the program image — a successor with no instruction would fault
+    /// the frontend, so it is not an edge of the recoverable CFG).
+    ///
+    /// Returns an empty vector when `pc` itself has no instruction.
+    pub fn successors(&self, pc: u64) -> Vec<u64> {
+        match self.fetch(pc) {
+            Some(i) => i
+                .successors(pc)
+                .into_iter()
+                .filter(|s| self.instrs.contains_key(s))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Addresses of all conditional branches, in address order — the
+    /// speculative-window entry points a static analysis enumerates.
+    pub fn conditional_branches(&self) -> Vec<u64> {
+        self.iter()
+            .filter(|(_, i)| i.is_conditional_branch())
+            .map(|(pc, _)| pc)
+            .collect()
+    }
 }
 
 impl fmt::Display for Program {
@@ -132,6 +158,7 @@ impl fmt::Display for Program {
 pub struct ProgramBuilder {
     program: Program,
     cursor: u64,
+    secrets: SecretSpec,
 }
 
 impl ProgramBuilder {
@@ -143,6 +170,7 @@ impl ProgramBuilder {
         ProgramBuilder {
             program,
             cursor: start,
+            secrets: SecretSpec::default(),
         }
     }
 
@@ -191,6 +219,19 @@ impl ProgramBuilder {
     /// Mutable access to the program under construction (e.g. to add data).
     pub fn program_mut(&mut self) -> &mut Program {
         &mut self.program
+    }
+
+    /// The program's declared secret sources (an authoring-time
+    /// attribute consumed by static analysis, not part of the built
+    /// [`Program`] — clone it before [`ProgramBuilder::build`]).
+    pub fn secrets(&self) -> &SecretSpec {
+        &self.secrets
+    }
+
+    /// Mutable access to the secret-source declaration (e.g.
+    /// `b.secrets_mut().mark_range(addr, 8)`).
+    pub fn secrets_mut(&mut self) -> &mut SecretSpec {
+        &mut self.secrets
     }
 }
 
@@ -264,6 +305,27 @@ mod tests {
         p.place(0x40, Instruction::nop());
         p.place(0x1000, Instruction::halt());
         assert_eq!(p.code_range(), Some((0x40, 0x1000)));
+    }
+
+    #[test]
+    fn program_successors_filter_unplaced_targets() {
+        use crate::BranchCond;
+        let mut p = Program::new();
+        p.place(0, Instruction::branch(BranchCond::Eq, R1, R2, 0x40));
+        p.place(8, Instruction::halt());
+        // Fall-through (8) exists; taken target (0x40) has no instruction.
+        assert_eq!(p.successors(0), vec![8]);
+        assert!(p.successors(8).is_empty());
+        assert!(p.successors(0x1000).is_empty(), "no instruction at pc");
+        assert_eq!(p.conditional_branches(), vec![0]);
+    }
+
+    #[test]
+    fn builder_carries_secret_annotations() {
+        let mut b = ProgramBuilder::new(0);
+        b.secrets_mut().mark_range(0x2000, 16);
+        assert!(b.secrets().addr_is_secret(0x200f));
+        assert!(b.secrets().guarded_loads());
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Secret-source annotations for static analysis.
+//!
+//! A [`SecretSpec`] declares *where a program's secrets live* so that a
+//! static analysis (the `si-scan` crate) can seed its taint lattice
+//! without guessing. The spec is an **authoring-time attribute**: it is
+//! carried by [`ProgramBuilder`](crate::ProgramBuilder) and
+//! [`Assembler`](crate::Assembler) while the program is being written,
+//! and handed to the analysis alongside the finished
+//! [`Program`](crate::Program) — it is deliberately *not* part of the
+//! program image itself (the machine never sees it).
+//!
+//! Three kinds of source can be declared:
+//!
+//! * **memory ranges** ([`SecretSpec::mark_range`]) — a load whose
+//!   statically-known address falls inside a marked range produces a
+//!   secret value;
+//! * **entry registers** ([`SecretSpec::mark_reg`]) — the register holds
+//!   a secret at program entry;
+//! * **guarded loads** ([`SecretSpec::set_guarded_loads`], on by
+//!   default) — the victim input-register convention used by
+//!   `si_core::victims`: inside a speculative window, a load whose
+//!   address depends on the mispredicted branch's own guard operands is
+//!   attacker-steered (the guard is exactly the bounds check being
+//!   bypassed), so its result is treated as secret.
+
+use crate::Reg;
+
+/// Declared secret sources for one program (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecretSpec {
+    /// Half-open `[start, end)` byte ranges holding secret data.
+    ranges: Vec<(u64, u64)>,
+    /// Registers holding secrets at program entry.
+    regs: Vec<Reg>,
+    /// Whether mispredicted-guard-addressed loads yield secrets.
+    guarded_loads: bool,
+}
+
+impl Default for SecretSpec {
+    /// The victim convention of `si_core::victims`: no fixed ranges or
+    /// entry registers, guarded loads on.
+    fn default() -> SecretSpec {
+        SecretSpec {
+            ranges: Vec::new(),
+            regs: Vec::new(),
+            guarded_loads: true,
+        }
+    }
+}
+
+impl SecretSpec {
+    /// Marks `len` bytes starting at `start` as secret.
+    pub fn mark_range(&mut self, start: u64, len: u64) {
+        self.ranges.push((start, start.saturating_add(len)));
+    }
+
+    /// Marks `reg` as holding a secret at program entry.
+    pub fn mark_reg(&mut self, reg: Reg) {
+        if !self.regs.contains(&reg) {
+            self.regs.push(reg);
+        }
+    }
+
+    /// Enables or disables the guarded-load convention (on by default).
+    pub fn set_guarded_loads(&mut self, on: bool) {
+        self.guarded_loads = on;
+    }
+
+    /// The declared secret byte ranges, as half-open `[start, end)`
+    /// pairs in declaration order.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// The declared entry-secret registers, in declaration order.
+    pub fn regs(&self) -> &[Reg] {
+        &self.regs
+    }
+
+    /// Whether mispredicted-guard-addressed loads yield secrets.
+    pub fn guarded_loads(&self) -> bool {
+        self.guarded_loads
+    }
+
+    /// Whether `addr` falls inside any declared secret range.
+    pub fn addr_is_secret(&self, addr: u64) -> bool {
+        self.ranges.iter().any(|(s, e)| addr >= *s && addr < *e)
+    }
+
+    /// Whether `reg` is a declared entry secret.
+    pub fn reg_is_secret(&self, reg: Reg) -> bool {
+        self.regs.contains(&reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{R3, R7};
+
+    #[test]
+    fn default_is_the_victim_convention() {
+        let s = SecretSpec::default();
+        assert!(s.guarded_loads());
+        assert!(s.ranges().is_empty());
+        assert!(s.regs().is_empty());
+        assert!(!s.addr_is_secret(0));
+    }
+
+    #[test]
+    fn ranges_are_half_open() {
+        let mut s = SecretSpec::default();
+        s.mark_range(0x1000, 8);
+        assert!(!s.addr_is_secret(0xfff));
+        assert!(s.addr_is_secret(0x1000));
+        assert!(s.addr_is_secret(0x1007));
+        assert!(!s.addr_is_secret(0x1008));
+    }
+
+    #[test]
+    fn regs_deduplicate() {
+        let mut s = SecretSpec::default();
+        s.mark_reg(R3);
+        s.mark_reg(R3);
+        s.mark_reg(R7);
+        assert_eq!(s.regs(), &[R3, R7]);
+        assert!(s.reg_is_secret(R3));
+        assert!(!s.reg_is_secret(crate::R1));
+    }
+}

@@ -1,0 +1,766 @@
+//! The scan pipeline: CFG walk, taint/const abstract interpretation,
+//! speculative-window enumeration, and gadget classification.
+//!
+//! # Abstract domain
+//!
+//! Each register holds an [`AbsVal`]: an optional known constant plus two
+//! taint colors.
+//!
+//! * `konst` — flat constant lattice (`Some(v)` joins with a different
+//!   value to `None`). Constants only flow through `mov_imm` and ALU ops;
+//!   a load **never** produces a constant, because memory is mutated at
+//!   runtime by the rendezvous harness. A value that is statically known
+//!   carries no secret information, so a constant result clears both
+//!   taint colors.
+//! * `secret` — the value depends on a declared secret source. Seeded by
+//!   loads whose (constant) address falls in a [`SecretSpec`] range, by
+//!   registers marked secret at entry, and — inside a window, when
+//!   [`SecretSpec::guarded_loads`] is on — by loads whose address is
+//!   `guard`-colored (the transiently-out-of-bounds access of Spectre
+//!   v1-shaped code, Listing 1 of the paper).
+//! * `guard` — the value fed the mispredicted branch's comparison, i.e.
+//!   the attacker chose it when training the predictor. Assigned to the
+//!   branch's non-constant source registers at window entry.
+//!
+//! Memory taint is a set of **constant** tainted addresses; a store of
+//! secret data through a statically unknown pointer drops the taint — a
+//! documented analysis gap that no program in the committed corpus (nor
+//! any victim the workspace builds) exercises.
+//!
+//! # Soundness of the architectural pre-pass
+//!
+//! The whole-program fixpoint walks *both* directions of every branch, so
+//! it covers every architecturally reachable path — including the gadget
+//! path, which training iterations execute architecturally. Its per-pc
+//! states seed each window walk.
+//!
+//! # Determinism
+//!
+//! The result is a least fixpoint of a monotone join (taint only grows,
+//! constants only decay to unknown), so it is independent of worklist
+//! order; findings are deduplicated and emitted from a `BTreeSet` ordered
+//! by `(branch_pc, direction, sink_pc, channel)`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use si_isa::{
+    isqrt, FuClass, Instruction, Opcode, Program, Reg, SecretSpec, INSTR_BYTES, NUM_REGS,
+};
+
+/// Tuning knobs for [`scan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanConfig {
+    /// Speculative-window horizon in instructions: how deep past a forced
+    /// misprediction the walk explores. Models the reorder-buffer depth —
+    /// the default matches the simulated core's 128-entry ROB.
+    pub horizon: usize,
+}
+
+/// Default window horizon (the simulated core's ROB depth).
+pub const DEFAULT_HORIZON: usize = 128;
+
+impl Default for ScanConfig {
+    fn default() -> ScanConfig {
+        ScanConfig {
+            horizon: DEFAULT_HORIZON,
+        }
+    }
+}
+
+/// Which direction of a conditional branch a window forces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Direction {
+    /// Mispredict to the fall-through successor.
+    Fallthrough,
+    /// Mispredict to the branch target.
+    Taken,
+}
+
+impl Direction {
+    /// Both directions, in emission order.
+    pub fn all() -> [Direction; 2] {
+        [Direction::Fallthrough, Direction::Taken]
+    }
+
+    /// Stable lower-case identifier used in documents.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Direction::Fallthrough => "fallthrough",
+            Direction::Taken => "taken",
+        }
+    }
+}
+
+/// The interference channel a classified sink instruction drives —
+/// the paper's transmitter/amplifier taxonomy (§3.2, §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Channel {
+    /// A load whose address is secret-dependent: each dynamic instance
+    /// occupies an MSHR, so a secret-strided burst starves older demand
+    /// misses (`G^D_MSHR`, Figure 4).
+    MshrLoad,
+    /// A secret-fed `sqrt` contending for the non-pipelined port-0 FP
+    /// unit (`G^D_NPEU`, Figure 3 — the `VSQRTPD` stand-in).
+    PortFpSqrt,
+    /// A secret-fed `div` on the same non-pipelined port-0 unit — same
+    /// amplifier as [`Channel::PortFpSqrt`] through a different opcode.
+    PortFpDiv,
+    /// A conditional branch whose outcome is secret-dependent: resolution
+    /// order perturbs fetch/squash timing (§3.2.1's "any resource whose
+    /// usage depends on the secret").
+    BranchResolve,
+}
+
+/// The runnable attack template a finding maps onto for dynamic
+/// confirmation. `si-attack` converts this into an `AttackKind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ConfirmClass {
+    /// Confirm by MSHR starvation of an older demand miss (VD-AD).
+    MshrPressure,
+    /// Confirm by execution-port contention against an older FP chain
+    /// (VD-VD).
+    PortContention,
+}
+
+impl ConfirmClass {
+    /// Stable lower-case identifier used in documents.
+    pub fn slug(self) -> &'static str {
+        match self {
+            ConfirmClass::MshrPressure => "mshr-pressure",
+            ConfirmClass::PortContention => "port-contention",
+        }
+    }
+}
+
+impl Channel {
+    /// Every channel, in emission order.
+    pub fn all() -> [Channel; 4] {
+        [
+            Channel::MshrLoad,
+            Channel::PortFpSqrt,
+            Channel::PortFpDiv,
+            Channel::BranchResolve,
+        ]
+    }
+
+    /// Stable lower-case identifier used in documents.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Channel::MshrLoad => "mshr-load",
+            Channel::PortFpSqrt => "port-fp-sqrt",
+            Channel::PortFpDiv => "port-fp-div",
+            Channel::BranchResolve => "branch-resolve",
+        }
+    }
+
+    /// The functional-unit class a port-pressure channel loads, if any.
+    pub fn fu(self) -> Option<FuClass> {
+        match self {
+            Channel::PortFpSqrt => Some(FuClass::FpSqrt),
+            Channel::PortFpDiv => Some(FuClass::FpDiv),
+            Channel::MshrLoad | Channel::BranchResolve => None,
+        }
+    }
+
+    /// Defense families the channel still leaks under (the paper's core
+    /// claim: invisible-speculation schemes leave *resource* channels
+    /// open). `mshr-load` needs the load to issue, which delay-on-miss
+    /// forbids; the timing amplifiers only need the window, which every
+    /// non-fence scheme grants.
+    pub fn scheme_relevance(self) -> &'static [&'static str] {
+        match self {
+            Channel::MshrLoad => &["invisible"],
+            Channel::PortFpSqrt | Channel::PortFpDiv | Channel::BranchResolve => {
+                &["invisible", "delay-on-miss"]
+            }
+        }
+    }
+
+    /// How to dynamically confirm a finding on this channel, if the
+    /// workspace has a runnable template for it.
+    pub fn confirm_class(self) -> Option<ConfirmClass> {
+        match self {
+            Channel::MshrLoad => Some(ConfirmClass::MshrPressure),
+            Channel::PortFpSqrt | Channel::PortFpDiv => Some(ConfirmClass::PortContention),
+            Channel::BranchResolve => None,
+        }
+    }
+}
+
+/// One classified gadget: a sink instruction reachable in a speculative
+/// window with secret-tainted operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// The mispredicted branch opening the window.
+    pub branch_pc: u64,
+    /// The forced direction.
+    pub direction: Direction,
+    /// The tainted sink instruction.
+    pub sink_pc: u64,
+    /// The interference channel the sink drives.
+    pub channel: Channel,
+    /// Number of distinct instructions reachable in the window.
+    pub window_len: usize,
+}
+
+/// Result of [`scan`]ning one program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Instructions in the program image.
+    pub instructions: usize,
+    /// Conditional branches (architecturally reachable or not).
+    pub branches: usize,
+    /// Windows enumerated (reachable branch × in-image direction).
+    pub windows: usize,
+    /// Classified gadgets, sorted by
+    /// `(branch_pc, direction, sink_pc, channel)`.
+    pub findings: Vec<Finding>,
+}
+
+/// One register's abstract value. See the module docs for the lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct AbsVal {
+    konst: Option<u64>,
+    secret: bool,
+    guard: bool,
+}
+
+impl AbsVal {
+    const ZERO: AbsVal = AbsVal {
+        konst: Some(0),
+        secret: false,
+        guard: false,
+    };
+
+    fn of(v: u64) -> AbsVal {
+        AbsVal {
+            konst: Some(v),
+            secret: false,
+            guard: false,
+        }
+    }
+
+    fn join(self, other: AbsVal) -> AbsVal {
+        AbsVal {
+            konst: match (self.konst, other.konst) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            },
+            secret: self.secret || other.secret,
+            guard: self.guard || other.guard,
+        }
+    }
+}
+
+/// Unary ALU transfer: fold constants; otherwise propagate taint.
+fn alu1(a: AbsVal, f: impl Fn(u64) -> u64) -> AbsVal {
+    match a.konst {
+        Some(x) => AbsVal::of(f(x)),
+        None => AbsVal {
+            konst: None,
+            secret: a.secret,
+            guard: a.guard,
+        },
+    }
+}
+
+/// Binary ALU transfer: fold constants; otherwise union taint.
+fn alu2(a: AbsVal, b: AbsVal, f: impl Fn(u64, u64) -> u64) -> AbsVal {
+    match (a.konst, b.konst) {
+        (Some(x), Some(y)) => AbsVal::of(f(x, y)),
+        _ => AbsVal {
+            konst: None,
+            secret: a.secret || b.secret,
+            guard: a.guard || b.guard,
+        },
+    }
+}
+
+/// Abstract machine state at a program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    regs: [AbsVal; NUM_REGS],
+    /// Constant addresses holding secret-tainted data.
+    mem_secret: BTreeSet<u64>,
+}
+
+impl State {
+    fn entry(spec: &SecretSpec) -> State {
+        let mut s = State {
+            regs: [AbsVal::default(); NUM_REGS],
+            mem_secret: BTreeSet::new(),
+        };
+        s.regs[0] = AbsVal::ZERO;
+        for &r in spec.regs() {
+            s.regs[r.index()].secret = true;
+        }
+        s
+    }
+
+    fn get(&self, r: Reg) -> AbsVal {
+        if r.is_zero() {
+            AbsVal::ZERO
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    fn set(&mut self, r: Reg, v: AbsVal) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Joins `other` into `self`; returns whether anything grew.
+    fn join_from(&mut self, other: &State) -> bool {
+        let mut changed = false;
+        for i in 0..NUM_REGS {
+            let j = self.regs[i].join(other.regs[i]);
+            if j != self.regs[i] {
+                self.regs[i] = j;
+                changed = true;
+            }
+        }
+        for a in &other.mem_secret {
+            changed |= self.mem_secret.insert(*a);
+        }
+        changed
+    }
+}
+
+/// Executes one instruction over the abstract state. Returns the channel
+/// classification if the instruction is a tainted sink (only reported
+/// when `in_window`: architecturally executed instructions retire and
+/// interfere with nothing speculatively).
+fn transfer(
+    instr: &Instruction,
+    st: &mut State,
+    spec: &SecretSpec,
+    in_window: bool,
+) -> Option<Channel> {
+    let a = st.get(instr.src1);
+    let b = st.get(instr.src2);
+    let mut sink = None;
+    match instr.opcode {
+        Opcode::Nop | Opcode::Fence | Opcode::Jump | Opcode::Halt | Opcode::Flush => {}
+        Opcode::MovImm => st.set(instr.dst, AbsVal::of(instr.imm as u64)),
+        Opcode::Add => st.set(instr.dst, alu2(a, b, |x, y| x.wrapping_add(y))),
+        Opcode::Sub => st.set(instr.dst, alu2(a, b, |x, y| x.wrapping_sub(y))),
+        Opcode::Or => st.set(instr.dst, alu2(a, b, |x, y| x | y)),
+        Opcode::Xor => st.set(instr.dst, alu2(a, b, |x, y| x ^ y)),
+        Opcode::And => {
+            // `x & 0` is 0 no matter how unknown `x` is — the victims'
+            // `and rX, rX, r0` zeroing idiom must stay constant.
+            let v = if a.konst == Some(0) || b.konst == Some(0) {
+                AbsVal::ZERO
+            } else {
+                alu2(a, b, |x, y| x & y)
+            };
+            st.set(instr.dst, v);
+        }
+        Opcode::Mul => {
+            let v = if a.konst == Some(0) || b.konst == Some(0) {
+                AbsVal::ZERO
+            } else {
+                alu2(a, b, |x, y| x.wrapping_mul(y))
+            };
+            st.set(instr.dst, v);
+        }
+        Opcode::Shl => st.set(
+            instr.dst,
+            alu2(a, b, |x, y| x.wrapping_shl((y & 63) as u32)),
+        ),
+        Opcode::Shr => st.set(
+            instr.dst,
+            alu2(a, b, |x, y| x.wrapping_shr((y & 63) as u32)),
+        ),
+        Opcode::AddImm => st.set(instr.dst, alu1(a, |x| x.wrapping_add(instr.imm as u64))),
+        Opcode::Sqrt => {
+            if in_window && a.secret {
+                sink = Some(Channel::PortFpSqrt);
+            }
+            st.set(instr.dst, alu1(a, isqrt));
+        }
+        Opcode::Div => {
+            if in_window && (a.secret || b.secret) {
+                sink = Some(Channel::PortFpDiv);
+            }
+            st.set(instr.dst, alu2(a, b, |x, y| x / y.max(1)));
+        }
+        Opcode::Load => {
+            if in_window && a.secret {
+                sink = Some(Channel::MshrLoad);
+            }
+            let addr = a.konst.map(|base| base.wrapping_add(instr.imm as u64));
+            let mut secret = a.secret;
+            if let Some(ad) = addr {
+                if spec.addr_is_secret(ad) || st.mem_secret.contains(&ad) {
+                    secret = true;
+                }
+            }
+            if in_window && spec.guarded_loads() && a.guard {
+                secret = true;
+            }
+            // Never a constant: memory is mutated at runtime.
+            st.set(
+                instr.dst,
+                AbsVal {
+                    konst: None,
+                    secret,
+                    guard: a.guard,
+                },
+            );
+        }
+        Opcode::Store => {
+            if let Some(ad) = a.konst.map(|base| base.wrapping_add(instr.imm as u64)) {
+                if b.secret {
+                    st.mem_secret.insert(ad);
+                } else {
+                    st.mem_secret.remove(&ad);
+                }
+            }
+        }
+        Opcode::Branch => {
+            if in_window && (a.secret || b.secret) {
+                sink = Some(Channel::BranchResolve);
+            }
+        }
+        Opcode::Rdtsc => st.set(instr.dst, AbsVal::default()),
+    }
+    sink
+}
+
+/// Fixpoint walk output: joined in-state per reached pc, plus any sinks.
+struct WalkResult {
+    in_states: BTreeMap<u64, State>,
+    sinks: BTreeSet<(u64, Channel)>,
+}
+
+/// Worklist fixpoint from `start`. With `horizon: None` this is the
+/// architectural pre-pass: unbounded, both branch directions, fences are
+/// ordinary instructions. With `Some(h)` it is a speculative-window walk:
+/// depth-bounded at `h` instructions, and a `fence` ends the path (the
+/// frontend stalls until everything older retires, so nothing younger
+/// issues speculatively — the §5.2 baseline defense).
+fn walk(
+    program: &Program,
+    spec: &SecretSpec,
+    start: u64,
+    start_state: State,
+    horizon: Option<usize>,
+) -> WalkResult {
+    let in_window = horizon.is_some();
+    let mut in_states: BTreeMap<u64, State> = BTreeMap::new();
+    let mut depths: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut sinks: BTreeSet<(u64, Channel)> = BTreeSet::new();
+    let mut work: VecDeque<(u64, State, usize)> = VecDeque::new();
+    work.push_back((start, start_state, 0));
+    while let Some((pc, st, depth)) = work.pop_front() {
+        if horizon.is_some_and(|h| depth >= h) {
+            continue;
+        }
+        let Some(instr) = program.fetch(pc) else {
+            continue;
+        };
+        // Re-process only if the joined state grew or the pc became
+        // reachable at a shallower depth (shallower ⇒ more budget left
+        // for its successors).
+        let depth_improved = depths.get(&pc).is_none_or(|&d| depth < d);
+        let state_changed = match in_states.get_mut(&pc) {
+            Some(existing) => existing.join_from(&st),
+            None => {
+                in_states.insert(pc, st);
+                true
+            }
+        };
+        if !state_changed && !depth_improved {
+            continue;
+        }
+        if depth_improved {
+            depths.insert(pc, depth);
+        }
+        let cur_depth = depths[&pc];
+        let mut out = in_states[&pc].clone();
+        if let Some(channel) = transfer(instr, &mut out, spec, in_window) {
+            sinks.insert((pc, channel));
+        }
+        if in_window && instr.opcode == Opcode::Fence {
+            continue;
+        }
+        for succ in program.successors(pc) {
+            work.push_back((succ, out.clone(), cur_depth + 1));
+        }
+    }
+    WalkResult { in_states, sinks }
+}
+
+/// Scans a program for speculative-interference gadgets. See the crate
+/// docs for the pipeline; the module docs describe the abstract domain.
+///
+/// The result is a pure function of `(program, spec, config)`.
+pub fn scan(program: &Program, spec: &SecretSpec, config: &ScanConfig) -> ScanReport {
+    let arch = walk(program, spec, program.entry(), State::entry(spec), None);
+    let branches = program.conditional_branches();
+    let mut findings: BTreeSet<Finding> = BTreeSet::new();
+    let mut windows = 0;
+    for &branch_pc in &branches {
+        // A branch the architectural pass never reaches cannot be trained.
+        let Some(in_state) = arch.in_states.get(&branch_pc) else {
+            continue;
+        };
+        let instr = program.fetch(branch_pc).expect("branch pc fetched once");
+        for direction in Direction::all() {
+            let start = match direction {
+                Direction::Taken => instr.imm as u64,
+                Direction::Fallthrough => branch_pc + INSTR_BYTES,
+            };
+            if program.fetch(start).is_none() {
+                continue;
+            }
+            let mut st = in_state.clone();
+            // The attacker trained this branch, so its comparison inputs
+            // are (transitively) attacker-steered: give the non-constant
+            // source registers the guard color.
+            for r in [instr.src1, instr.src2] {
+                if !r.is_zero() {
+                    let mut v = st.get(r);
+                    if v.konst.is_none() {
+                        v.guard = true;
+                        st.set(r, v);
+                    }
+                }
+            }
+            windows += 1;
+            let w = walk(program, spec, start, st, Some(config.horizon));
+            let window_len = w.in_states.len();
+            for (sink_pc, channel) in w.sinks {
+                findings.insert(Finding {
+                    branch_pc,
+                    direction,
+                    sink_pc,
+                    channel,
+                    window_len,
+                });
+            }
+        }
+    }
+    ScanReport {
+        instructions: program.len(),
+        branches: branches.len(),
+        windows,
+        findings: findings.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_isa::{Assembler, R0, R1, R2, R3, R4, R5, R6};
+
+    fn scan_asm(build: impl FnOnce(&mut Assembler)) -> ScanReport {
+        let mut asm = Assembler::new(0x1000);
+        build(&mut asm);
+        let secrets = asm.secrets().clone();
+        let program = asm.assemble().expect("test program assembles");
+        scan(&program, &secrets, &ScanConfig::default())
+    }
+
+    #[test]
+    fn secret_addressed_load_in_window_is_an_mshr_sink() {
+        let report = scan_asm(|asm| {
+            asm.mark_secret_range(0x8000, 8);
+            asm.mov_imm(R1, 0x8000);
+            asm.load(R2, R1, 0); // r2 := secret
+            asm.mov_imm(R3, 1);
+            let skip = asm.label("skip");
+            asm.branch_eq(R3, R0, skip); // never taken architecturally
+            asm.load(R4, R2, 0); // wrong-path: secret-addressed
+            asm.bind(skip);
+            asm.halt();
+        });
+        let mshr: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.channel == Channel::MshrLoad)
+            .collect();
+        assert_eq!(mshr.len(), 1, "findings: {:?}", report.findings);
+        assert_eq!(mshr[0].direction, Direction::Fallthrough);
+        assert_eq!(mshr[0].sink_pc, 0x1000 + 4 * INSTR_BYTES);
+    }
+
+    #[test]
+    fn architectural_instructions_are_not_sinks() {
+        // Same secret-addressed load but on the architectural path with no
+        // branch at all: nothing to mispredict, nothing reported.
+        let report = scan_asm(|asm| {
+            asm.mark_secret_range(0x8000, 8);
+            asm.mov_imm(R1, 0x8000);
+            asm.load(R2, R1, 0);
+            asm.load(R3, R2, 0);
+            asm.halt();
+        });
+        assert_eq!(report.branches, 0);
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn fence_truncates_the_window() {
+        let report = scan_asm(|asm| {
+            asm.mark_secret_range(0x8000, 8);
+            asm.mov_imm(R1, 0x8000);
+            asm.load(R2, R1, 0);
+            asm.mov_imm(R3, 1);
+            let skip = asm.label("skip");
+            asm.branch_eq(R3, R0, skip);
+            asm.fence();
+            asm.load(R4, R2, 0); // unreachable speculatively
+            asm.bind(skip);
+            asm.halt();
+        });
+        assert!(
+            report.findings.is_empty(),
+            "fence must squash the window: {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn horizon_bounds_the_window() {
+        let build = |asm: &mut Assembler| {
+            asm.mark_secret_range(0x8000, 8);
+            asm.mov_imm(R1, 0x8000);
+            asm.load(R2, R1, 0);
+            asm.mov_imm(R3, 1);
+            let skip = asm.label("skip");
+            asm.branch_eq(R3, R0, skip);
+            for _ in 0..10 {
+                asm.nop();
+            }
+            asm.load(R4, R2, 0); // 11 instructions into the window
+            asm.bind(skip);
+            asm.halt();
+        };
+        let mut asm = Assembler::new(0x1000);
+        build(&mut asm);
+        let secrets = asm.secrets().clone();
+        let program = asm.assemble().unwrap();
+        let deep = scan(&program, &secrets, &ScanConfig { horizon: 16 });
+        let shallow = scan(&program, &secrets, &ScanConfig { horizon: 8 });
+        assert_eq!(deep.findings.len(), 1);
+        assert!(shallow.findings.is_empty(), "{:?}", shallow.findings);
+    }
+
+    #[test]
+    fn guarded_load_taints_through_the_bounds_check() {
+        // Spectre v1 shape with no marked address range: the only taint
+        // source is the guard rule on the bounds-checked index.
+        let report = scan_asm(|asm| {
+            asm.mov_imm(R1, 0x4000); // array base
+            asm.mov_imm(R2, 0x5000); // index cell
+            asm.load(R3, R2, 0); // index (unknown)
+            asm.mov_imm(R4, 8); // bound
+            let oob = asm.label("oob");
+            asm.branch_ltu(R3, R4, oob);
+            asm.halt();
+            asm.bind(oob);
+            asm.add(R5, R1, R3);
+            asm.load(R5, R5, 0); // guarded access load — secret
+            asm.load(R6, R5, 0); // transmitter — sink
+            asm.halt();
+        });
+        let mshr: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.channel == Channel::MshrLoad)
+            .collect();
+        assert_eq!(mshr.len(), 1, "{:?}", report.findings);
+        assert_eq!(mshr[0].direction, Direction::Taken);
+    }
+
+    #[test]
+    fn secret_fed_sqrt_div_and_branch_classify() {
+        let report = scan_asm(|asm| {
+            asm.mark_secret_range(0x8000, 8);
+            asm.mov_imm(R1, 0x8000);
+            asm.load(R2, R1, 0);
+            asm.mov_imm(R3, 1);
+            let skip = asm.label("skip");
+            asm.branch_eq(R3, R0, skip);
+            asm.sqrt(R4, R2);
+            asm.div(R5, R2, R3);
+            let skip2 = asm.label("skip2");
+            asm.branch_eq(R2, R0, skip2);
+            asm.bind(skip2);
+            asm.bind(skip);
+            asm.halt();
+        });
+        let channels: BTreeSet<Channel> = report.findings.iter().map(|f| f.channel).collect();
+        assert!(channels.contains(&Channel::PortFpSqrt));
+        assert!(channels.contains(&Channel::PortFpDiv));
+        assert!(channels.contains(&Channel::BranchResolve));
+        assert_eq!(Channel::PortFpSqrt.fu(), Some(FuClass::FpSqrt));
+        assert_eq!(Channel::PortFpDiv.fu(), Some(FuClass::FpDiv));
+    }
+
+    #[test]
+    fn constant_results_clear_taint() {
+        // secret * 0 is statically 0 — no information flows.
+        let report = scan_asm(|asm| {
+            asm.mark_secret_range(0x8000, 8);
+            asm.mov_imm(R1, 0x8000);
+            asm.load(R2, R1, 0);
+            asm.mul(R2, R2, R0); // r2 := 0
+            asm.mov_imm(R3, 1);
+            let skip = asm.label("skip");
+            asm.branch_eq(R3, R0, skip);
+            asm.load(R4, R2, 0);
+            asm.bind(skip);
+            asm.halt();
+        });
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn memory_taint_flows_through_constant_addresses() {
+        let report = scan_asm(|asm| {
+            asm.mark_secret_range(0x8000, 8);
+            asm.mov_imm(R1, 0x8000);
+            asm.load(R2, R1, 0); // secret
+            asm.mov_imm(R3, 0x6000);
+            asm.store(R2, R3, 0); // spill the secret
+            asm.load(R4, R3, 0); // reload it
+            asm.mov_imm(R5, 1);
+            let skip = asm.label("skip");
+            asm.branch_eq(R5, R0, skip);
+            asm.load(R6, R4, 0); // sink via the spilled copy
+            asm.bind(skip);
+            asm.halt();
+        });
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].channel, Channel::MshrLoad);
+    }
+
+    #[test]
+    fn findings_are_sorted_and_deduplicated() {
+        let report = scan_asm(|asm| {
+            asm.mark_secret_range(0x8000, 8);
+            asm.mov_imm(R1, 0x8000);
+            asm.load(R2, R1, 0);
+            asm.mov_imm(R3, 1);
+            let a = asm.label("a");
+            asm.branch_eq(R3, R0, a);
+            asm.load(R4, R2, 0);
+            asm.bind(a);
+            let b = asm.label("b");
+            asm.branch_eq(R3, R0, b);
+            asm.load(R5, R2, 0);
+            asm.bind(b);
+            asm.halt();
+        });
+        let mut sorted = report.findings.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(report.findings, sorted);
+        assert!(report.findings.len() >= 2);
+    }
+}

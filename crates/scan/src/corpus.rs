@@ -1,0 +1,241 @@
+//! The committed scan corpus: fixed si-isa programs with known
+//! speculative-interference verdicts, used as scanner regression fixtures
+//! (`results/scan-corpus.json`) and by the interpreter/pipeline
+//! differential test.
+//!
+//! | name           | expectation                                              |
+//! |----------------|----------------------------------------------------------|
+//! | `paper-mshr`   | the `G^D_MSHR` victim — 8 `mshr-load` sinks, CONFIRMED   |
+//! | `paper-npeu`   | the `G^D_NPEU` victim — 6 `port-fp-sqrt` sinks, CONFIRMED |
+//! | `bait-fenced`  | fence squashes the window first — **zero findings**      |
+//! | `loop-carried` | taint reaches the sink only via a loop back edge         |
+//! | `novel-div`    | divider-port gadget no hand-built attack cell covers     |
+
+use si_cache::HierarchyConfig;
+use si_core::victims::{
+    div_victim, fenced_bait_victim, mshr_victim, npeu_victim, NpeuVariant, Scaffold,
+};
+use si_core::{AttackLayout, DEFAULT_TRAIN_ITERS};
+use si_isa::{Assembler, Program, SecretSpec, R0, R1, R10, R11, R2, R3, R4, R5, R6, R7, R8, R9};
+
+/// Rendezvous metadata for corpus programs built on the victim scaffold
+/// (prologue spin-loop + per-round release): how to drive them outside an
+/// `Attack`, and how to rebuild the layout-derived secret location.
+#[derive(Debug, Clone)]
+pub struct ScaffoldMeta {
+    /// The address plan the program was emitted against.
+    pub layout: AttackLayout,
+    /// Rendezvous rounds the program runs before halting
+    /// (training iterations + the attack iteration).
+    pub rounds: usize,
+    /// `TargetArray[0]`, the in-bounds training value.
+    pub train_value: u64,
+}
+
+/// One corpus program plus its secret declaration.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// Stable name (document key and fixture row id).
+    pub name: &'static str,
+    /// The program image.
+    pub program: Program,
+    /// Declared secret sources the scan taints from.
+    pub secrets: SecretSpec,
+    /// Present when the program follows the rendezvous victim shape —
+    /// such entries can be confirmed dynamically by synthesizing an
+    /// attack around them.
+    pub scaffold: Option<ScaffoldMeta>,
+}
+
+fn scaffold_entry(
+    name: &'static str,
+    layout: &AttackLayout,
+    train_value: u64,
+    build: impl Fn(&Scaffold) -> Program,
+) -> CorpusEntry {
+    let s = Scaffold {
+        layout: layout.clone(),
+        train_iters: DEFAULT_TRAIN_ITERS,
+        train_value,
+    };
+    let mut secrets = SecretSpec::default();
+    secrets.mark_range(layout.secret_addr, 8);
+    CorpusEntry {
+        name,
+        program: build(&s),
+        secrets,
+        scaffold: Some(ScaffoldMeta {
+            layout: layout.clone(),
+            rounds: s.rounds(),
+            train_value,
+        }),
+    }
+}
+
+/// A taint flow a single program-order pass would miss: the transmitted
+/// register is a stale copy that only becomes secret on the loop's second
+/// iteration, so the scanner's whole-program fixpoint (join over the back
+/// edge) is load-bearing. Not scaffold-shaped — it runs start to halt.
+fn loop_carried_entry() -> CorpusEntry {
+    const SECRET_ADDR: u64 = 0x8100;
+    let mut asm = Assembler::new(0x1000);
+    asm.mark_secret_range(SECRET_ADDR, 8);
+    asm.mov_imm(R1, 0x2_0000); // transmitter array base
+    asm.mov_imm(R2, SECRET_ADDR as i64);
+    asm.load(R3, R2, 0); // r3 := secret
+    asm.mov_imm(R4, 0);
+    asm.mov_imm(R5, 0);
+    asm.mov_imm(R6, 0); // i
+    asm.mov_imm(R7, 3); // iterations
+    let top = asm.here("top");
+    asm.add(R5, R4, R0); // r5 := r4 — secret only via the back edge
+    asm.add(R4, R3, R0); // r4 := secret
+    asm.add_imm(R6, R6, 1);
+    asm.branch_ltu(R6, R7, top);
+    asm.mov_imm(R8, 0);
+    let done = asm.label("done");
+    asm.branch_eq(R8, R0, done); // architecturally always taken
+                                 // Wrong path: transmit the loop-carried copy.
+    asm.mov_imm(R9, 6);
+    asm.shl(R10, R5, R9);
+    asm.add(R10, R1, R10);
+    asm.load(R11, R10, 0);
+    asm.jump(done);
+    asm.bind(done);
+    asm.halt();
+    asm.data_u64(SECRET_ADDR, 5);
+    let secrets = asm.secrets().clone();
+    let program = asm.assemble().expect("loop-carried fixture assembles");
+    CorpusEntry {
+        name: "loop-carried",
+        program,
+        secrets,
+        scaffold: None,
+    }
+}
+
+/// Builds the committed corpus. Layouts are planned against the default
+/// two-core Kaby-Lake-like hierarchy so a confirm stage running the
+/// default machine sees the same address plan.
+pub fn corpus() -> Vec<CorpusEntry> {
+    let llc = HierarchyConfig::kaby_lake_like(2).llc;
+    let layout = AttackLayout::plan(&llc);
+    vec![
+        scaffold_entry("paper-mshr", &layout, 0, mshr_victim),
+        scaffold_entry("paper-npeu", &layout, 1, |s| {
+            npeu_victim(s, NpeuVariant::VictimPair)
+        }),
+        scaffold_entry("bait-fenced", &layout, 0, fenced_bait_victim),
+        loop_carried_entry(),
+        scaffold_entry("novel-div", &layout, 1, div_victim),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scan, Channel, Direction, Finding, ScanConfig, ScanReport};
+    use si_core::victims::MSHR_GADGET_LOADS;
+    use std::collections::BTreeSet;
+
+    fn scan_entry(name: &str) -> ScanReport {
+        let entry = corpus()
+            .into_iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("corpus entry {name}"));
+        scan(&entry.program, &entry.secrets, &ScanConfig::default())
+    }
+
+    fn by_channel(report: &ScanReport, channel: Channel) -> Vec<&Finding> {
+        report
+            .findings
+            .iter()
+            .filter(|f| f.channel == channel)
+            .collect()
+    }
+
+    #[test]
+    fn corpus_names_are_unique_and_programs_nonempty() {
+        let entries = corpus();
+        let names: BTreeSet<&str> = entries.iter().map(|e| e.name).collect();
+        assert_eq!(names.len(), entries.len());
+        for e in &entries {
+            assert!(!e.program.is_empty(), "{} has no instructions", e.name);
+        }
+    }
+
+    #[test]
+    fn paper_mshr_gadget_is_rediscovered() {
+        let report = scan_entry("paper-mshr");
+        let mshr = by_channel(&report, Channel::MshrLoad);
+        assert_eq!(
+            mshr.len(),
+            MSHR_GADGET_LOADS,
+            "one finding per gadget load: {:?}",
+            report.findings
+        );
+        let branches: BTreeSet<u64> = mshr.iter().map(|f| f.branch_pc).collect();
+        assert_eq!(branches.len(), 1, "all from the bounds-check branch");
+        assert!(mshr.iter().all(|f| f.direction == Direction::Taken));
+        let sinks: BTreeSet<u64> = mshr.iter().map(|f| f.sink_pc).collect();
+        assert_eq!(sinks.len(), MSHR_GADGET_LOADS, "distinct sink loads");
+        assert_eq!(report.findings.len(), mshr.len(), "no other channels");
+    }
+
+    #[test]
+    fn paper_npeu_gadget_is_rediscovered() {
+        let report = scan_entry("paper-npeu");
+        let sqrt = by_channel(&report, Channel::PortFpSqrt);
+        assert_eq!(sqrt.len(), 6, "one per gadget sqrt: {:?}", report.findings);
+        assert!(sqrt.iter().all(|f| f.direction == Direction::Taken));
+        // The transmitter load itself is also a (weaker) MSHR sink.
+        assert_eq!(by_channel(&report, Channel::MshrLoad).len(), 1);
+    }
+
+    #[test]
+    fn fenced_bait_yields_zero_findings() {
+        let report = scan_entry("bait-fenced");
+        assert!(
+            report.findings.is_empty(),
+            "the gadget fence squashes before any tainted load issues: {:?}",
+            report.findings
+        );
+        assert!(report.windows > 0, "windows were still enumerated");
+    }
+
+    #[test]
+    fn loop_carried_taint_needs_the_back_edge_fixpoint() {
+        let report = scan_entry("loop-carried");
+        let mshr = by_channel(&report, Channel::MshrLoad);
+        assert!(
+            !mshr.is_empty(),
+            "the stale copy is secret only after the back-edge join: {:?}",
+            report.findings
+        );
+        // Every finding transmits the same wrong-path load.
+        let sinks: BTreeSet<u64> = mshr.iter().map(|f| f.sink_pc).collect();
+        assert_eq!(sinks.len(), 1);
+    }
+
+    #[test]
+    fn novel_div_gadget_pressures_the_divider_port() {
+        let report = scan_entry("novel-div");
+        let div = by_channel(&report, Channel::PortFpDiv);
+        assert_eq!(div.len(), 6, "one per gadget div: {:?}", report.findings);
+        assert!(div.iter().all(|f| f.direction == Direction::Taken));
+        assert_eq!(
+            div[0].channel.fu(),
+            Some(si_isa::FuClass::FpDiv),
+            "classified against the non-pipelined divider"
+        );
+    }
+
+    #[test]
+    fn scan_is_deterministic_across_repeats() {
+        for entry in corpus() {
+            let a = scan(&entry.program, &entry.secrets, &ScanConfig::default());
+            let b = scan(&entry.program, &entry.secrets, &ScanConfig::default());
+            assert_eq!(a, b, "{}", entry.name);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Static gadget scanner for speculative-interference attacks.
+//!
+//! The attacks of Behnia et al. (ASPLOS 2021) need three things lined up in
+//! a victim: a mispredictable branch, a transiently reachable secret, and a
+//! *transmitter* whose **resource usage** (not its cache footprint) depends
+//! on that secret — an MSHR-hogging load (§4.1, `G^D_MSHR`) or issue
+//! pressure on a non-pipelined functional unit (§4.2, `G^D_NPEU`). This
+//! crate finds those alignments statically, without running the machine:
+//!
+//! 1. **Window enumeration** — for every conditional branch the CFG
+//!    ([`si_isa::Program::successors`]) is walked under *forced*
+//!    misprediction of each direction, bounded by a ROB-depth horizon
+//!    ([`ScanConfig::horizon`]): the set of instructions an attacker can
+//!    coerce into flight before the squash.
+//! 2. **Taint dataflow** — a combined constant/taint abstract
+//!    interpretation from the declared secret sources
+//!    ([`si_isa::SecretSpec`]) runs to a fixpoint over the whole program
+//!    (so loop-carried flows converge) and then through each window.
+//! 3. **Classification** — tainted instructions inside a window are
+//!    classified against the paper's transmitter/amplifier taxonomy
+//!    ([`Channel`]): secret-addressed loads, taint-fed `sqrt`/`div` port
+//!    pressure, taint-dependent branch resolution.
+//! 4. **Confirmation** — callers hand each [`Finding`] to
+//!    `si-attack::AttackScenario::from_finding`, which synthesizes a
+//!    runnable end-to-end attack from the finding and separates CONFIRMED
+//!    gadgets from STATIC-ONLY ones.
+//!
+//! [`corpus::corpus`] is the committed regression suite: the two paper
+//! gadgets, a fenced false-positive bait, a loop-carried-taint case, and a
+//! novel divider-port gadget.
+//!
+//! # Example
+//!
+//! ```
+//! use si_scan::{scan, Channel, ScanConfig};
+//!
+//! let entry = si_scan::corpus::corpus()
+//!     .into_iter()
+//!     .find(|e| e.name == "paper-mshr")
+//!     .unwrap();
+//! let report = scan(&entry.program, &entry.secrets, &ScanConfig::default());
+//! assert!(report
+//!     .findings
+//!     .iter()
+//!     .any(|f| f.channel == Channel::MshrLoad));
+//! ```
+
+mod analysis;
+pub mod corpus;
+
+pub use analysis::{scan, Channel, ConfirmClass, Direction, Finding, ScanConfig, ScanReport};
+pub use corpus::{corpus, CorpusEntry, ScaffoldMeta};

@@ -1,0 +1,175 @@
+//! Differential testing of the scan corpus: every committed gadget
+//! program must compute the same architectural results on the in-order
+//! reference interpreter and the out-of-order machine, under the same
+//! schemes the confirm stage replays it against.
+//!
+//! The scaffold-shaped entries park at the rendezvous each round, so the
+//! interpreter needs a release driver: it watches for the signal flag's
+//! rising edge and writes the wait flag, mirroring what
+//! [`rendezvous::run_rounds`] does on the machine side cycle-by-cycle.
+
+use speculative_interference::attacks::rendezvous::run_rounds;
+use speculative_interference::attacks::VICTIM_CORE;
+use speculative_interference::cpu::{Machine, MachineConfig};
+use speculative_interference::isa::{Interpreter, Reg, StepOutcome, NUM_REGS};
+use speculative_interference::scan::{corpus, CorpusEntry};
+use speculative_interference::schemes::SchemeKind;
+
+/// The secret value planted at `layout.secret_addr` on both sides —
+/// a bit value the victims' gadgets actually index with.
+const SECRET: u64 = 1;
+
+const MAX_INTERP_STEPS: u64 = 4_000_000;
+const MAX_MACHINE_CYCLES: u64 = 4_000_000;
+
+/// Runs an entry on the reference interpreter, releasing each rendezvous
+/// park, and returns the final architectural register file.
+fn run_interpreter(entry: &CorpusEntry) -> [u64; NUM_REGS] {
+    let mut interp = Interpreter::new(&entry.program);
+    let scaffold = entry.scaffold.as_ref();
+    if let Some(meta) = scaffold {
+        interp.write_u64(meta.layout.secret_addr, SECRET);
+    }
+    let mut releases = 0usize;
+    let mut prev_signal = 0u64;
+    let mut steps = 0u64;
+    loop {
+        match interp.step().expect("corpus programs execute cleanly") {
+            StepOutcome::Halted => break,
+            StepOutcome::Continue => {}
+        }
+        steps += 1;
+        assert!(
+            steps < MAX_INTERP_STEPS,
+            "{}: interpreter did not halt (released {releases} rounds)",
+            entry.name
+        );
+        if let Some(meta) = scaffold {
+            // Release on the signal flag's rising edge only: the victim
+            // zeroes wait before signal while consuming, and a level
+            // check would mistake that window for a fresh park.
+            let signal = interp.read_u64(meta.layout.signal_addr);
+            if signal == 1 && prev_signal == 0 {
+                interp.write_u64(meta.layout.wait_addr, 1);
+                releases += 1;
+            }
+            prev_signal = signal;
+        }
+    }
+    if let Some(meta) = scaffold {
+        assert_eq!(
+            releases, meta.rounds,
+            "{}: one release per round",
+            entry.name
+        );
+    }
+    regs_of(|r| interp.reg(r))
+}
+
+/// Runs an entry on the out-of-order machine under `scheme` and returns
+/// the victim core's final architectural register file.
+fn run_machine(entry: &CorpusEntry, scheme: SchemeKind) -> [u64; NUM_REGS] {
+    let mut m = Machine::new(MachineConfig::default());
+    m.load_program_with_scheme(VICTIM_CORE, &entry.program, scheme.build());
+    match &entry.scaffold {
+        Some(meta) => {
+            m.memory_mut().write_u64(meta.layout.secret_addr, SECRET);
+            run_rounds(
+                &mut m,
+                VICTIM_CORE,
+                &meta.layout,
+                meta.rounds,
+                |_, _| {},
+                MAX_MACHINE_CYCLES,
+            )
+            .unwrap_or_else(|e| panic!("{} under {scheme:?}: {e:?}", entry.name));
+        }
+        None => {
+            m.run_core_to_halt(VICTIM_CORE, MAX_MACHINE_CYCLES)
+                .unwrap_or_else(|e| panic!("{} under {scheme:?}: {e:?}", entry.name));
+        }
+    }
+    regs_of(|r| m.core(VICTIM_CORE).reg(r))
+}
+
+fn regs_of(read: impl Fn(Reg) -> u64) -> [u64; NUM_REGS] {
+    std::array::from_fn(|i| read(Reg::new(i as u8).expect("index in range")))
+}
+
+fn check_program(entry: &CorpusEntry, program_label: &str) {
+    let expected = run_interpreter(entry);
+    for scheme in [
+        SchemeKind::Unprotected,
+        SchemeKind::InvisiSpecSpectre,
+        SchemeKind::FenceFuturistic,
+    ] {
+        let got = run_machine(entry, scheme);
+        for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+            assert_eq!(
+                e, g,
+                "{program_label} under {scheme:?}: r{i} diverges (interpreter {e:#x}, machine {g:#x})"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_corpus_program_computes_identically_on_both_substrates() {
+    let entries = corpus();
+    assert!(!entries.is_empty());
+    for entry in &entries {
+        check_program(entry, entry.name);
+    }
+}
+
+/// The scaffold protocol itself is part of the contract: the victims
+/// must park exactly `rounds` times, which the interpreter driver
+/// asserts, and the run must leave both rendezvous flags clear.
+#[test]
+fn scaffold_entries_leave_the_rendezvous_flags_clear() {
+    for entry in corpus() {
+        let Some(meta) = &entry.scaffold else {
+            continue;
+        };
+        let mut interp = Interpreter::new(&entry.program);
+        interp.write_u64(meta.layout.secret_addr, SECRET);
+        let mut prev_signal = 0u64;
+        for _ in 0..MAX_INTERP_STEPS {
+            if let StepOutcome::Halted = interp.step().expect("executes") {
+                break;
+            }
+            let signal = interp.read_u64(meta.layout.signal_addr);
+            if signal == 1 && prev_signal == 0 {
+                interp.write_u64(meta.layout.wait_addr, 1);
+            }
+            prev_signal = signal;
+        }
+        assert_eq!(
+            interp.read_u64(meta.layout.signal_addr),
+            0,
+            "{}",
+            entry.name
+        );
+        assert_eq!(interp.read_u64(meta.layout.wait_addr), 0, "{}", entry.name);
+    }
+}
+
+/// Guards the corpus against silently degenerating: the loop-carried
+/// entry must actually execute its loop (more than one retired
+/// instruction per static instruction would be a trivial bound; instead
+/// check the loop counter's architectural result directly).
+#[test]
+fn loop_carried_entry_iterates_its_loop() {
+    let entries = corpus();
+    let entry = entries
+        .iter()
+        .find(|e| e.name == "loop-carried")
+        .expect("corpus has the loop-carried entry");
+    check_program(entry, "loop-carried");
+    let mut interp = Interpreter::new(&entry.program);
+    interp.run(MAX_INTERP_STEPS).expect("halts");
+    assert!(
+        interp.retired() > entry.program.len() as u64,
+        "the loop body must retire more instructions than the program has"
+    );
+}
