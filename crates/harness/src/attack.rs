@@ -376,7 +376,7 @@ pub fn run_attack_grid_batched(
     let stats = ExecStats {
         total: outcomes.len(),
         executed: outcomes.len(),
-        cached: 0,
+        ..ExecStats::default()
     };
     Ok((
         attack_doc(grid, seed, trials, &rows, &cells, &outcomes),

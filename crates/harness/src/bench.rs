@@ -1,7 +1,7 @@
 //! `sia bench` — the repo's wall-clock microbenchmark suite and the
 //! producer of the schema-versioned `BENCH_baseline.json` perf snapshot.
 //!
-//! Four tiers, mirroring the simulation hot path bottom-up:
+//! Five tiers, mirroring the simulation hot path bottom-up:
 //!
 //! * **policy** — per-access cost of the set-associative cache under each
 //!   replacement policy, on both the flat enum-dispatched storage
@@ -20,7 +20,11 @@
 //!   against the retired mutex-collect-and-sort executor
 //!   (`engine_dispatch_mutex/*`, their ratio is the scheduler-rewrite
 //!   speedup on dispatch-bound grids), and the per-unit cost of
-//!   splicing a fully warm on-disk cache (`engine_cache/warm_splice`).
+//!   splicing a fully warm on-disk cache (`engine_cache/warm_splice`);
+//! * **store** — warm-lookup cost of the packed unit store
+//!   (`store_lookup/*`, the in-memory index behind `sia serve`) against
+//!   the retired one-file-per-unit cache (`store_lookup_files/*`) — their
+//!   ratio is the packed-store warm-path speedup.
 //!
 //! Wall-clock numbers are machine-dependent and are **not** covered by the
 //! determinism contract; everything else in the emitted document is.
@@ -536,6 +540,72 @@ where
 const DISPATCH_UNITS: usize = 50_000;
 /// Units in one warm-cache splice sample.
 const SPLICE_UNITS: usize = 2_000;
+/// Records in one warm store-lookup sample.
+const STORE_UNITS: usize = 10_000;
+
+/// Warm-lookup cost of the packed store (`store_lookup/*`) against the
+/// retired one-file-per-unit cache (`store_lookup_files/*`): the packed
+/// store answers from its in-memory index (zero syscalls), the file
+/// cache pays an open+read per probe. Their ratio is the daemon's
+/// warm-path speedup.
+fn bench_store(samples: usize, out: &mut Vec<Measured>) {
+    let specs: Vec<si_engine::UnitSpec> = (0..STORE_UNITS)
+        .map(|t| si_engine::UnitSpec {
+            kind: "bench",
+            key: "cell=warm-lookup".to_owned(),
+            trial: t as u64,
+            seed: (t as u64).wrapping_mul(0x9e37_79b9),
+            config_digest: 0,
+        })
+        .collect();
+    let base = std::env::temp_dir().join(format!("si-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let packed_dir = base.join("packed");
+    let packed = si_engine::PackStore::open(&packed_dir);
+    for spec in &specs {
+        packed.store(spec, 1, &spec.trial.to_string());
+    }
+    packed.flush().expect("bench store flush");
+    // Reopen so the timed lookups go through a store whose index was
+    // built from disk, exactly like a daemon restarted over its packs.
+    let packed = si_engine::PackStore::open(&packed_dir);
+    out.push(measure(
+        "store_lookup/warm_10k",
+        samples,
+        STORE_UNITS as u64,
+        "lookup",
+        || {
+            let mut hits = 0usize;
+            for spec in &specs {
+                hits += usize::from(packed.lookup(spec, 1).is_some());
+            }
+            assert_eq!(hits, STORE_UNITS);
+        },
+    ));
+
+    let files_dir = base.join("files");
+    let files = si_engine::UnitCache::new(&files_dir);
+    for spec in &specs {
+        files
+            .store(spec, 1, &spec.trial.to_string())
+            .expect("bench file store");
+    }
+    out.push(measure(
+        "store_lookup_files/warm_10k",
+        samples,
+        STORE_UNITS as u64,
+        "lookup",
+        || {
+            let mut hits = 0usize;
+            for spec in &specs {
+                hits += usize::from(files.lookup(spec, 1).is_some());
+            }
+            assert_eq!(hits, STORE_UNITS);
+        },
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+}
 
 fn bench_engine(samples: usize, out: &mut Vec<Measured>) {
     // At least two workers, even on a one-core machine: `threads <= 1`
@@ -645,6 +715,7 @@ pub fn run_benches(quick: bool) -> Json {
     bench_trials(trial_samples, &mut benches);
     bench_checkpoint(engine_samples, &mut benches);
     bench_engine(engine_samples, &mut benches);
+    bench_store(engine_samples, &mut benches);
 
     let mut speedups = obj([]);
     if let Some((geomean, pairs)) = speedup_ratios(&benches, "policy_boxed/", "policy_flat/") {
@@ -665,6 +736,9 @@ pub fn run_benches(quick: bool) -> Json {
     }
     if let Some((geomean, _)) = speedup_ratios(&benches, "trial_scratch/", "trial_fork/") {
         speedups.push("trial_fork_over_scratch", Json::from(geomean));
+    }
+    if let Some((geomean, _)) = speedup_ratios(&benches, "store_lookup_files/", "store_lookup/") {
+        speedups.push("store_lookup_over_files", Json::from(geomean));
     }
 
     obj([

@@ -8,7 +8,8 @@
 //! sia sweep --grid defense --cache  # incremental: only changed units run
 //! sia attack --grid headline        # interference attacks + leakage scores
 //! sia scan                          # static gadget scan + dynamic confirm
-//! sia cache stats                   # content-addressed unit cache
+//! sia serve                         # long-running grid daemon (HTTP)
+//! sia cache stats                   # content-addressed unit store
 //! sia report results/               # results/*.json -> markdown tables
 //! sia bench                         # microbenchmarks -> BENCH_baseline.json
 //! sia bench --against BENCH_baseline.json   # perf-regression gate
@@ -21,7 +22,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use si_engine::UnitCache;
+use si_engine::PackStore;
 use si_harness::attack::{run_attack_grid, run_attack_grid_batched, AttackGrid, ATTACK_GRID_NAMES};
 use si_harness::json::{parse, Json};
 use si_harness::render::{render_report, splice_report, REPORT_BEGIN, REPORT_END};
@@ -42,6 +43,7 @@ USAGE:
     sia sweep [SWEEP OPTIONS]
     sia attack [ATTACK OPTIONS]
     sia scan [SCAN OPTIONS]
+    sia serve [SERVE OPTIONS]
     sia cache stats|clear [--dir <DIR>]
     sia report [PATH...] [REPORT OPTIONS]
     sia bench [--quick] [--out <FILE>] [--against <FILE>]
@@ -111,10 +113,25 @@ SCAN OPTIONS:
     --print            also print the result document to stdout
     --no-wall-time     omit wall_time_ms (bit-stable output)
 
+SERVE OPTIONS:
+    --addr <A>         bind address (default: 127.0.0.1:8787; port 0 picks
+                       an ephemeral port)
+    --threads <N>      worker threads per request (0 or absent: all cores)
+    --seed <N>         seed for requests that do not carry one
+                       (default 0x51A02021, the CLI default)
+    --store-dir <DIR>  packed unit store location (default: results/.cache)
+                       POST /v1/sweep|attack|scan run grids against the
+                       shared warm store; responses are byte-identical to
+                       the offline verbs' --no-wall-time output. GET / on
+                       the daemon lists the endpoints. SIGTERM/SIGINT shut
+                       down cleanly (drain, flush, exit 0).
+
 CACHE OPTIONS:
-    stats              entry count and total bytes of the unit cache
-    clear              delete every cached unit outcome
-    --dir <DIR>        cache location (default: results/.cache)
+    stats              entry count and total bytes of the packed unit store
+                       (opening also migrates legacy one-file-per-unit
+                       entries into pack segments)
+    clear              delete every stored unit outcome
+    --dir <DIR>        store location (default: results/.cache)
 
 REPORT OPTIONS:
     PATH...            result files or directories of *.json
@@ -195,8 +212,8 @@ impl CacheArgs {
 /// Formats the engine's executed/cached split for a status line.
 fn stats_note(stats: &ExecStats) -> String {
     format!(
-        "units={} executed={} cached={}",
-        stats.total, stats.executed, stats.cached
+        "units={} executed={} cached={} coalesced={}",
+        stats.total, stats.executed, stats.cached, stats.coalesced
     )
 }
 
@@ -665,7 +682,9 @@ fn cmd_scan(argv: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `sia cache stats|clear` — inspects or empties the unit cache.
+/// `sia cache stats|clear` — inspects or empties the packed unit store
+/// (opening migrates any legacy one-file-per-unit entries into pack
+/// segments first, so the numbers cover everything).
 fn cmd_cache(argv: &[String]) -> Result<ExitCode, String> {
     let mut action: Option<String> = None;
     let mut dir = CACHE_DEFAULT_DIR.to_owned();
@@ -682,25 +701,87 @@ fn cmd_cache(argv: &[String]) -> Result<ExitCode, String> {
             other => return Err(format!("unknown cache option '{other}'")),
         }
     }
-    let cache = UnitCache::new(&dir);
+    let store = PackStore::open(&dir);
     match action.as_deref() {
         Some("stats") => {
-            let stats = cache
-                .stats(CODE_EPOCH)
-                .map_err(|e| format!("reading {dir}: {e}"))?;
+            let stats = store.stats(CODE_EPOCH);
             println!(
                 "cache: {} live entries ({} bytes), {} orphaned entries ({} bytes) in {dir}",
                 stats.live_entries, stats.live_bytes, stats.orphaned_entries, stats.orphaned_bytes
             );
         }
         Some("clear") => {
-            let removed = cache.clear().map_err(|e| format!("clearing {dir}: {e}"))?;
+            let removed = store.clear().map_err(|e| format!("clearing {dir}: {e}"))?;
             println!("cache: removed {removed} entries from {dir}");
         }
         _ => return Err("cache needs an action: stats or clear".into()),
     }
     Ok(ExitCode::SUCCESS)
 }
+
+/// `sia serve` — the long-running grid daemon (see
+/// `si_harness::serve` for the endpoint table).
+fn cmd_serve(argv: &[String]) -> Result<ExitCode, String> {
+    let mut addr = "127.0.0.1:8787".to_owned();
+    let mut threads = default_threads();
+    let mut seed = RunConfig::default().seed;
+    let mut dir = CACHE_DEFAULT_DIR.to_owned();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--threads" => threads = parse_threads(&value("--threads")?)?,
+            "--seed" => seed = parse_seed(&value("--seed")?)?,
+            "--store-dir" => dir = value("--store-dir")?,
+            other => return Err(format!("unknown serve option '{other}'")),
+        }
+    }
+    let engine = Engine::with_cache(threads, CODE_EPOCH, &dir);
+    let handle = si_harness::serve::start(&addr, engine, seed)?;
+    install_shutdown_signals(&handle.shutdown);
+    println!(
+        "serve: listening on http://{} (store: {dir}, threads: {threads}) — SIGTERM/SIGINT to stop",
+        handle.addr
+    );
+    handle.join();
+    println!("serve: shut down cleanly");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Routes SIGTERM and SIGINT into the daemon's shutdown flag, so a
+/// signalled `sia serve` drains connections, flushes the store, and
+/// exits 0 instead of dying mid-write. Raw `signal(2)` keeps this
+/// dependency-free (std already links libc); the handler body is
+/// async-signal-safe (one atomic store).
+#[cfg(unix)]
+fn install_shutdown_signals(flag: &std::sync::Arc<std::sync::atomic::AtomicBool>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    let _ = FLAG.set(Arc::clone(flag));
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_signals(_flag: &std::sync::Arc<std::sync::atomic::AtomicBool>) {}
 
 /// Expands report paths: a directory yields its `*.json` files sorted by
 /// name; a file yields itself. Returns `(stem, parsed document)` pairs.
@@ -936,6 +1017,10 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }),
         Some("scan") => cmd_scan(&argv[1..]).unwrap_or_else(|e| {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }),
+        Some("serve") => cmd_serve(&argv[1..]).unwrap_or_else(|e| {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE
         }),

@@ -59,6 +59,7 @@ pub mod json;
 pub mod render;
 pub mod report;
 pub mod scan;
+pub mod serve;
 pub mod sweep;
 
 use json::{obj, Json};

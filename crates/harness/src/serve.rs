@@ -1,0 +1,448 @@
+//! `sia serve` — the long-running grid daemon.
+//!
+//! The daemon binds an [`si_http::Server`], opens the packed unit store
+//! **once**, and compiles every POSTed grid spec onto the same
+//! [`Engine`] unit stream the offline verbs use — so a served document
+//! is byte-identical to `sia sweep/attack/scan --no-wall-time` output by
+//! construction, and every request after the first warms the shared
+//! store. Concurrent clients posting overlapping grids deduplicate
+//! through the engine's in-flight table: each unique unit executes
+//! exactly once; later claimants await the running execution instead of
+//! re-running it (the response's `x-sia-coalesced` header counts those).
+//!
+//! ## Endpoints
+//!
+//! | Method | Path              | Body / effect                                   |
+//! |--------|-------------------|-------------------------------------------------|
+//! | GET    | `/healthz`        | liveness probe (`ok`)                           |
+//! | GET    | `/`               | this endpoint table, as plain text              |
+//! | GET    | `/v1/store/stats` | packed-store statistics (JSON)                  |
+//! | POST   | `/v1/sweep`       | `{"grid","quick","filters","scale","trials","seed"}` |
+//! | POST   | `/v1/attack`      | `{"grid","quick","filters","trials","no_checkpoint","seed"}` |
+//! | POST   | `/v1/scan`        | `{"quick","trials","horizon","seed"}`           |
+//!
+//! Grid POSTs accept two query parameters: `?format=md` renders the
+//! document through the same markdown renderer as `sia report` (the
+//! response is that file's report section), and `?stream=1` switches to
+//! chunked transfer — `progress: <done>/<total>` lines as units resolve,
+//! then the complete document as the final chunk (strip the
+//! progress-prefixed lines to recover the exact offline bytes).
+//!
+//! Unknown body keys, unknown grids, and bad values are 400s with a
+//! JSON error body; unknown paths are 404; wrong methods are 405 with an
+//! `Allow` header. The daemon never panics on client input.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+use si_http::{Request, Responder, Server};
+
+use crate::attack::{run_attack_grid, AttackGrid};
+use crate::json::{obj, parse, Json, SCHEMA_VERSION};
+use crate::render::render_doc;
+use crate::scan::{run_scan, ScanJob};
+use crate::sweep::{run_sweep, GridSpec};
+use crate::{Engine, ExecStats};
+
+/// The endpoint table served on `GET /`.
+const ENDPOINTS: &str = "\
+sia serve — speculative-interference grid daemon
+
+ENDPOINTS:
+  GET  /healthz          liveness probe
+  GET  /v1/store/stats   packed unit-store statistics (JSON)
+  POST /v1/sweep         {\"grid\",\"quick\",\"filters\",\"scale\",\"trials\",\"seed\"}
+  POST /v1/attack        {\"grid\",\"quick\",\"filters\",\"trials\",\"no_checkpoint\",\"seed\"}
+  POST /v1/scan          {\"quick\",\"trials\",\"horizon\",\"seed\"}
+
+Grid POSTs: ?format=md renders markdown; ?stream=1 streams
+'progress: <done>/<total>' lines (chunked) before the document.
+Responses are byte-identical to the offline verbs' --no-wall-time output.
+";
+
+/// Everything a request handler needs, shared across connections.
+struct ServeState {
+    /// The daemon's base engine: cloned per request, so every request
+    /// shares one store and one in-flight dedup table.
+    engine: Engine,
+    /// Seed used when a request body does not carry one (the CLI
+    /// default, so bodiless POSTs match bare offline invocations).
+    default_seed: u64,
+}
+
+/// A compiled grid job: the validated spec plus the output stem the
+/// offline verb would have written (`sweep-defense`, `scan-corpus`, …),
+/// which anchors the markdown rendering.
+enum Job {
+    Sweep { grid: GridSpec, seed: u64 },
+    Attack { grid: AttackGrid, seed: u64 },
+    Scan { job: ScanJob, seed: u64 },
+}
+
+impl Job {
+    fn stem(&self) -> String {
+        match self {
+            Job::Sweep { grid, .. } => format!("sweep-{}", grid.name),
+            Job::Attack { grid, .. } => format!("attack-{}", grid.name),
+            Job::Scan { .. } => "scan-corpus".to_owned(),
+        }
+    }
+
+    fn run(&self, engine: &Engine) -> Result<(Json, ExecStats), String> {
+        match self {
+            Job::Sweep { grid, seed } => run_sweep(grid, *seed, engine),
+            Job::Attack { grid, seed } => run_attack_grid(grid, *seed, engine),
+            Job::Scan { job, seed } => run_scan(job, *seed, engine),
+        }
+    }
+}
+
+/// A running daemon: the bound address, the shutdown flag (set it from a
+/// signal handler or a test), and the serve-loop thread to join.
+pub struct ServeHandle {
+    /// The bound address (with the resolved port when binding to `:0`).
+    pub addr: SocketAddr,
+    /// Set to stop accepting and drain live connections.
+    pub shutdown: Arc<AtomicBool>,
+    engine: Engine,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServeHandle {
+    /// Blocks until the serve loop exits (the shutdown flag was set),
+    /// then flushes the store so no executed unit is lost.
+    pub fn join(self) {
+        let _ = self.thread.join();
+        if let Some(store) = self.engine.store() {
+            let _ = store.flush();
+        }
+    }
+
+    /// Sets the shutdown flag and joins — the one-call teardown tests
+    /// use.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join();
+    }
+}
+
+/// Binds `addr` and starts serving on a background thread. The engine
+/// should be store-backed (`Engine::with_cache`) — that is the daemon's
+/// whole point — but a storeless engine serves correctly too (every
+/// request executes everything).
+pub fn start(addr: &str, engine: Engine, default_seed: u64) -> Result<ServeHandle, String> {
+    let server = Server::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let bound = server.local_addr();
+    let shutdown = server.shutdown_flag();
+    let state = Arc::new(ServeState {
+        engine: engine.clone(),
+        default_seed,
+    });
+    let thread = std::thread::spawn(move || {
+        server.serve(move |req, resp| handle(&state, req, resp));
+    });
+    Ok(ServeHandle {
+        addr: bound,
+        shutdown,
+        engine,
+        thread,
+    })
+}
+
+/// Routes one request.
+fn handle(state: &ServeState, req: &Request, resp: &mut Responder) {
+    let method = req.method.as_str();
+    match req.path.as_str() {
+        "/healthz" => match method {
+            "GET" => resp.respond(200, "text/plain", b"ok\n"),
+            _ => method_not_allowed(resp, "GET"),
+        },
+        "/" => match method {
+            "GET" => resp.respond(200, "text/plain", ENDPOINTS.as_bytes()),
+            _ => method_not_allowed(resp, "GET"),
+        },
+        "/v1/store/stats" => match method {
+            "GET" => store_stats(state, resp),
+            _ => method_not_allowed(resp, "GET"),
+        },
+        "/v1/sweep" | "/v1/attack" | "/v1/scan" => match method {
+            "POST" => grid_endpoint(state, req, resp),
+            _ => method_not_allowed(resp, "POST"),
+        },
+        _ => resp.respond(
+            404,
+            "application/json",
+            error_body("no such endpoint (GET / lists them)").as_bytes(),
+        ),
+    }
+}
+
+fn method_not_allowed(resp: &mut Responder, allow: &str) {
+    resp.respond_with(
+        405,
+        "application/json",
+        &[("allow", allow)],
+        error_body(&format!("method not allowed (use {allow})")).as_bytes(),
+    );
+}
+
+/// A one-field JSON error document.
+fn error_body(message: &str) -> String {
+    obj([("error", Json::from(message))]).to_pretty()
+}
+
+/// `GET /v1/store/stats`.
+fn store_stats(state: &ServeState, resp: &mut Responder) {
+    let stats = state
+        .engine
+        .store()
+        .map(|s| s.stats(crate::CODE_EPOCH))
+        .unwrap_or_default();
+    let doc = obj([
+        ("schema_version", Json::from(SCHEMA_VERSION)),
+        ("doc", Json::from("store-stats")),
+        ("live_entries", Json::from(stats.live_entries)),
+        ("live_bytes", Json::from(stats.live_bytes)),
+        ("orphaned_entries", Json::from(stats.orphaned_entries)),
+        ("orphaned_bytes", Json::from(stats.orphaned_bytes)),
+    ]);
+    resp.respond(200, "application/json", doc.to_pretty().as_bytes());
+}
+
+/// `POST /v1/{sweep,attack,scan}`.
+fn grid_endpoint(state: &ServeState, req: &Request, resp: &mut Responder) {
+    let job = match parse_job(&req.path, &req.body, state.default_seed) {
+        Ok(job) => job,
+        Err(e) => {
+            resp.respond(400, "application/json", error_body(&e).as_bytes());
+            return;
+        }
+    };
+    let markdown = match req.query_get("format") {
+        None | Some("json") => false,
+        Some("md") => true,
+        Some(other) => {
+            let e = format!("unknown format '{other}' (json or md)");
+            resp.respond(400, "application/json", error_body(&e).as_bytes());
+            return;
+        }
+    };
+    let content_type = if markdown {
+        "text/markdown"
+    } else {
+        "application/json"
+    };
+    if req.query_flag("stream") {
+        return stream_job(state, job, markdown, content_type, resp);
+    }
+    match run_rendered(&job, &state.engine, markdown) {
+        Ok((text, stats)) => {
+            let headers = sia_headers(&stats);
+            let header_refs: Vec<(&str, &str)> =
+                headers.iter().map(|(n, v)| (*n, v.as_str())).collect();
+            resp.respond_with(200, content_type, &header_refs, text.as_bytes());
+        }
+        Err(e) => resp.respond(400, "application/json", error_body(&e).as_bytes()),
+    }
+}
+
+/// Runs a job and renders it (pretty JSON, or the report markdown).
+fn run_rendered(job: &Job, engine: &Engine, markdown: bool) -> Result<(String, ExecStats), String> {
+    let (doc, stats) = job.run(engine)?;
+    let text = if markdown {
+        render_doc(&job.stem(), &doc)?
+    } else {
+        doc.to_pretty()
+    };
+    if !markdown {
+        // Same self-check as the offline emit path: a malformed document
+        // is a harness bug and must fail the request, not poison the
+        // client.
+        parse(&text).map_err(|e| format!("emitted malformed JSON: {e}"))?;
+    }
+    Ok((text, stats))
+}
+
+/// The engine-split response headers.
+fn sia_headers(stats: &ExecStats) -> Vec<(&'static str, String)> {
+    vec![
+        ("x-sia-units", stats.total.to_string()),
+        ("x-sia-executed", stats.executed.to_string()),
+        ("x-sia-cached", stats.cached.to_string()),
+        ("x-sia-coalesced", stats.coalesced.to_string()),
+    ]
+}
+
+/// `?stream=1`: chunked progress lines, then the document. The job runs
+/// on its own thread with a progress callback feeding a channel; this
+/// (connection) thread drains the channel into chunks. A client that
+/// disconnects mid-stream just stops receiving — the job runs to
+/// completion so its units still land in the shared store.
+fn stream_job(
+    state: &ServeState,
+    job: Job,
+    markdown: bool,
+    content_type: &str,
+    resp: &mut Responder,
+) {
+    let Some(mut body) = resp.begin_chunked(200, content_type, &[]) else {
+        return; // Client vanished before the head was written.
+    };
+    let (tx, rx) = mpsc::channel::<(usize, usize)>();
+    let tx = Mutex::new(tx);
+    let engine = state
+        .engine
+        .clone()
+        .with_progress(Arc::new(move |done, total| {
+            if let Ok(tx) = tx.lock() {
+                let _ = tx.send((done, total));
+            }
+        }));
+    let worker = std::thread::spawn(move || {
+        let rendered = run_rendered(&job, &engine, markdown);
+        drop(engine); // Close the channel so the drain loop ends.
+        rendered
+    });
+    for (done, total) in rx {
+        body.write_chunk(format!("progress: {done}/{total}\n").as_bytes());
+    }
+    let outcome = worker
+        .join()
+        .unwrap_or_else(|_| Err("job thread panicked".to_owned()));
+    match outcome {
+        Ok((text, _stats)) => body.write_chunk(text.as_bytes()),
+        Err(e) => body.write_chunk(format!("error: {e}\n").as_bytes()),
+    }
+    body.finish();
+}
+
+/// Parses and validates a grid-POST body. Unknown keys are errors —
+/// silently ignoring a typoed `"trails"` would serve the wrong grid.
+fn parse_job(path: &str, body: &[u8], default_seed: u64) -> Result<Job, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+    let spec = if text.trim().is_empty() {
+        Json::Obj(Vec::new()) // An empty body runs the default grid.
+    } else {
+        parse(text).map_err(|e| format!("body is not valid JSON: {e}"))?
+    };
+    let Json::Obj(pairs) = &spec else {
+        return Err("body must be a JSON object".to_owned());
+    };
+    let mut grid_name: Option<String> = None;
+    let mut quick = false;
+    let mut filters: Vec<String> = Vec::new();
+    let mut scale: Option<usize> = None;
+    let mut trials: Option<usize> = None;
+    let mut horizon: Option<usize> = None;
+    let mut no_checkpoint = false;
+    let mut seed = default_seed;
+    let (sweep_verb, attack_verb, scan_verb) = (
+        path == "/v1/sweep",
+        path == "/v1/attack",
+        path == "/v1/scan",
+    );
+    for (key, value) in pairs {
+        match key.as_str() {
+            "grid" if !scan_verb => grid_name = Some(as_str(key, value)?),
+            "quick" => quick = as_bool(key, value)?,
+            "filters" if !scan_verb => {
+                let Json::Arr(items) = value else {
+                    return Err(format!("'{key}' must be an array of strings"));
+                };
+                for item in items {
+                    filters.push(as_str(key, item)?);
+                }
+            }
+            "scale" if sweep_verb => scale = Some(as_usize(key, value)?),
+            "trials" => trials = Some(as_usize(key, value)?),
+            "horizon" if scan_verb => horizon = Some(as_usize(key, value)?),
+            "no_checkpoint" if attack_verb => no_checkpoint = as_bool(key, value)?,
+            "seed" => seed = as_seed(value)?,
+            other => return Err(format!("unknown key '{other}' for {path}")),
+        }
+    }
+    if scan_verb {
+        let mut job = ScanJob::standard();
+        if quick {
+            job.quick();
+        }
+        if let Some(t) = trials {
+            job.trials = t;
+        }
+        if let Some(h) = horizon {
+            if h == 0 {
+                return Err("'horizon' needs a window depth of at least 1".to_owned());
+            }
+            job.horizon = h;
+        }
+        return Ok(Job::Scan { job, seed });
+    }
+    if sweep_verb {
+        let mut grid = GridSpec::named(grid_name.as_deref().unwrap_or("defense"))?;
+        if quick {
+            grid.quick();
+        }
+        for f in &filters {
+            grid.apply_filter(f)?;
+        }
+        if let Some(s) = scale {
+            grid.scale = s;
+        }
+        if let Some(t) = trials {
+            grid.trials = t;
+        }
+        return Ok(Job::Sweep { grid, seed });
+    }
+    debug_assert!(attack_verb);
+    let mut grid = AttackGrid::named(grid_name.as_deref().unwrap_or("headline"))?;
+    if quick {
+        grid.quick();
+    }
+    for f in &filters {
+        grid.apply_filter(f)?;
+    }
+    if let Some(t) = trials {
+        grid.trials = t;
+    }
+    grid.disable_checkpoint = no_checkpoint;
+    Ok(Job::Attack { grid, seed })
+}
+
+fn as_str(key: &str, value: &Json) -> Result<String, String> {
+    match value {
+        Json::Str(s) => Ok(s.clone()),
+        _ => Err(format!("'{key}' must be a string")),
+    }
+}
+
+fn as_bool(key: &str, value: &Json) -> Result<bool, String> {
+    match value {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("'{key}' must be a boolean")),
+    }
+}
+
+fn as_usize(key: &str, value: &Json) -> Result<usize, String> {
+    match value {
+        Json::U64(n) => Ok(*n as usize),
+        Json::I64(n) if *n >= 0 => Ok(*n as usize),
+        _ => Err(format!("'{key}' must be a non-negative integer")),
+    }
+}
+
+/// A seed: a JSON integer, or a string in the CLI's `--seed` syntax
+/// (decimal or `0x`-hex).
+fn as_seed(value: &Json) -> Result<u64, String> {
+    match value {
+        Json::U64(n) => Ok(*n),
+        Json::I64(n) if *n >= 0 => Ok(*n as u64),
+        Json::Str(s) => match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        }
+        .map_err(|e| format!("'seed': {e}")),
+        _ => Err("'seed' must be an integer or a decimal/0x-hex string".to_owned()),
+    }
+}
