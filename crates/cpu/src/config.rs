@@ -3,6 +3,8 @@
 use si_cache::HierarchyConfig;
 use si_isa::FuClass;
 
+use crate::predictor::PredictorKind;
+
 /// Timing and placement of one functional-unit class.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct FuTiming {
@@ -142,8 +144,12 @@ pub struct CoreConfig {
     pub mshrs: usize,
     /// Functional-unit table.
     pub fu: FuTable,
-    /// Branch-predictor counter-table size (entries; power of two).
+    /// Branch-predictor counter-table size (entries; power of two). For
+    /// [`PredictorKind::Tage`] this sizes the base bimodal table; the
+    /// tagged banks have fixed geometry.
     pub predictor_entries: usize,
+    /// Branch-predictor organization (bimodal table or TAGE).
+    pub predictor_kind: PredictorKind,
     /// When set, the frontend never speculates past a conditional branch:
     /// fetch stalls until the branch resolves. This produces the paper's
     /// `NoSpec(E)` reference execution (§5.1) — out-of-order execution with
@@ -165,6 +171,7 @@ impl Default for CoreConfig {
             mshrs: 8,
             fu: FuTable::default(),
             predictor_entries: 1024,
+            predictor_kind: PredictorKind::Bimodal,
             no_speculation: false,
         }
     }

@@ -26,7 +26,7 @@ use crate::config::CoreConfig;
 use crate::exec::{ExecPayload, ExecUnits, InFlight};
 use crate::frontend::{FetchOutcome, Frontend, FrontendQuiet};
 use crate::memory::Memory;
-use crate::predictor::BranchPredictor;
+use crate::predictor::Predictor;
 use crate::rob::{fresh_rat, EntryState, Rat, RegTag, Rob, RobEntry};
 use crate::rs::{Operand, ReservationStation, RsEntry};
 use crate::scheme::{
@@ -67,7 +67,7 @@ pub struct Core {
     config: CoreConfig,
     program: Program,
     frontend: Frontend,
-    predictor: BranchPredictor,
+    predictor: Predictor,
     rob: Rob,
     rs: ReservationStation,
     exec: ExecUnits,
@@ -169,7 +169,7 @@ impl Core {
         Core {
             id,
             frontend,
-            predictor: BranchPredictor::new(config.predictor_entries),
+            predictor: Predictor::new(config.predictor_kind, config.predictor_entries),
             rob: Rob::new(config.rob_size),
             rs: ReservationStation::new(config.rs_size),
             exec: ExecUnits::new(&config.fu),
@@ -211,6 +211,28 @@ impl Core {
         } else {
             self.arch_regs[r.index()]
         }
+    }
+
+    /// Injects a committed architectural register value (writes to `r0`
+    /// are discarded). Trace replay uses this to seed a freshly built
+    /// core with the functional state at a sampled interval's start;
+    /// calling it mid-execution on in-flight state is not meaningful.
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.arch_regs[r.index()] = v;
+            // A fresh core's RAT caches committed values directly;
+            // keep it coherent so renamed operands see the injection.
+            self.rat[r.index()] = RegTag::Value(v);
+        }
+    }
+
+    /// Pre-trains the branch predictor on a resolved outcome without
+    /// issuing a prediction — trace replay uses this to warm the
+    /// predictor from recorded history before simulating a sample
+    /// interval. Does not count as a prediction or misprediction in
+    /// [`predictor_stats`](Core::predictor_stats).
+    pub fn train_branch(&mut self, pc: u64, taken: bool, target: u64) {
+        self.predictor.update(pc, taken, target, false);
     }
 
     /// Accumulated statistics.

@@ -16,7 +16,7 @@ use std::collections::VecDeque;
 use si_cache::{AccessClass, Hierarchy, Visibility};
 use si_isa::{Instruction, Opcode, Program, INSTR_BYTES};
 
-use crate::predictor::BranchPredictor;
+use crate::predictor::Predictor;
 use crate::trace::{StallReason, Trace, TraceEvent};
 
 /// A fetched instruction with its prediction metadata.
@@ -145,7 +145,7 @@ impl Frontend {
         core: usize,
         program: &Program,
         hierarchy: &mut Hierarchy,
-        predictor: &mut BranchPredictor,
+        predictor: &mut Predictor,
         trace: &mut Trace,
     ) -> FetchOutcome {
         if self.stopped {
@@ -289,11 +289,11 @@ mod tests {
     use si_cache::HierarchyConfig;
     use si_isa::{Assembler, R1, R2};
 
-    fn setup(asm: Assembler) -> (Program, Hierarchy, BranchPredictor, Trace) {
+    fn setup(asm: Assembler) -> (Program, Hierarchy, Predictor, Trace) {
         (
             asm.assemble().unwrap(),
             Hierarchy::new(HierarchyConfig::kaby_lake_like(1)),
-            BranchPredictor::new(64),
+            Predictor::new(crate::predictor::PredictorKind::Bimodal, 64),
             Trace::new(),
         )
     }

@@ -48,6 +48,7 @@ mod rob;
 mod rs;
 mod scheme;
 mod stats;
+mod tage;
 mod trace;
 
 pub use si_cache::MshrFile;
@@ -59,7 +60,7 @@ pub use exec::{ExecPayload, ExecUnits, InFlight};
 pub use frontend::{FetchOutcome, FetchedInstr, Frontend};
 pub use machine::{AgentOp, AgentTiming, Machine, Timeout};
 pub use memory::Memory;
-pub use predictor::{BranchPredictor, Prediction};
+pub use predictor::{BranchPredictor, Prediction, Predictor, PredictorKind};
 pub use preset::{GeometryPreset, NoisePreset, PredictorPreset};
 pub use rob::{fresh_rat, EntryState, Rat, RegTag, Rob, RobEntry};
 pub use rs::{Operand, OperandList, ReservationStation, RsEntry};
@@ -67,4 +68,5 @@ pub use scheme::{
     LoadPlan, SafeAction, SafetyFlags, SafetyView, SpeculationScheme, Unprotected, UnsafeLoadCtx,
 };
 pub use stats::CoreStats;
+pub use tage::TagePredictor;
 pub use trace::{StallReason, Trace, TraceEvent};

@@ -4,9 +4,31 @@
 //! mispredictions by training the target branch in a given direction"). A
 //! victim loop executing the branch taken N times drives its counter to
 //! strongly-taken, so the attack iteration's not-taken outcome mispredicts
-//! and opens the transient window.
+//! and opens the transient window:
+//!
+//! ```
+//! use si_cpu::BranchPredictor;
+//!
+//! let mut p = BranchPredictor::new(1024);
+//! // §4.1 mistraining: resolve the victim branch taken twice, driving
+//! // its 2-bit counter from weakly-not-taken to strongly-taken.
+//! p.update(0x68, true, 0x50, false);
+//! p.update(0x68, true, 0x50, false);
+//! // The attack iteration now predicts taken — the actual not-taken
+//! // outcome will squash, and the transient window is open.
+//! assert!(p.predict(0x68, 0x50).taken);
+//! ```
+//!
+//! The per-PC table is the `p64`/`p1k`/`p8k` preset family; the `tage`
+//! preset swaps in the history-correlated [`TagePredictor`], which this
+//! module dispatches over via [`Predictor`]. Larger tables reduce
+//! *aliasing* (two branches sharing a counter), not mistraining — the
+//! §4.1 pattern above works at any size because attacker and victim
+//! train the *same* PC.
 
 use std::collections::HashMap;
+
+use crate::tage::TagePredictor;
 
 /// A direction prediction and its target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +102,68 @@ impl BranchPredictor {
     /// `(predictions, mispredictions)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.predicts, self.mispredicts)
+    }
+}
+
+/// Which predictor organization a core builds — the
+/// [`CoreConfig::predictor_kind`](crate::CoreConfig) axis behind the
+/// `predictor=` slug of sweep grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PredictorKind {
+    /// Per-PC 2-bit counters ([`BranchPredictor`]) — the original toy
+    /// frontend; `p64`/`p1k`/`p8k` presets vary only its table size.
+    Bimodal,
+    /// Tagged geometric-history predictor
+    /// ([`TagePredictor`](crate::TagePredictor)) — the realistic
+    /// frontend of the `tage` preset.
+    Tage,
+}
+
+/// Runtime dispatch over the predictor organizations. The frontend and
+/// writeback stages talk to this enum, so both predictors see the exact
+/// same predict/update call stream.
+#[derive(Debug, Clone)]
+pub enum Predictor {
+    /// Per-PC bimodal table.
+    Bimodal(BranchPredictor),
+    /// Tagged geometric-history predictor (boxed: its tables dwarf the
+    /// bimodal variant, and cores clone/move `Predictor` by value).
+    Tage(Box<TagePredictor>),
+}
+
+impl Predictor {
+    /// Builds the predictor `kind` names; `entries` sizes the (base)
+    /// counter table of either organization.
+    pub fn new(kind: PredictorKind, entries: usize) -> Predictor {
+        match kind {
+            PredictorKind::Bimodal => Predictor::Bimodal(BranchPredictor::new(entries)),
+            PredictorKind::Tage => Predictor::Tage(Box::new(TagePredictor::new(entries))),
+        }
+    }
+
+    /// Predicts the branch at `pc` whose statically encoded target is
+    /// `static_target`.
+    pub fn predict(&mut self, pc: u64, static_target: u64) -> Prediction {
+        match self {
+            Predictor::Bimodal(p) => p.predict(pc, static_target),
+            Predictor::Tage(p) => p.predict(pc, static_target),
+        }
+    }
+
+    /// Trains on a resolved branch outcome.
+    pub fn update(&mut self, pc: u64, taken: bool, target: u64, mispredicted: bool) {
+        match self {
+            Predictor::Bimodal(p) => p.update(pc, taken, target, mispredicted),
+            Predictor::Tage(p) => p.update(pc, taken, target, mispredicted),
+        }
+    }
+
+    /// `(predictions, mispredictions)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        match self {
+            Predictor::Bimodal(p) => p.stats(),
+            Predictor::Tage(p) => p.stats(),
+        }
     }
 }
 

@@ -11,6 +11,7 @@
 use si_cache::{CacheConfig, HierarchyConfig, PolicyKind};
 
 use crate::config::{MachineConfig, NoiseConfig};
+use crate::predictor::PredictorKind;
 
 /// Cache-geometry presets: variations of the Kaby-Lake-like hierarchy
 /// that stress different points of the attack surface (LLC capacity,
@@ -131,23 +132,27 @@ impl NoisePreset {
     }
 }
 
-/// Branch-predictor presets (counter-table size; power of two).
+/// Branch-predictor presets: three bimodal table sizes plus the TAGE
+/// organization (see [`crate::TagePredictor`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum PredictorPreset {
-    /// The default 1024-entry table.
+    /// The default 1024-entry bimodal table.
     P1k,
-    /// A tiny 64-entry table: heavy aliasing, frequent mispredicts —
-    /// more squashes, more speculative windows.
+    /// A tiny 64-entry bimodal table: heavy aliasing, frequent
+    /// mispredicts — more squashes, more speculative windows.
     P64,
-    /// A generous 8192-entry table: near-alias-free prediction.
+    /// A generous 8192-entry bimodal table: near-alias-free prediction.
     P8k,
+    /// A TAGE predictor (geometric history lengths, tagged banks) over a
+    /// 1024-entry base table — the realistic frontend for trace replay.
+    Tage,
 }
 
 impl PredictorPreset {
     /// All presets, in presentation order.
     pub fn all() -> Vec<PredictorPreset> {
         use PredictorPreset::*;
-        vec![P1k, P64, P8k]
+        vec![P1k, P64, P8k, Tage]
     }
 
     /// Canonical CLI/JSON slug.
@@ -156,6 +161,7 @@ impl PredictorPreset {
             PredictorPreset::P1k => "p1k",
             PredictorPreset::P64 => "p64",
             PredictorPreset::P8k => "p8k",
+            PredictorPreset::Tage => "tage",
         }
     }
 
@@ -167,12 +173,20 @@ impl PredictorPreset {
             .find(|p| p.slug() == needle)
     }
 
-    /// The counter-table size this preset names.
+    /// The (base) counter-table size this preset names.
     pub fn entries(self) -> usize {
         match self {
-            PredictorPreset::P1k => 1024,
+            PredictorPreset::P1k | PredictorPreset::Tage => 1024,
             PredictorPreset::P64 => 64,
             PredictorPreset::P8k => 8192,
+        }
+    }
+
+    /// The predictor organization this preset names.
+    pub fn kind(self) -> PredictorKind {
+        match self {
+            PredictorPreset::Tage => PredictorKind::Tage,
+            _ => PredictorKind::Bimodal,
         }
     }
 }
@@ -207,6 +221,7 @@ impl MachineConfig {
             ..MachineConfig::default()
         };
         cfg.core.predictor_entries = predictor.entries();
+        cfg.core.predictor_kind = predictor.kind();
         cfg
     }
 }

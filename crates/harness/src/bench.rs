@@ -24,7 +24,11 @@
 //! * **store** — warm-lookup cost of the packed unit store
 //!   (`store_lookup/*`, the in-memory index behind `sia serve`) against
 //!   the retired one-file-per-unit cache (`store_lookup_files/*`) — their
-//!   ratio is the packed-store warm-path speedup.
+//!   ratio is the packed-store warm-path speedup;
+//! * **trace** — replay of the committed `traces/mixed.sit` fixture in
+//!   full (`trace_full/*`) and SimPoint-sampled (`trace_sampled/*`)
+//!   mode — their ratio is the wall-clock return on simulating only the
+//!   representative intervals.
 //!
 //! Wall-clock numbers are machine-dependent and are **not** covered by the
 //! determinism contract; everything else in the emitted document is.
@@ -669,6 +673,42 @@ fn bench_engine(samples: usize, out: &mut Vec<Measured>) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+fn bench_trace(samples: usize, out: &mut Vec<Measured>) {
+    let trace = si_workloads::SampleTrace::Mixed.decode();
+    let config = MachineConfig::default();
+    let budget = 30_000_000;
+    out.push(measure(
+        "trace_full/mixed",
+        samples,
+        trace.total_instr,
+        "instr",
+        || {
+            let o = si_trace::replay_full(&trace, &config, SchemeKind::Unprotected.build(), budget)
+                .expect("fixture replays");
+            assert_eq!(o.simulated_instr, trace.total_instr);
+        },
+    ));
+    // Same normalization unit as the full tier — the sampled replay
+    // *estimates* the whole trace, so ns-per-represented-instruction is
+    // the figure a user of the estimate pays.
+    out.push(measure(
+        "trace_sampled/mixed",
+        samples,
+        trace.total_instr,
+        "instr",
+        || {
+            let o = si_trace::replay_sampled(
+                &trace,
+                &config,
+                &|| SchemeKind::Unprotected.build(),
+                budget,
+            )
+            .expect("fixture replays");
+            assert!(o.intervals_run > 0);
+        },
+    ));
+}
+
 fn speedup_ratios<'a>(
     benches: &'a [Measured],
     slow_prefix: &str,
@@ -716,6 +756,7 @@ pub fn run_benches(quick: bool) -> Json {
     bench_checkpoint(engine_samples, &mut benches);
     bench_engine(engine_samples, &mut benches);
     bench_store(engine_samples, &mut benches);
+    bench_trace(engine_samples, &mut benches);
 
     let mut speedups = obj([]);
     if let Some((geomean, pairs)) = speedup_ratios(&benches, "policy_boxed/", "policy_flat/") {
@@ -739,6 +780,9 @@ pub fn run_benches(quick: bool) -> Json {
     }
     if let Some((geomean, _)) = speedup_ratios(&benches, "store_lookup_files/", "store_lookup/") {
         speedups.push("store_lookup_over_files", Json::from(geomean));
+    }
+    if let Some((geomean, _)) = speedup_ratios(&benches, "trace_full/", "trace_sampled/") {
+        speedups.push("trace_sampled_over_full", Json::from(geomean));
     }
 
     obj([

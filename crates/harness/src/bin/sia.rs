@@ -47,6 +47,7 @@ USAGE:
     sia cache stats|clear [--dir <DIR>]
     sia report [PATH...] [REPORT OPTIONS]
     sia bench [--quick] [--out <FILE>] [--against <FILE>]
+    sia trace record|replay|info|example [TRACE OPTIONS]
 
 RUN OPTIONS:
     --all              run every registered experiment
@@ -65,7 +66,7 @@ RUN OPTIONS:
 
 SWEEP OPTIONS:
     --grid <NAME>      grid to run: defense (default), schemes, geometry,
-                       noise, full
+                       noise, full, trace
     --filter <A=V,..>  restrict an axis (repeatable); axes: scheme, workload,
                        geometry, noise, predictor. Scheme values match as
                        family prefixes: --filter scheme=dom,fence
@@ -148,6 +149,23 @@ BENCH OPTIONS:
     --against <FILE>   compare this run's speedup ratios against a baseline
                        snapshot: exit non-zero when any ratio regressed by
                        more than 25%, warn beyond 10%
+
+TRACE OPTIONS (see docs/TRACE_FORMAT.md for the .sit wire format):
+    record --workload <KERNEL>   record a kernel run into a .sit trace
+           [--scale N]           kernel problem scale (default 48)
+           [--seed N]            program-generation seed (default 42)
+           [--interval N]        instructions per sample interval (default 1024)
+           [--clusters K]        max SimPoint clusters (default 8)
+           [--warmup W]          leading intervals pinned as exact singletons (default 4)
+           [--out FILE]          output (default traces/<kernel>.sit)
+    replay <FILE>                sampled replay through the cycle-level machine
+           [--scheme S]          speculation scheme (default unprotected)
+           [--predictor P]       predictor preset (default tage)
+           [--full]              replay the whole trace, no sampling
+           [--budget N]          cycle budget (default 30000000)
+    info <FILE>                  decode and summarize a trace
+    example [--out FILE]         write the docs/TRACE_FORMAT.md worked-example
+                                 fixture (default traces/example.sit)
 ";
 
 /// Parses a `--seed` value: decimal or `0x`-prefixed hex. Shared by
@@ -1003,11 +1021,220 @@ fn bench_regression_gate(current: &Json, baseline: &Json, baseline_path: &str) -
     }
 }
 
+/// `sia trace` — record, inspect, and replay `.sit` traces.
+fn cmd_trace(argv: &[String]) -> Result<ExitCode, String> {
+    use si_cpu::{GeometryPreset, MachineConfig, NoisePreset, PredictorPreset};
+    use si_schemes::SchemeKind;
+    use si_trace::{RecordConfig, TraceFile};
+    use si_workloads::WorkloadKind;
+
+    fn write_trace(path: &str, bytes: &[u8]) -> Result<(), String> {
+        if let Some(dir) = std::path::Path::new(path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(path, bytes).map_err(|e| format!("writing {path}: {e}"))
+    }
+
+    fn load_trace(path: &str) -> Result<(TraceFile, u64), String> {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let trace = TraceFile::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        Ok((trace, TraceFile::content_digest(&bytes)))
+    }
+
+    fn summary(trace: &TraceFile, digest: u64) -> String {
+        format!(
+            "instr={} branches={} accesses={} interval={} intervals={} reps={} digest={digest:#018x}",
+            trace.total_instr,
+            trace.branches.len(),
+            trace.accesses.len(),
+            trace.samples.interval_len,
+            trace.samples.n_intervals,
+            trace.samples.reps.len(),
+        )
+    }
+
+    let sub = argv
+        .first()
+        .map(String::as_str)
+        .ok_or("trace needs a subcommand: record, replay, info, example")?;
+    let rest = &argv[1..];
+    match sub {
+        "record" => {
+            let mut workload: Option<String> = None;
+            let mut scale = 48usize;
+            let mut seed = 42u64;
+            let mut cfg = RecordConfig {
+                interval_len: 1024,
+                max_clusters: 8,
+                ..RecordConfig::default()
+            };
+            let mut out: Option<String> = None;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match arg.as_str() {
+                    "--workload" => workload = Some(value("--workload")?),
+                    "--scale" => {
+                        scale = value("--scale")?
+                            .parse()
+                            .map_err(|e| format!("--scale: {e}"))?
+                    }
+                    "--seed" => seed = parse_seed(&value("--seed")?)?,
+                    "--interval" => {
+                        cfg.interval_len = value("--interval")?
+                            .parse()
+                            .map_err(|e| format!("--interval: {e}"))?
+                    }
+                    "--clusters" => {
+                        cfg.max_clusters = value("--clusters")?
+                            .parse()
+                            .map_err(|e| format!("--clusters: {e}"))?
+                    }
+                    "--warmup" => {
+                        cfg.warmup_intervals = value("--warmup")?
+                            .parse()
+                            .map_err(|e| format!("--warmup: {e}"))?
+                    }
+                    "--out" => out = Some(value("--out")?),
+                    other => return Err(format!("unknown trace record option '{other}'")),
+                }
+            }
+            let label = workload.ok_or("trace record needs --workload <kernel>")?;
+            let kind =
+                WorkloadKind::parse(&label).ok_or_else(|| format!("unknown workload '{label}'"))?;
+            if matches!(kind, WorkloadKind::Trace(_)) {
+                return Err(format!(
+                    "'{label}' is already a trace workload; record from a kernel"
+                ));
+            }
+            let path = out.unwrap_or_else(|| format!("traces/{label}.sit"));
+            let start = Instant::now();
+            let trace =
+                si_trace::record(&kind.program(scale, seed), &cfg).map_err(|e| e.to_string())?;
+            let bytes = trace.encode();
+            write_trace(&path, &bytes)?;
+            let digest = TraceFile::content_digest(&bytes);
+            println!(
+                "trace:record     ok  {:>7}ms  {} bytes  {}  -> {}",
+                start.elapsed().as_millis(),
+                bytes.len(),
+                summary(&trace, digest),
+                path
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "example" => {
+            let mut out = "traces/example.sit".to_owned();
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--out" => {
+                        out = it
+                            .next()
+                            .cloned()
+                            .ok_or_else(|| "--out needs a value".to_owned())?
+                    }
+                    other => return Err(format!("unknown trace example option '{other}'")),
+                }
+            }
+            let trace = si_trace::example_trace();
+            let bytes = trace.encode();
+            write_trace(&out, &bytes)?;
+            println!(
+                "trace:example    ok  {} bytes  {}  -> {}",
+                bytes.len(),
+                summary(&trace, TraceFile::content_digest(&bytes)),
+                out
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "info" => {
+            let path = rest.first().ok_or("trace info needs a file path")?.as_str();
+            let (trace, digest) = load_trace(path)?;
+            println!("trace:info       ok  {}  {}", summary(&trace, digest), path);
+            Ok(ExitCode::SUCCESS)
+        }
+        "replay" => {
+            let path = rest
+                .first()
+                .ok_or("trace replay needs a file path")?
+                .as_str();
+            let mut scheme = SchemeKind::Unprotected;
+            let mut predictor = PredictorPreset::Tage;
+            let mut full = false;
+            let mut budget = 30_000_000u64;
+            let mut it = rest[1..].iter();
+            while let Some(arg) = it.next() {
+                let mut value = |name: &str| {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match arg.as_str() {
+                    "--scheme" => {
+                        let v = value("--scheme")?;
+                        scheme = parse_scheme(&v).ok_or_else(|| format!("unknown scheme '{v}'"))?;
+                    }
+                    "--predictor" => {
+                        let v = value("--predictor")?;
+                        predictor = PredictorPreset::parse(&v)
+                            .ok_or_else(|| format!("unknown predictor '{v}'"))?;
+                    }
+                    "--full" => full = true,
+                    "--budget" => {
+                        budget = value("--budget")?
+                            .parse()
+                            .map_err(|e| format!("--budget: {e}"))?
+                    }
+                    other => return Err(format!("unknown trace replay option '{other}'")),
+                }
+            }
+            let (trace, _) = load_trace(path)?;
+            let config = MachineConfig::from_presets(
+                GeometryPreset::KabyLake,
+                NoisePreset::Quiet,
+                predictor,
+            );
+            let start = Instant::now();
+            let out = if full {
+                si_trace::replay_full(&trace, &config, scheme.build(), budget)
+            } else {
+                si_trace::replay_sampled(&trace, &config, &|| scheme.build(), budget)
+            }
+            .map_err(|e| e.to_string())?;
+            println!(
+                "trace:replay     ok  {:>7}ms  mode={} cycles={} simulated={} intervals={}  {}",
+                start.elapsed().as_millis(),
+                if full { "full" } else { "sampled" },
+                out.cycles,
+                out.simulated_instr,
+                out.intervals_run,
+                path
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "unknown trace subcommand '{other}' (subcommands: record, replay, info, example)"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("bench") => cmd_bench(&argv[1..]),
+        Some("trace") => cmd_trace(&argv[1..]).unwrap_or_else(|e| {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }),
         Some("sweep") => cmd_sweep(&argv[1..]).unwrap_or_else(|e| {
             eprintln!("error: {e}\n\n{USAGE}");
             ExitCode::FAILURE

@@ -52,7 +52,7 @@ use crate::json::{arr, obj, DocKind, Json, SCHEMA_VERSION};
 use crate::scheme_slug;
 
 /// The named grids `sia sweep --grid` accepts, in presentation order.
-pub const GRID_NAMES: [&str; 5] = ["defense", "schemes", "geometry", "noise", "full"];
+pub const GRID_NAMES: [&str; 6] = ["defense", "schemes", "geometry", "noise", "full", "trace"];
 
 /// A declarative sweep grid: axis value lists plus the sample knobs.
 ///
@@ -83,7 +83,9 @@ impl GridSpec {
     /// Looks up a named grid.
     ///
     /// * `defense` — the Figure 12 neighbourhood: DoM, both fence
-    ///   models, and the §5.4 advanced defense over all eight kernels.
+    ///   models, and the §5.4 advanced defense over all eight kernels
+    ///   plus the committed sample traces, under both the bimodal and
+    ///   TAGE predictors.
     /// * `schemes` — every protected scheme over four representative
     ///   kernels.
     /// * `geometry` — two schemes × four memory-shaped kernels across
@@ -91,6 +93,9 @@ impl GridSpec {
     /// * `noise` — two schemes × two kernels across the noise presets,
     ///   three trials per cell (noise is the point).
     /// * `full` — every protected scheme × every kernel.
+    /// * `trace` — the defense schemes over the committed sample traces
+    ///   only, under the TAGE predictor (the EXPERIMENTS.md trace
+    ///   table). Already quick-shaped: `--quick` changes nothing.
     pub fn named(name: &str) -> Result<GridSpec, String> {
         use SchemeKind::*;
         use WorkloadKind::*;
@@ -98,10 +103,13 @@ impl GridSpec {
             "defense" => GridSpec {
                 name: name.to_owned(),
                 schemes: vec![DomSpectre, FenceSpectre, FenceFuturistic, Advanced],
-                workloads: WorkloadKind::all(),
+                workloads: WorkloadKind::all()
+                    .into_iter()
+                    .chain(WorkloadKind::traces())
+                    .collect(),
                 geometries: vec![GeometryPreset::KabyLake],
                 noises: vec![NoisePreset::Quiet],
-                predictors: vec![PredictorPreset::P1k],
+                predictors: vec![PredictorPreset::P1k, PredictorPreset::Tage],
                 scale: 48,
                 trials: 1,
             },
@@ -149,6 +157,19 @@ impl GridSpec {
                 noises: vec![NoisePreset::Quiet],
                 predictors: vec![PredictorPreset::P1k],
                 scale: 48,
+                trials: 1,
+            },
+            // Trace workloads ignore scale (fixed at record time), and
+            // the grid uses scale 16 / one trial so `--quick` is a
+            // no-op: CI reproduces results/sweep-trace.json exactly.
+            "trace" => GridSpec {
+                name: name.to_owned(),
+                schemes: vec![DomSpectre, FenceSpectre, FenceFuturistic, Advanced],
+                workloads: WorkloadKind::traces(),
+                geometries: vec![GeometryPreset::KabyLake],
+                noises: vec![NoisePreset::Quiet],
+                predictors: vec![PredictorPreset::Tage],
+                scale: 16,
                 trials: 1,
             },
             other => {
@@ -201,9 +222,10 @@ impl GridSpec {
                 &mut self.workloads,
                 &values,
                 WorkloadKind::label,
-                |w, v| w.label() == v,
+                workload_family_matches,
                 &WorkloadKind::all()
                     .iter()
+                    .chain(WorkloadKind::traces().iter())
                     .map(|w| w.label())
                     .collect::<Vec<_>>(),
             ),
@@ -298,6 +320,13 @@ pub(crate) fn scheme_family_matches(s: SchemeKind, v: &str) -> bool {
     slug == v || slug.starts_with(&format!("{v}-"))
 }
 
+/// Workload filter values match their label exactly or as a family
+/// prefix — `workload=trace` selects every `trace-*` replay workload.
+pub(crate) fn workload_family_matches(w: WorkloadKind, v: &str) -> bool {
+    let label = w.label();
+    label == v || label.starts_with(&format!("{v}-"))
+}
+
 /// Narrows one grid axis to the values a `--filter` names. A value that
 /// matches nothing is an error listing both the axis's full value
 /// domain and what this grid actually carries (the two reasons a filter
@@ -388,11 +417,19 @@ pub fn run_sweep(grid: &GridSpec, seed: u64, engine: &Engine) -> Result<(Json, E
     let row_digests: Vec<u64> = rows
         .iter()
         .map(|k| {
-            fnv64(
+            let mut digest = fnv64(
                 MachineConfig::from_presets(k.geometry, k.noise, k.predictor)
                     .fingerprint()
                     .as_bytes(),
-            )
+            );
+            // A trace workload's measurement depends on the trace bytes
+            // as much as on the machine config: fold the fixture's
+            // content digest into the unit spec so re-recording a trace
+            // orphans its cached results.
+            if let WorkloadKind::Trace(t) = k.workload {
+                digest ^= t.content_digest();
+            }
+            digest
         })
         .collect();
     let mut units = Vec::with_capacity(rows.len() * columns.len() * trials);
@@ -620,6 +657,30 @@ mod tests {
         );
         let err = grid.apply_filter("predictor=p2").unwrap_err();
         assert!(err.contains("p1k") && err.contains("p8k"), "{err}");
+    }
+
+    #[test]
+    fn trace_grid_and_workload_family_filter() {
+        let mut grid = GridSpec::named("defense").expect("grid");
+        assert!(grid.workloads.len() > 8, "defense carries trace workloads");
+        assert_eq!(
+            grid.predictors,
+            [PredictorPreset::P1k, PredictorPreset::Tage]
+        );
+        grid.apply_filter("workload=trace").expect("family filter");
+        assert_eq!(grid.workloads, WorkloadKind::traces());
+        grid.apply_filter("predictor=tage")
+            .expect("predictor filter");
+        assert_eq!(grid.predictors, [PredictorPreset::Tage]);
+
+        // The trace grid is already quick-shaped, so the CI smoke run
+        // reproduces the committed fixture byte-for-byte.
+        let grid = GridSpec::named("trace").expect("grid");
+        let mut quick = grid.clone();
+        quick.quick();
+        assert_eq!(quick.scale, grid.scale);
+        assert_eq!(quick.trials, grid.trials);
+        assert_eq!(grid.workloads, WorkloadKind::traces());
     }
 
     #[test]

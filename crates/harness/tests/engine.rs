@@ -16,11 +16,13 @@ fn temp_cache(tag: &str) -> std::path::PathBuf {
 }
 
 /// The quick sweep grid the CI smoke jobs run, shrunk further along the
-/// workload axis so the test stays fast (1 row × 5 columns = 5 units).
+/// workload and predictor axes so the test stays fast and single-row
+/// (1 row × 5 columns = 5 units).
 fn quick_sweep_grid() -> GridSpec {
     let mut grid = GridSpec::named("defense").expect("named grid");
     grid.quick();
     grid.apply_filter("workload=ptr-chase").expect("filter");
+    grid.apply_filter("predictor=p1k").expect("filter");
     grid
 }
 

@@ -30,13 +30,14 @@ fn daemon(tag: &str) -> (ServeHandle, std::path::PathBuf) {
 
 /// The shrunk quick sweep body used throughout (5 units — one workload
 /// row of the quick defense grid).
-const SWEEP_BODY: &str = r#"{"quick": true, "filters": ["workload=ptr-chase"]}"#;
+const SWEEP_BODY: &str = r#"{"quick": true, "filters": ["workload=ptr-chase", "predictor=p1k"]}"#;
 
 /// The offline document the sweep body must reproduce byte-for-byte.
 fn offline_sweep() -> String {
     let mut grid = GridSpec::named("defense").expect("grid");
     grid.quick();
     grid.apply_filter("workload=ptr-chase").expect("filter");
+    grid.apply_filter("predictor=p1k").expect("filter");
     let (doc, _) = run_sweep(&grid, RunConfig::default().seed, &Engine::new(2)).expect("runs");
     doc.to_pretty()
 }

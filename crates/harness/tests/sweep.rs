@@ -38,6 +38,25 @@ fn sweep_is_bit_identical_across_thread_counts() {
     assert_eq!(serial, parallel, "thread count changed sweep output");
 }
 
+/// Trace replay goes through the same engine, so the trace grid (the
+/// committed `traces/*.sit` fixtures × every defense column, predictor
+/// `tage`) carries the same guarantee: sampled replay's per-interval
+/// machines are constructed deterministically, never keyed on thread
+/// identity or completion order.
+#[test]
+fn trace_sweep_is_bit_identical_across_thread_counts() {
+    let grid = GridSpec::named("trace").expect("named grid");
+    let serial = run_sweep(&grid, 0xD5_2021, &Engine::new(1))
+        .expect("serial sweep")
+        .0
+        .to_pretty();
+    let parallel = run_sweep(&grid, 0xD5_2021, &Engine::new(8))
+        .expect("parallel sweep")
+        .0
+        .to_pretty();
+    assert_eq!(serial, parallel, "thread count changed trace-sweep output");
+}
+
 /// Different base seeds must reach the noise machinery (jitter cells
 /// draw per-trial noise seeds derived from the base seed).
 #[test]

@@ -57,6 +57,28 @@ pub enum StepOutcome {
     Halted,
 }
 
+/// One data-memory access observed by [`Interpreter::step_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: u64,
+    /// `true` for a store, `false` for a load.
+    pub store: bool,
+}
+
+/// What one instruction did, architecturally — the trace-emission hook
+/// trace recorders consume (`si-trace`). Everything a compact
+/// branch+memory trace needs is here; timing is deliberately absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecEvent {
+    /// The instruction's address.
+    pub pc: u64,
+    /// For conditional branches: whether the branch was taken.
+    pub branch_taken: Option<bool>,
+    /// For loads and stores: the access performed.
+    pub mem: Option<MemAccess>,
+}
+
 /// The in-order reference interpreter.
 ///
 /// # Example
@@ -222,6 +244,65 @@ impl Interpreter {
         }
     }
 
+    /// Executes a single instruction and reports what it did — the hook
+    /// trace recording is built on. Equivalent to [`Interpreter::step`]
+    /// plus an [`ExecEvent`] describing the instruction's branch outcome
+    /// and data-memory access (if any).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::NoInstruction`] if the program counter
+    /// points at an address with no instruction.
+    pub fn step_event(&mut self) -> Result<(StepOutcome, ExecEvent), InterpError> {
+        let pc = self.pc;
+        if self.halted {
+            return Ok((
+                StepOutcome::Halted,
+                ExecEvent {
+                    pc,
+                    branch_taken: None,
+                    mem: None,
+                },
+            ));
+        }
+        let instr = *self
+            .program
+            .fetch(pc)
+            .ok_or(InterpError::NoInstruction(pc))?;
+        // Observe operands *before* stepping; step reads the same state.
+        let mem = match instr.opcode {
+            Opcode::Load => Some(MemAccess {
+                addr: self.reg(instr.src1).wrapping_add(instr.imm as u64),
+                store: false,
+            }),
+            Opcode::Store => Some(MemAccess {
+                addr: self.reg(instr.src1).wrapping_add(instr.imm as u64),
+                store: true,
+            }),
+            _ => None,
+        };
+        let branch_taken = (instr.opcode == Opcode::Branch)
+            .then(|| instr.cond.eval(self.reg(instr.src1), self.reg(instr.src2)));
+        let outcome = self.step()?;
+        Ok((
+            outcome,
+            ExecEvent {
+                pc,
+                branch_taken,
+                mem,
+            },
+        ))
+    }
+
+    /// Snapshot of data memory as sorted `(address, byte)` pairs — the
+    /// deterministic functional-state export trace replay injects into a
+    /// detailed machine at a sampled interval's start.
+    pub fn mem_snapshot(&self) -> Vec<(u64, u8)> {
+        let mut bytes: Vec<(u64, u8)> = self.mem.iter().map(|(a, b)| (*a, *b)).collect();
+        bytes.sort_unstable();
+        bytes
+    }
+
     fn execute(&mut self, instr: &Instruction) -> u64 {
         let s1 = self.reg(instr.src1);
         let s2 = self.reg(instr.src2);
@@ -358,6 +439,63 @@ mod tests {
         let mut it = Interpreter::new(&p);
         let trace = it.load_trace(100).unwrap();
         assert_eq!(trace, vec![(0x100, 7), (0x200, 9)]);
+    }
+
+    #[test]
+    fn step_event_reports_branches_and_memory() {
+        let mut asm = Assembler::new(0);
+        asm.data_u64(0x100, 7);
+        asm.mov_imm(R1, 0x100);
+        asm.load(R2, R1, 0);
+        asm.store(R2, R1, 8);
+        let skip = asm.label("skip");
+        asm.branch(BranchCond::Eq, R2, R2, skip);
+        asm.nop(); // skipped
+        asm.bind(skip);
+        asm.branch(BranchCond::Ltu, R2, R0, skip); // never taken
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut it = Interpreter::new(&p);
+        let mut branches = Vec::new();
+        let mut accesses = Vec::new();
+        loop {
+            let (out, ev) = it.step_event().unwrap();
+            if let Some(taken) = ev.branch_taken {
+                branches.push(taken);
+            }
+            if let Some(m) = ev.mem {
+                accesses.push((m.addr, m.store));
+            }
+            if out == StepOutcome::Halted {
+                break;
+            }
+        }
+        assert_eq!(branches, vec![true, false]);
+        assert_eq!(accesses, vec![(0x100, false), (0x108, true)]);
+        assert_eq!(it.retired(), 6, "the skipped nop never executed");
+        // step_event matches step: a fresh interpreter stepped plainly
+        // reaches the same architectural state.
+        let mut plain = Interpreter::new(&p);
+        plain.run(100).unwrap();
+        assert_eq!(plain.reg(R2), it.reg(R2));
+        assert_eq!(plain.mem_snapshot(), it.mem_snapshot());
+    }
+
+    #[test]
+    fn mem_snapshot_is_sorted_and_complete() {
+        let mut asm = Assembler::new(0);
+        asm.data_u64(0x200, 1);
+        asm.mov_imm(R1, 0x100);
+        asm.mov_imm(R2, 0xff);
+        asm.store(R2, R1, 0);
+        asm.halt();
+        let p = asm.assemble().unwrap();
+        let mut it = Interpreter::new(&p);
+        it.run(100).unwrap();
+        let snap = it.mem_snapshot();
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        assert!(snap.contains(&(0x100, 0xff)), "store visible");
+        assert!(snap.contains(&(0x200, 1)), "initial data visible");
     }
 
     #[test]

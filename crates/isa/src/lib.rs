@@ -43,7 +43,7 @@ mod secret;
 pub use asm::{AsmError, Assembler, Label};
 pub use encode::{decode, encode, EncodeError};
 pub use instruction::Instruction;
-pub use interp::{isqrt, InterpError, Interpreter, StepOutcome};
+pub use interp::{isqrt, ExecEvent, InterpError, Interpreter, MemAccess, StepOutcome};
 pub use opcode::{BranchCond, FuClass, Opcode};
 pub use program::{Program, ProgramBuilder};
 pub use reg::{

@@ -1,0 +1,75 @@
+//! The tiny worked example of `docs/TRACE_FORMAT.md`.
+//!
+//! [`example_trace`] is the trace whose byte-for-byte hex dump appears
+//! in the format document, committed as `traces/example.sit`
+//! (regenerate with `sia trace example`). A golden test asserts that
+//! document, fixture, and this builder all agree, so none of the three
+//! can drift silently.
+
+use si_isa::{Assembler, Program, R1, R2, R3};
+
+use crate::format::TraceFile;
+use crate::record::{record, RecordConfig};
+
+/// The example program: a three-iteration load/store loop.
+///
+/// ```text
+/// 0x40: mov   r1, 0
+/// 0x48: mov   r2, 3
+/// 0x50: load  r3, [r1 + 0x100]   ; top
+/// 0x58: store r3, [r1 + 0x108]
+/// 0x60: add   r1, r1, 1
+/// 0x68: bltu  r1, r2, top
+/// 0x70: halt
+/// ```
+///
+/// with the 8 data bytes of little-endian `0x2a` at `0x100`. It
+/// executes 15 instructions, 3 conditional branches (taken, taken,
+/// not-taken) and 6 memory accesses.
+pub fn example_program() -> Program {
+    let mut asm = Assembler::new(0x40);
+    asm.mov_imm(R1, 0);
+    asm.mov_imm(R2, 3);
+    let top = asm.here("top");
+    asm.load(R3, R1, 0x100);
+    asm.store(R3, R1, 0x108);
+    asm.add_imm(R1, R1, 1);
+    asm.branch_ltu(R1, R2, top);
+    asm.halt();
+    asm.data_u64(0x100, 0x2a);
+    asm.assemble().expect("example program assembles")
+}
+
+/// Records [`example_program`] with interval length 4, at most 2
+/// clusters, and one pinned warm-up interval — exactly the parameters
+/// the format document's worked example uses.
+pub fn example_trace() -> TraceFile {
+    record(
+        &example_program(),
+        &RecordConfig {
+            interval_len: 4,
+            max_clusters: 2,
+            warmup_intervals: 1,
+            max_steps: 1_000,
+        },
+    )
+    .expect("example program records")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_has_the_documented_shape() {
+        let t = example_trace();
+        assert_eq!(t.total_instr, 15);
+        assert_eq!(t.branches, vec![true, true, false]);
+        assert_eq!(t.accesses.len(), 6);
+        assert_eq!(t.samples.interval_len, 4);
+        assert_eq!(t.samples.n_intervals, 4);
+        let sizes: u64 = t.samples.reps.iter().map(|r| r.cluster_size).sum();
+        assert_eq!(sizes, 4);
+        assert_eq!(TraceFile::decode(&t.encode()).unwrap(), t);
+    }
+}

@@ -1,0 +1,606 @@
+//! The `.sit` wire format: a versioned, checksummed, delta-encoded
+//! binary container for one program's branch outcomes, memory accesses,
+//! and sampling plan.
+//!
+//! `docs/TRACE_FORMAT.md` is the **normative byte-level specification**
+//! of everything this module reads and writes (header layout, varint and
+//! zigzag encodings, run-length branch stream, section order, checksum,
+//! versioning rule); this module is its implementation. The committed
+//! fixture `traces/example.sit` is the worked example of that document,
+//! and a golden test asserts the two agree byte for byte.
+
+use std::fmt;
+
+use si_isa::{decode as decode_instr, encode as encode_instr, Program};
+
+/// File magic: `SITR` (Speculative-Interference TRace).
+pub const MAGIC: [u8; 4] = *b"SITR";
+
+/// Current format version. Decoders reject any other value: the
+/// versioning rule is bump-and-reject, never silent reinterpretation.
+pub const VERSION: u16 = 1;
+
+/// Header length in bytes (magic, version, reserved, payload length,
+/// checksum) — the payload starts here.
+pub const HEADER_BYTES: usize = 24;
+
+/// FNV-1a 64-bit over `bytes` — the checksum of the payload section and
+/// the content digest folded into engine unit specs.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One recorded data-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRecord {
+    /// Effective byte address.
+    pub addr: u64,
+    /// `true` for a store.
+    pub store: bool,
+}
+
+/// One sampled representative interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Representative {
+    /// Index of the representative interval (0-based, in execution order).
+    pub interval: u64,
+    /// Cluster size: how many intervals this one stands for. The
+    /// replay weight is `cluster_size / n_intervals` — stored as an
+    /// integer numerator so the file carries no floats.
+    pub cluster_size: u64,
+}
+
+/// The sampling plan: fixed-length intervals plus the representative
+/// set chosen by the SimPoint-style clusterer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Samples {
+    /// Instructions per interval.
+    pub interval_len: u64,
+    /// Total number of intervals (the last may be short).
+    pub n_intervals: u64,
+    /// Representatives, ascending by interval index; cluster sizes sum
+    /// to `n_intervals`.
+    pub reps: Vec<Representative>,
+}
+
+/// An in-memory trace: the embedded program, its architectural branch
+/// and memory streams, and the sampling plan. Encode with
+/// [`TraceFile::encode`]; decode with [`TraceFile::decode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFile {
+    /// The traced program (instructions, initial data, entry point) —
+    /// embedded so a trace file is self-contained and replayable.
+    pub program: Program,
+    /// Conditional-branch outcomes in execution order.
+    pub branches: Vec<bool>,
+    /// Data-memory accesses in execution order.
+    pub accesses: Vec<MemRecord>,
+    /// The sampling plan.
+    pub samples: Samples,
+    /// Total instructions executed by the traced run.
+    pub total_instr: u64,
+}
+
+/// Errors decoding a `.sit` file. Corrupt input of any kind — truncated,
+/// bit-flipped, malformed varints, inconsistent section counts — decodes
+/// to one of these, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The version field is not [`VERSION`].
+    BadVersion(u16),
+    /// The file ends before its declared payload length.
+    Truncated,
+    /// The payload checksum does not match the header.
+    ChecksumMismatch {
+        /// Checksum declared in the header.
+        expected: u64,
+        /// Checksum of the payload as read.
+        actual: u64,
+    },
+    /// A structurally invalid payload (bad varint, inconsistent counts,
+    /// undecodable instruction, …).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a .sit trace (bad magic)"),
+            DecodeError::BadVersion(v) => {
+                write!(f, "unsupported trace version {v} (supported: {VERSION})")
+            }
+            DecodeError::Truncated => write!(f, "trace file is truncated"),
+            DecodeError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "trace checksum mismatch (header {expected:#018x}, payload {actual:#018x})"
+            ),
+            DecodeError::Malformed(what) => write!(f, "malformed trace payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Appends `v` as an LEB128 varint (7 data bits per byte, high bit set
+/// on continuation bytes; at most 10 bytes).
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `v` as an LEB128 varint that may exceed 64 bits — the
+/// memory-record word packs a store bit under a full-range zigzag
+/// delta, so it needs 65. Values within u64 range encode byte-for-byte
+/// identically to [`put_varint`].
+fn put_wide_varint(out: &mut Vec<u8>, mut v: u128) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Zigzag-maps a signed delta into an unsigned varint payload.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// A bounds-checked payload reader.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(DecodeError::Malformed("unexpected end of payload"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64_le(&mut self) -> Result<u64, DecodeError> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(DecodeError::Malformed("unexpected end of payload"))?;
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn varint(&mut self) -> Result<u64, DecodeError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let data = (byte & 0x7f) as u64;
+            if shift == 63 && data > 1 {
+                return Err(DecodeError::Malformed("varint overflows 64 bits"));
+            }
+            v |= data << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(DecodeError::Malformed("varint longer than 10 bytes"))
+    }
+
+    /// A varint capped at 65 bits — the memory-record word. Still at
+    /// most 10 bytes on the wire.
+    fn wide_varint(&mut self) -> Result<u128, DecodeError> {
+        let mut v: u128 = 0;
+        for shift in (0..70).step_by(7) {
+            let byte = self.u8()?;
+            let data = (byte & 0x7f) as u128;
+            if shift == 63 && data > 3 {
+                return Err(DecodeError::Malformed("memory record overflows 65 bits"));
+            }
+            v |= data << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(DecodeError::Malformed("varint longer than 10 bytes"))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+impl TraceFile {
+    /// Serializes to the `.sit` wire format (see `docs/TRACE_FORMAT.md`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded program contains an unencodable
+    /// instruction — impossible for programs built by the assembler.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        // Section 1: program.
+        put_varint(&mut payload, self.program.entry());
+        put_varint(&mut payload, self.program.len() as u64);
+        let mut prev_pc = 0u64;
+        for (pc, instr) in self.program.iter() {
+            put_varint(&mut payload, (pc - prev_pc) / si_isa::INSTR_BYTES);
+            let word = encode_instr(instr).expect("assembled instruction encodes");
+            payload.extend_from_slice(&word.to_le_bytes());
+            prev_pc = pc + si_isa::INSTR_BYTES;
+        }
+        let data: Vec<(u64, u8)> = self.program.data().collect();
+        put_varint(&mut payload, data.len() as u64);
+        let mut prev_addr = 0u64;
+        for (addr, byte) in data {
+            put_varint(&mut payload, addr - prev_addr);
+            payload.push(byte);
+            prev_addr = addr + 1;
+        }
+        // Section 2: branch outcomes as taken-run-lengths.
+        put_varint(&mut payload, self.branches.len() as u64);
+        if let Some(&first) = self.branches.first() {
+            payload.push(first as u8);
+            let mut run = 0u64;
+            let mut current = first;
+            for &b in &self.branches {
+                if b == current {
+                    run += 1;
+                } else {
+                    put_varint(&mut payload, run);
+                    current = b;
+                    run = 1;
+                }
+            }
+            put_varint(&mut payload, run);
+        }
+        // Section 3: memory accesses as zigzag address deltas + store bit.
+        put_varint(&mut payload, self.accesses.len() as u64);
+        let mut prev = 0i64;
+        for a in &self.accesses {
+            let delta = (a.addr as i64).wrapping_sub(prev);
+            // 65 bits: a full-range zigzag delta above the store bit.
+            put_wide_varint(
+                &mut payload,
+                ((zigzag(delta) as u128) << 1) | a.store as u128,
+            );
+            prev = a.addr as i64;
+        }
+        // Section 4: sampling plan.
+        put_varint(&mut payload, self.samples.interval_len);
+        put_varint(&mut payload, self.samples.n_intervals);
+        put_varint(&mut payload, self.samples.reps.len() as u64);
+        for r in &self.samples.reps {
+            put_varint(&mut payload, r.interval);
+            put_varint(&mut payload, r.cluster_size);
+        }
+        // Section 5: totals.
+        put_varint(&mut payload, self.total_instr);
+
+        let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // reserved
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parses a `.sit` file.
+    ///
+    /// # Errors
+    ///
+    /// Any structural problem — wrong magic or version, truncation, a
+    /// checksum mismatch (bit flips), malformed sections — returns a
+    /// [`DecodeError`]; corrupt input never panics.
+    pub fn decode(bytes: &[u8]) -> Result<TraceFile, DecodeError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(if bytes.get(..4).is_some_and(|m| m != MAGIC) {
+                DecodeError::BadMagic
+            } else {
+                DecodeError::Truncated
+            });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let mut head = Reader::new(&bytes[8..HEADER_BYTES]);
+        let payload_len = head.u64_le()? as usize;
+        let expected = head.u64_le()?;
+        let payload = bytes
+            .get(HEADER_BYTES..HEADER_BYTES + payload_len)
+            .ok_or(DecodeError::Truncated)?;
+        if bytes.len() != HEADER_BYTES + payload_len {
+            return Err(DecodeError::Malformed("trailing bytes after payload"));
+        }
+        let actual = fnv1a64(payload);
+        if actual != expected {
+            return Err(DecodeError::ChecksumMismatch { expected, actual });
+        }
+        let mut r = Reader::new(payload);
+        // Section 1: program.
+        let entry = r.varint()?;
+        let n_instr = r.varint()?;
+        let mut program = Program::new();
+        program.set_entry(entry);
+        let mut pc = 0u64;
+        for _ in 0..n_instr {
+            let gap = r
+                .varint()?
+                .checked_mul(si_isa::INSTR_BYTES)
+                .and_then(|g| pc.checked_add(g))
+                .ok_or(DecodeError::Malformed("instruction address overflows"))?;
+            pc = gap;
+            let word = r.u64_le()?;
+            let instr = decode_instr(word)
+                .map_err(|_| DecodeError::Malformed("undecodable instruction"))?;
+            program.place(pc, instr);
+            pc += si_isa::INSTR_BYTES;
+        }
+        let n_data = r.varint()?;
+        let mut addr = 0u64;
+        for _ in 0..n_data {
+            addr = addr
+                .checked_add(r.varint()?)
+                .ok_or(DecodeError::Malformed("data address overflows"))?;
+            let byte = r.u8()?;
+            program.write_data(addr, &[byte]);
+            addr += 1;
+        }
+        // Section 2: branches.
+        let n_branches = r.varint()?;
+        let mut branches = Vec::new();
+        if n_branches > 0 {
+            if n_branches > payload.len() as u64 * 8 {
+                return Err(DecodeError::Malformed("branch count exceeds payload"));
+            }
+            let mut current = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(DecodeError::Malformed("first branch outcome not 0/1")),
+            };
+            while (branches.len() as u64) < n_branches {
+                let run = r.varint()?;
+                if run == 0 || run > n_branches - branches.len() as u64 {
+                    return Err(DecodeError::Malformed("branch run-length inconsistent"));
+                }
+                branches.extend(std::iter::repeat_n(current, run as usize));
+                current = !current;
+            }
+        }
+        // Section 3: memory accesses.
+        let n_accesses = r.varint()?;
+        if n_accesses > payload.len() as u64 {
+            return Err(DecodeError::Malformed("access count exceeds payload"));
+        }
+        let mut accesses = Vec::with_capacity(n_accesses as usize);
+        let mut prev = 0i64;
+        for _ in 0..n_accesses {
+            let word = r.wide_varint()?;
+            let store = word & 1 == 1;
+            let delta = unzigzag((word >> 1) as u64);
+            prev = prev.wrapping_add(delta);
+            accesses.push(MemRecord {
+                addr: prev as u64,
+                store,
+            });
+        }
+        // Section 4: sampling plan.
+        let interval_len = r.varint()?;
+        let n_intervals = r.varint()?;
+        let n_reps = r.varint()?;
+        if n_reps > n_intervals {
+            return Err(DecodeError::Malformed(
+                "more representatives than intervals",
+            ));
+        }
+        let mut reps = Vec::with_capacity(n_reps as usize);
+        let mut size_sum = 0u64;
+        for _ in 0..n_reps {
+            let interval = r.varint()?;
+            let cluster_size = r.varint()?;
+            if interval >= n_intervals {
+                return Err(DecodeError::Malformed("representative index out of range"));
+            }
+            if reps
+                .last()
+                .is_some_and(|p: &Representative| p.interval >= interval)
+            {
+                return Err(DecodeError::Malformed("representatives not ascending"));
+            }
+            size_sum = size_sum
+                .checked_add(cluster_size)
+                .ok_or(DecodeError::Malformed("cluster sizes overflow"))?;
+            reps.push(Representative {
+                interval,
+                cluster_size,
+            });
+        }
+        if n_reps > 0 && size_sum != n_intervals {
+            return Err(DecodeError::Malformed(
+                "cluster sizes do not sum to the interval count",
+            ));
+        }
+        // Section 5: totals.
+        let total_instr = r.varint()?;
+        if !r.done() {
+            return Err(DecodeError::Malformed("unconsumed payload bytes"));
+        }
+        if interval_len == 0 && n_intervals != 0 {
+            return Err(DecodeError::Malformed("zero interval length"));
+        }
+        Ok(TraceFile {
+            program,
+            branches,
+            accesses,
+            samples: Samples {
+                interval_len,
+                n_intervals,
+                reps,
+            },
+            total_instr,
+        })
+    }
+
+    /// FNV-1a-64 digest of the encoded file — the content digest the
+    /// harness folds into engine unit specs so cached trace-replay
+    /// results are invalidated when the trace bytes change.
+    pub fn content_digest(bytes: &[u8]) -> u64 {
+        fnv1a64(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_isa::{Assembler, R1, R2};
+
+    fn sample_trace() -> TraceFile {
+        let mut asm = Assembler::new(0x40);
+        asm.mov_imm(R1, 1);
+        asm.mov_imm(R2, 2);
+        asm.data_u64(0x1000, 99);
+        asm.halt();
+        TraceFile {
+            program: asm.assemble().unwrap(),
+            branches: vec![true, true, false, true],
+            accesses: vec![
+                MemRecord {
+                    addr: 0x1000,
+                    store: false,
+                },
+                MemRecord {
+                    addr: 0x0800,
+                    store: true,
+                },
+            ],
+            samples: Samples {
+                interval_len: 2,
+                n_intervals: 2,
+                reps: vec![Representative {
+                    interval: 0,
+                    cluster_size: 2,
+                }],
+            },
+            total_instr: 3,
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let t = sample_trace();
+        let bytes = t.encode();
+        assert_eq!(TraceFile::decode(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn every_truncation_is_a_clean_error() {
+        let bytes = sample_trace().encode();
+        for len in 0..bytes.len() {
+            let err = TraceFile::decode(&bytes[..len]).unwrap_err();
+            // Any DecodeError is acceptable; panics are not.
+            let _ = err.to_string();
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_a_clean_error_or_detected() {
+        let t = sample_trace();
+        let bytes = t.encode();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 1 << bit;
+                match TraceFile::decode(&corrupt) {
+                    Err(e) => {
+                        let _ = e.to_string();
+                    }
+                    Ok(decoded) => {
+                        // A flip in the reserved field is the only
+                        // undetectable one (it is not checksummed).
+                        assert!((6..8).contains(&i), "flip at byte {i} bit {bit} undetected");
+                        assert_eq!(decoded, t);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let mut bytes = sample_trace().encode();
+        bytes[0] = b'X';
+        assert_eq!(TraceFile::decode(&bytes), Err(DecodeError::BadMagic));
+        let mut bytes = sample_trace().encode();
+        bytes[4] = 0xff;
+        assert_eq!(
+            TraceFile::decode(&bytes),
+            Err(DecodeError::BadVersion(0x00ff))
+        );
+    }
+
+    #[test]
+    fn branch_stream_costs_about_a_bit_per_branch() {
+        // 10_000 branches in a loop-like pattern (runs of 15 taken, 1
+        // not-taken) must encode far below one byte per branch — the
+        // format's headline claim.
+        let mut t = sample_trace();
+        t.branches = (0..10_000).map(|i| i % 16 != 15).collect();
+        let with = t.encode().len();
+        t.branches.clear();
+        let without = t.encode().len();
+        let bytes_for_branches = with - without;
+        assert!(
+            bytes_for_branches < 10_000 / 8 + 16,
+            "branch section took {bytes_for_branches} bytes"
+        );
+    }
+
+    #[test]
+    fn varints_round_trip_at_the_extremes() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v);
+            assert!(r.done());
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -4096] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

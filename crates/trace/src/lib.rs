@@ -1,0 +1,55 @@
+//! Compact execution traces for the speculative-interference simulator:
+//! recording, SimPoint-style sampling, and machine replay.
+//!
+//! A `.sit` trace is a self-contained, versioned, checksummed binary
+//! file ([`TraceFile`], wire format specified byte-for-byte in
+//! `docs/TRACE_FORMAT.md`) holding a program plus its architectural
+//! branch-outcome stream (~1 bit per branch via taken-run-length
+//! encoding), memory-access stream (zigzag address deltas), and a
+//! sampling plan chosen by a deterministic SimPoint-style clusterer
+//! ([`sampler`]).
+//!
+//! The pipeline is:
+//!
+//! 1. [`record`](record()) — run a program through the architectural
+//!    interpreter, capturing streams and per-interval basic-block
+//!    vectors, then cluster intervals and pick representatives;
+//! 2. [`TraceFile::encode`] / [`TraceFile::decode`] — serialize;
+//!    corrupt input decodes to a [`DecodeError`], never a panic;
+//! 3. [`replay_full`] / [`replay_sampled`] — re-execute on the
+//!    cycle-level machine under any speculation scheme and predictor;
+//!    sampled replay simulates only representative intervals and
+//!    extrapolates by cluster size, in pure integer arithmetic.
+//!
+//! Everything is deterministic: the same program yields bit-identical
+//! trace bytes, and replay (full or sampled) yields identical cycle
+//! counts on every run and thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use si_trace::{example_trace, replay_sampled, TraceFile};
+//! use si_cpu::{MachineConfig, Unprotected};
+//!
+//! let trace = example_trace();
+//! let bytes = trace.encode();
+//! assert_eq!(TraceFile::decode(&bytes).unwrap(), trace);
+//!
+//! let cfg = MachineConfig::default();
+//! let out = replay_sampled(&trace, &cfg, &|| Box::new(Unprotected), 100_000).unwrap();
+//! assert!(out.cycles > 0);
+//! ```
+
+mod example;
+mod format;
+mod record;
+mod replay;
+pub mod sampler;
+
+pub use example::{example_program, example_trace};
+pub use format::{
+    fnv1a64, DecodeError, MemRecord, Representative, Samples, TraceFile, HEADER_BYTES, MAGIC,
+    VERSION,
+};
+pub use record::{record, RecordConfig, RecordError};
+pub use replay::{replay_full, replay_sampled, ReplayError, ReplayOutcome};

@@ -1,0 +1,274 @@
+//! SimPoint-style interval sampling: basic-block vectors, random
+//! projection, and a deterministic k-means clusterer — all in pure
+//! `std`, no floats in the resulting file.
+//!
+//! The recorder slices execution into fixed-length instruction
+//! intervals and builds one **basic-block vector** (BBV) per interval:
+//! a map from block-leader pc to instructions executed inside that
+//! block during the interval (Sherwood et al., ASPLOS 2002). Intervals
+//! with similar BBVs exercise the same code and, to first order, the
+//! same microarchitectural behaviour — so simulating one
+//! representative per cluster and scaling by cluster size estimates
+//! the full run.
+//!
+//! # Determinism invariants
+//!
+//! Everything here is a pure function of the BBV list and `max_k`:
+//!
+//! * projection vectors come from [SplitMix64](splitmix64) seeded by
+//!   the block key — no shared RNG stream, so results cannot depend on
+//!   map iteration order (keys are iterated in `BTreeMap` order
+//!   anyway);
+//! * initial centroids are evenly spaced interval indices, not random
+//!   draws;
+//! * all argmin/argmax ties break toward the lowest index;
+//! * f64 arithmetic is evaluated in a fixed order, so results are
+//!   bit-identical across runs and thread counts.
+
+use std::collections::BTreeMap;
+
+use crate::format::Representative;
+
+/// Dimensionality of the random projection. 16 is plenty for the
+/// handful of distinct blocks the corpus programs execute; SimPoint
+/// itself uses 15.
+pub const PROJ_DIMS: usize = 16;
+
+/// Lloyd iterations. Clustering converges in a handful of iterations
+/// at this scale; a fixed count keeps the runtime bounded and the
+/// output a pure function of the input.
+const KMEANS_ITERS: usize = 25;
+
+/// SplitMix64 — a tiny stateless mixer used to derive projection
+/// matrix entries from `(block key, dimension)` pairs.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Projection-matrix entry for `(key, dim)`, uniform in [-1, 1).
+fn proj_entry(key: u64, dim: usize) -> f64 {
+    let bits = splitmix64(key ^ ((dim as u64) << 56) ^ 0x5157_5632_0001);
+    ((bits >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+/// Projects one BBV into `PROJ_DIMS` dimensions and normalizes by the
+/// interval's total instruction count, so a short final interval is
+/// comparable to full ones.
+fn project(bbv: &BTreeMap<u64, u64>) -> [f64; PROJ_DIMS] {
+    let mut v = [0.0f64; PROJ_DIMS];
+    let total: u64 = bbv.values().sum();
+    if total == 0 {
+        return v;
+    }
+    for (&key, &count) in bbv {
+        let w = count as f64;
+        for (d, slot) in v.iter_mut().enumerate() {
+            *slot += w * proj_entry(key, d);
+        }
+    }
+    for slot in &mut v {
+        *slot /= total as f64;
+    }
+    v
+}
+
+fn dist2(a: &[f64; PROJ_DIMS], b: &[f64; PROJ_DIMS]) -> f64 {
+    let mut s = 0.0;
+    for d in 0..PROJ_DIMS {
+        let diff = a[d] - b[d];
+        s += diff * diff;
+    }
+    s
+}
+
+/// Clusters the per-interval BBVs into at most `max_k` clusters and
+/// returns one [`Representative`] per non-empty cluster, ascending by
+/// interval index, with cluster sizes summing to `bbvs.len()`.
+pub fn simpoints(bbvs: &[BTreeMap<u64, u64>], max_k: usize) -> Vec<Representative> {
+    let n = bbvs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = max_k.clamp(1, n);
+    let points: Vec<[f64; PROJ_DIMS]> = bbvs.iter().map(project).collect();
+
+    // Evenly spaced initial centroids — deterministic and well spread
+    // for the phase-structured executions traces actually contain.
+    let mut centroids: Vec<[f64; PROJ_DIMS]> = (0..k).map(|i| points[i * n / k]).collect();
+    let mut assign = vec![0usize; n];
+    for _ in 0..KMEANS_ITERS {
+        // Assignment step: nearest centroid, ties to the lowest index.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = dist2(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assign[i] = best;
+        }
+        // Update step: centroid = mean of members; empty clusters keep
+        // their previous centroid (deterministic, and harmless — an
+        // empty cluster simply yields no representative).
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            let mut sum = [0.0f64; PROJ_DIMS];
+            let mut count = 0u64;
+            for (i, p) in points.iter().enumerate() {
+                if assign[i] == c {
+                    for d in 0..PROJ_DIMS {
+                        sum[d] += p[d];
+                    }
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                for d in 0..PROJ_DIMS {
+                    centroid[d] = sum[d] / count as f64;
+                }
+            }
+        }
+    }
+
+    // Representative per cluster: the member closest to the centroid
+    // (lowest interval index on ties); weight = cluster size.
+    let mut reps = Vec::new();
+    for (c, centroid) in centroids.iter().enumerate() {
+        let mut best: Option<(usize, f64)> = None;
+        let mut size = 0u64;
+        for (i, p) in points.iter().enumerate() {
+            if assign[i] != c {
+                continue;
+            }
+            size += 1;
+            let d = dist2(p, centroid);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        if let Some((i, _)) = best {
+            reps.push(Representative {
+                interval: i as u64,
+                cluster_size: size,
+            });
+        }
+    }
+    reps.sort_by_key(|r| r.interval);
+    reps
+}
+
+/// Like [`simpoints`], but pins the first `warmup` intervals as
+/// always-simulated singleton clusters and clusters only the rest.
+///
+/// Early intervals carry the run's cold-start transient (compulsory
+/// cache misses, untrained predictor). Their BBVs are often identical
+/// to steady-state intervals — the code path is the same; only the
+/// microarchitectural state differs, which BBVs cannot see — so plain
+/// k-means happily elects a transient interval to represent a large
+/// steady-state cluster and overestimates the whole run. Simulating
+/// the warm-up intervals exactly (weight 1 each) removes that bias at
+/// the cost of `warmup` extra sample intervals.
+pub fn simpoints_with_warmup(
+    bbvs: &[BTreeMap<u64, u64>],
+    max_k: usize,
+    warmup: usize,
+) -> Vec<Representative> {
+    let w = warmup.min(bbvs.len());
+    let mut reps: Vec<Representative> = (0..w)
+        .map(|i| Representative {
+            interval: i as u64,
+            cluster_size: 1,
+        })
+        .collect();
+    for r in simpoints(&bbvs[w..], max_k) {
+        reps.push(Representative {
+            interval: r.interval + w as u64,
+            cluster_size: r.cluster_size,
+        });
+    }
+    reps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bbv(pairs: &[(u64, u64)]) -> BTreeMap<u64, u64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn sizes_sum_to_interval_count_and_reps_ascend() {
+        let bbvs: Vec<_> = (0..10)
+            .map(|i| bbv(&[(0x40 * (i % 3), 100), (0x999, i)]))
+            .collect();
+        let reps = simpoints(&bbvs, 4);
+        assert!(!reps.is_empty() && reps.len() <= 4);
+        assert_eq!(reps.iter().map(|r| r.cluster_size).sum::<u64>(), 10);
+        assert!(reps.windows(2).all(|w| w[0].interval < w[1].interval));
+    }
+
+    #[test]
+    fn identical_intervals_collapse_to_one_cluster() {
+        let bbvs: Vec<_> = (0..8).map(|_| bbv(&[(0x100, 50)])).collect();
+        let reps = simpoints(&bbvs, 4);
+        // All points coincide; every member is equidistant (0) from
+        // every centroid, so ties send them all to cluster 0.
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].cluster_size, 8);
+        assert_eq!(reps[0].interval, 0);
+    }
+
+    #[test]
+    fn two_phases_get_two_representatives() {
+        // Five intervals in block A, five in block B: a 2-phase run.
+        let mut bbvs: Vec<_> = (0..5).map(|_| bbv(&[(0x1000, 64)])).collect();
+        bbvs.extend((0..5).map(|_| bbv(&[(0x8000, 64)])));
+        let reps = simpoints(&bbvs, 2);
+        assert_eq!(reps.len(), 2);
+        assert_eq!(reps[0].cluster_size, 5);
+        assert_eq!(reps[1].cluster_size, 5);
+        assert!(reps[0].interval < 5 && reps[1].interval >= 5);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let bbvs: Vec<_> = (0..20)
+            .map(|i: u64| bbv(&[(i.wrapping_mul(0x40) % 0x200, 10 + i), (0x7000, 3)]))
+            .collect();
+        assert_eq!(simpoints(&bbvs, 5), simpoints(&bbvs, 5));
+    }
+
+    #[test]
+    fn warmup_intervals_are_pinned_as_singletons() {
+        // Eight identical intervals: without warm-up pinning they
+        // collapse to one cluster represented by interval 0.
+        let bbvs: Vec<_> = (0..8).map(|_| bbv(&[(0x100, 50)])).collect();
+        let reps = simpoints_with_warmup(&bbvs, 4, 3);
+        assert_eq!(reps.len(), 4);
+        for (i, r) in reps.iter().take(3).enumerate() {
+            assert_eq!((r.interval, r.cluster_size), (i as u64, 1));
+        }
+        assert_eq!(reps[3].cluster_size, 5);
+        assert!(reps[3].interval >= 3);
+        // Warm-up larger than the run degrades to all-singletons.
+        let all = simpoints_with_warmup(&bbvs, 4, 100);
+        assert_eq!(all.len(), 8);
+        assert!(all.iter().all(|r| r.cluster_size == 1));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(simpoints(&[], 4).is_empty());
+        let one = vec![bbv(&[(0, 1)])];
+        let reps = simpoints(&one, 8);
+        assert_eq!(reps.len(), 1);
+        assert_eq!(reps[0].cluster_size, 1);
+    }
+}

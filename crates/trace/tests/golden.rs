@@ -1,0 +1,77 @@
+//! Golden test tying `docs/TRACE_FORMAT.md`, `traces/example.sit`,
+//! and the in-tree encoder together: the hex dump printed in the
+//! format document must be byte-for-byte what the encoder produces
+//! and what is committed on disk.
+
+use si_trace::{example_trace, TraceFile};
+
+fn repo_path(rel: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// Extracts the worked example's bytes from the format document: the
+/// dump is the only fenced block whose lines look like `xxd` output
+/// (`NNNNNNNN: hh…`).
+fn bytes_from_doc(doc: &str) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for line in doc.lines() {
+        let Some((off, rest)) = line.split_once(": ") else {
+            continue;
+        };
+        if off.len() != 8 || u64::from_str_radix(off, 16).is_err() {
+            continue;
+        }
+        // Hex columns end at the two-space gutter before the ASCII
+        // rendering.
+        let hex = rest.split("  ").next().unwrap_or(rest);
+        for group in hex.split_whitespace() {
+            assert!(
+                group.len() % 2 == 0,
+                "odd-length hex group {group:?} in doc dump line {line:?}"
+            );
+            for i in (0..group.len()).step_by(2) {
+                let b = u8::from_str_radix(&group[i..i + 2], 16)
+                    .unwrap_or_else(|_| panic!("bad hex {group:?} in {line:?}"));
+                bytes.push(b);
+            }
+        }
+    }
+    bytes
+}
+
+#[test]
+fn doc_fixture_and_encoder_agree() {
+    let doc = std::fs::read_to_string(repo_path("docs/TRACE_FORMAT.md"))
+        .expect("docs/TRACE_FORMAT.md exists");
+    let doc_bytes = bytes_from_doc(&doc);
+    assert!(
+        !doc_bytes.is_empty(),
+        "no hex dump found in docs/TRACE_FORMAT.md"
+    );
+
+    let encoded = example_trace().encode();
+    assert_eq!(
+        doc_bytes, encoded,
+        "hex dump in docs/TRACE_FORMAT.md differs from the encoder; \
+         regenerate the doc's dump (xxd traces/example.sit) after \
+         `sia trace example`"
+    );
+
+    let fixture =
+        std::fs::read(repo_path("traces/example.sit")).expect("traces/example.sit committed");
+    assert_eq!(
+        fixture, encoded,
+        "traces/example.sit is stale; regenerate with `sia trace example`"
+    );
+
+    // The dump decodes back to the builder's trace, and the digest
+    // quoted in the document matches.
+    assert_eq!(TraceFile::decode(&doc_bytes).unwrap(), example_trace());
+    let digest = format!("{:#018x}", TraceFile::content_digest(&doc_bytes));
+    assert!(
+        doc.contains(&digest),
+        "document does not quote the fixture digest {digest}"
+    );
+}

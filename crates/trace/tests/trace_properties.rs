@@ -1,0 +1,120 @@
+//! Property tests over the `.sit` container: arbitrary well-formed
+//! traces round-trip bit-exactly, and random corruption is always
+//! surfaced as a clean typed error.
+
+use proptest::prelude::*;
+
+use si_isa::{Assembler, Program, R1, R2, R3};
+use si_trace::{DecodeError, MemRecord, Representative, Samples, TraceFile};
+
+fn program_with(data: &[(u64, u8)], instrs: usize) -> Program {
+    let mut asm = Assembler::new(0x40);
+    asm.mov_imm(R1, 1);
+    asm.mov_imm(R2, 2);
+    for _ in 0..instrs {
+        asm.add(R3, R1, R2);
+    }
+    asm.halt();
+    let mut p = asm.assemble().expect("assembles");
+    for &(addr, byte) in data {
+        p.write_data(addr, &[byte]);
+    }
+    p
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec((0x1000u64..0x2000, any::<u8>()), 0..16),
+        0usize..12,
+    )
+        .prop_map(|(data, instrs)| program_with(&data, instrs))
+}
+
+fn arb_accesses() -> impl Strategy<Value = Vec<MemRecord>> {
+    proptest::collection::vec(
+        (any::<u64>(), any::<bool>()).prop_map(|(addr, store)| MemRecord { addr, store }),
+        0..64,
+    )
+}
+
+/// Builds a structurally valid sampling plan: strictly ascending
+/// representative intervals with weights summing to `n_intervals`.
+fn arb_samples() -> impl Strategy<Value = Samples> {
+    (1u64..10_000, 0u64..40, any::<bool>()).prop_map(|(interval_len, n_intervals, with_reps)| {
+        let mut reps = Vec::new();
+        if with_reps && n_intervals > 0 {
+            // Every third interval is a representative carrying its
+            // gap's weight; the final one absorbs the remainder.
+            let mut covered = 0;
+            while covered < n_intervals {
+                let size = 3.min(n_intervals - covered);
+                reps.push(Representative {
+                    interval: covered,
+                    cluster_size: size,
+                });
+                covered += size;
+            }
+        }
+        Samples {
+            interval_len,
+            n_intervals,
+            reps,
+        }
+    })
+}
+
+fn arb_trace() -> impl Strategy<Value = TraceFile> {
+    (
+        arb_program(),
+        proptest::collection::vec(any::<bool>(), 0..256),
+        arb_accesses(),
+        arb_samples(),
+        any::<u32>(),
+    )
+        .prop_map(|(program, branches, accesses, samples, total)| TraceFile {
+            program,
+            branches,
+            accesses,
+            samples,
+            total_instr: u64::from(total),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn encode_decode_roundtrip(trace in arb_trace()) {
+        let bytes = trace.encode();
+        let back = TraceFile::decode(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(trace in arb_trace()) {
+        prop_assert_eq!(trace.encode(), trace.encode());
+    }
+
+    #[test]
+    fn truncation_is_a_clean_error(trace in arb_trace(), cut in any::<u16>()) {
+        let bytes = trace.encode();
+        let len = usize::from(cut) % bytes.len();
+        prop_assert_eq!(
+            TraceFile::decode(&bytes[..len]).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn bit_flips_never_decode_silently(trace in arb_trace(), pos in any::<u32>(), bit in 0u8..8) {
+        let mut bytes = trace.encode();
+        let i = pos as usize % bytes.len();
+        bytes[i] ^= 1 << bit;
+        // The two reserved header bytes are the only ones outside the
+        // checksum's reach; a flip there must be ignored.
+        if let Ok(back) = TraceFile::decode(&bytes) {
+            prop_assert!((6..8).contains(&i), "undetected flip at byte {}", i);
+            prop_assert_eq!(back, trace);
+        }
+    }
+}

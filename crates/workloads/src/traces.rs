@@ -1,0 +1,105 @@
+//! Committed sample-trace fixtures and their replay as workloads.
+//!
+//! Each [`SampleTrace`] names a `.sit` file under `traces/` recorded
+//! from one of the benchmark kernels with `sia trace record` (interval
+//! length 1024, at most 8 clusters). The bytes are embedded at compile
+//! time, so trace workloads need no filesystem access at run time and
+//! the harness can fold the exact bytes' digest into engine cache keys.
+
+use si_trace::{fnv1a64, TraceFile};
+
+/// The committed sample traces, each recorded from a branchy kernel
+/// (the interesting case for the `predictor=tage` axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SampleTrace {
+    /// Recorded from the `mixed` kernel (balanced loads/ALU/branches).
+    Mixed,
+    /// Recorded from the `sort` kernel (data-dependent branches).
+    Sort,
+    /// Recorded from the `hash` kernel (hit/miss branch mix).
+    Hash,
+}
+
+impl SampleTrace {
+    /// All committed traces, in presentation order.
+    pub fn all() -> Vec<SampleTrace> {
+        vec![SampleTrace::Mixed, SampleTrace::Sort, SampleTrace::Hash]
+    }
+
+    /// Workload label (`sia sweep` workload-axis value).
+    pub fn label(self) -> &'static str {
+        match self {
+            SampleTrace::Mixed => "trace-mixed",
+            SampleTrace::Sort => "trace-sort",
+            SampleTrace::Hash => "trace-hash",
+        }
+    }
+
+    /// The embedded `.sit` bytes.
+    pub fn bytes(self) -> &'static [u8] {
+        match self {
+            SampleTrace::Mixed => include_bytes!(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../traces/mixed.sit"
+            )),
+            SampleTrace::Sort => include_bytes!(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../traces/sort.sit"
+            )),
+            SampleTrace::Hash => include_bytes!(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../traces/hash.sit"
+            )),
+        }
+    }
+
+    /// FNV-1a-64 digest of the embedded bytes. The harness XORs this
+    /// into each trace unit's `config_digest`, so cached results are
+    /// orphaned the moment a fixture is re-recorded.
+    pub fn content_digest(self) -> u64 {
+        fnv1a64(self.bytes())
+    }
+
+    /// Decodes the embedded trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the committed fixture is corrupt — a build/fixture
+    /// mismatch, not a runtime condition (`sia trace record` regenerates
+    /// the files under `traces/`).
+    pub fn decode(self) -> TraceFile {
+        TraceFile::decode(self.bytes())
+            .unwrap_or_else(|e| panic!("committed fixture {} is invalid: {e}", self.label()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_decode_and_carry_sampling_plans() {
+        for t in SampleTrace::all() {
+            let trace = t.decode();
+            assert!(trace.total_instr > 0, "{}", t.label());
+            assert!(!trace.branches.is_empty(), "{}", t.label());
+            assert!(
+                !trace.samples.reps.is_empty(),
+                "{} has no sampling plan",
+                t.label()
+            );
+            assert_ne!(t.content_digest(), 0);
+        }
+    }
+
+    #[test]
+    fn digests_are_distinct_per_fixture() {
+        let d: Vec<u64> = SampleTrace::all()
+            .into_iter()
+            .map(|t| t.content_digest())
+            .collect();
+        assert_ne!(d[0], d[1]);
+        assert_ne!(d[1], d[2]);
+        assert_ne!(d[0], d[2]);
+    }
+}
