@@ -65,7 +65,9 @@ struct LoadCompletion {
 pub struct Core {
     id: usize,
     config: CoreConfig,
-    program: Program,
+    /// Shared, immutable program image: cores only read it (fetch), so
+    /// clones — including every checkpoint fork — share one copy.
+    program: std::sync::Arc<Program>,
     frontend: Frontend,
     predictor: Predictor,
     rob: Rob,
@@ -100,7 +102,9 @@ impl Clone for Core {
     /// [`SpeculationScheme::boxed_clone`] — the field that keeps `Clone`
     /// from being derivable. Machine checkpointing relies on this being a
     /// complete copy: any field omitted here would leak state between
-    /// forked trials.
+    /// forked trials. The program image is the one exception — it is
+    /// immutable and shared, so the clone bumps its `Arc` instead of
+    /// copying it.
     fn clone(&self) -> Core {
         Core {
             id: self.id,
@@ -158,13 +162,36 @@ impl Core {
         program: Program,
         scheme: Box<dyn SpeculationScheme>,
     ) -> Core {
+        let entry = program.entry();
+        Core::new_shared(id, config, std::sync::Arc::new(program), scheme, entry)
+    }
+
+    /// Creates a core over a **shared** program image, starting fetch at
+    /// `entry` instead of the program's recorded entry point.
+    ///
+    /// Sampled trace replay builds one machine per representative
+    /// interval from the same program; sharing the image and overriding
+    /// the entry PC replaces a per-interval deep clone (and a mutated
+    /// `set_entry`) with an `Arc` bump. `Core::new` is the
+    /// `entry == program.entry()` special case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new_shared(
+        id: usize,
+        config: CoreConfig,
+        program: std::sync::Arc<Program>,
+        scheme: Box<dyn SpeculationScheme>,
+        entry: u64,
+    ) -> Core {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid core config: {e}"));
         let frontend = if config.no_speculation {
-            Frontend::new_no_speculation(program.entry(), config.decode_queue, config.fetch_width)
+            Frontend::new_no_speculation(entry, config.decode_queue, config.fetch_width)
         } else {
-            Frontend::new(program.entry(), config.decode_queue, config.fetch_width)
+            Frontend::new(entry, config.decode_queue, config.fetch_width)
         };
         Core {
             id,

@@ -197,9 +197,31 @@ impl Machine {
         program: &Program,
         scheme: Box<dyn SpeculationScheme>,
     ) {
-        self.shared.memory.load_program_data(program);
+        let entry = program.entry();
+        self.load_shared_program_with_scheme(
+            core_idx,
+            std::sync::Arc::new(program.clone()),
+            scheme,
+            entry,
+        );
+    }
+
+    /// Loads a **shared** program image onto `core_idx` under `scheme`,
+    /// starting fetch at `entry` instead of the image's recorded entry
+    /// point. Sampled trace replay builds one machine per representative
+    /// interval from one image; this variant replaces the per-interval
+    /// program clone with an `Arc` bump and passes the interval's start
+    /// PC separately.
+    pub fn load_shared_program_with_scheme(
+        &mut self,
+        core_idx: usize,
+        program: std::sync::Arc<Program>,
+        scheme: Box<dyn SpeculationScheme>,
+        entry: u64,
+    ) {
+        self.shared.memory.load_program_data(&program);
         self.cores[core_idx] =
-            Core::new(core_idx, self.config.core.clone(), program.clone(), scheme);
+            Core::new_shared(core_idx, self.config.core.clone(), program, scheme, entry);
     }
 
     fn replace_core_scheme_placeholder(&mut self, _core_idx: usize) -> Box<dyn SpeculationScheme> {

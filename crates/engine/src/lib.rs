@@ -30,6 +30,7 @@
 //! config-shape changes invalidate automatically even when the epoch is
 //! forgotten.
 
+pub mod artifact;
 pub mod cache;
 pub mod digest;
 pub mod scheduler;
@@ -39,6 +40,7 @@ pub mod unit;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
+pub use artifact::{ArtifactCache, ArtifactStats};
 pub use cache::{CacheStats, UnitCache};
 pub use store::PackStore;
 pub use unit::UnitSpec;

@@ -690,21 +690,85 @@ fn bench_trace(samples: usize, out: &mut Vec<Measured>) {
     ));
     // Same normalization unit as the full tier — the sampled replay
     // *estimates* the whole trace, so ns-per-represented-instruction is
-    // the figure a user of the estimate pays.
+    // the figure a user of the estimate pays. This is the cold tier: the
+    // full per-unit cost a sweep cell pays with the artifact cache
+    // disabled — payload decode, the plan fast-forward, per-interval
+    // machine warm-up, and the measured simulation.
     out.push(measure(
         "trace_sampled/mixed",
         samples,
         trace.total_instr,
         "instr",
         || {
-            let o = si_trace::replay_sampled(
-                &trace,
-                &config,
-                &|| SchemeKind::Unprotected.build(),
-                budget,
-            )
-            .expect("fixture replays");
+            let t = si_workloads::SampleTrace::Mixed.decode();
+            let o =
+                si_trace::replay_sampled(&t, &config, &|| SchemeKind::Unprotected.build(), budget)
+                    .expect("fixture replays");
             assert!(o.intervals_run > 0);
+        },
+    ));
+    // Warm tier: the same unit against a hot artifact cache — the
+    // decoded trace, replay plan, and per-interval warm checkpoints are
+    // all shared, so each call pays one checkpoint fork plus the
+    // simulation itself. measure()'s untimed warmup pass populates the
+    // cache; results are byte-identical to the cold tier by contract.
+    // 32 replays per sample: a single warm replay is tens of
+    // microseconds, so batching keeps the min-of-samples stable enough
+    // for the ratio gate.
+    const WARM_REPS: u64 = 32;
+    let digest = si_workloads::SampleTrace::Mixed.content_digest();
+    let warm_trace = si_workloads::SampleTrace::Mixed.decode_shared();
+    out.push(measure(
+        "trace_sampled_warm/mixed",
+        samples,
+        trace.total_instr * WARM_REPS,
+        "instr",
+        || {
+            for _ in 0..WARM_REPS {
+                let o = si_workloads::replay_trace_cached(
+                    &warm_trace,
+                    digest,
+                    SchemeKind::Unprotected,
+                    &config,
+                    budget,
+                )
+                .expect("fixture replays");
+                assert!(o.intervals_run > 0);
+            }
+        },
+    ));
+}
+
+/// Micro-tiers for the artifact cache itself: the per-lookup cost of a
+/// hit on a hot slot and of a miss that has to allocate slot, key, and
+/// value. Uses private caches so the process-wide one stays untouched.
+fn bench_artifact_cache(samples: usize, out: &mut Vec<Measured>) {
+    const OPS: u64 = 10_000;
+    let cache = si_engine::ArtifactCache::new();
+    let _: std::sync::Arc<u64> = cache.get_or_build("bench", "hot", || 42);
+    out.push(measure(
+        "artifact_cache/hit",
+        samples,
+        OPS,
+        "lookup",
+        || {
+            for _ in 0..OPS {
+                let v: std::sync::Arc<u64> = cache.get_or_build("bench", "hot", || 42);
+                assert_eq!(*v, 42);
+            }
+        },
+    ));
+    out.push(measure(
+        "artifact_cache/miss",
+        samples,
+        OPS,
+        "lookup",
+        || {
+            let cold = si_engine::ArtifactCache::new();
+            for i in 0..OPS {
+                let v: std::sync::Arc<u64> = cold.get_or_build("bench", &format!("key-{i}"), || i);
+                assert_eq!(*v, i);
+            }
         },
     ));
 }
@@ -757,6 +821,7 @@ pub fn run_benches(quick: bool) -> Json {
     bench_engine(engine_samples, &mut benches);
     bench_store(engine_samples, &mut benches);
     bench_trace(engine_samples, &mut benches);
+    bench_artifact_cache(engine_samples, &mut benches);
 
     let mut speedups = obj([]);
     if let Some((geomean, pairs)) = speedup_ratios(&benches, "policy_boxed/", "policy_flat/") {
@@ -783,6 +848,9 @@ pub fn run_benches(quick: bool) -> Json {
     }
     if let Some((geomean, _)) = speedup_ratios(&benches, "trace_full/", "trace_sampled/") {
         speedups.push("trace_sampled_over_full", Json::from(geomean));
+    }
+    if let Some((geomean, _)) = speedup_ratios(&benches, "trace_sampled/", "trace_sampled_warm/") {
+        speedups.push("trace_warm_over_cold", Json::from(geomean));
     }
 
     obj([

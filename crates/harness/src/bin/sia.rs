@@ -22,7 +22,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use si_engine::PackStore;
+use si_engine::{ArtifactCache, PackStore};
 use si_harness::attack::{run_attack_grid, run_attack_grid_batched, AttackGrid, ATTACK_GRID_NAMES};
 use si_harness::json::{parse, Json};
 use si_harness::render::{render_report, splice_report, REPORT_BEGIN, REPORT_END};
@@ -80,6 +80,10 @@ SWEEP OPTIONS:
     --out <FILE>       output file (default: results/sweep-<grid>.json)
     --print            also print the result document to stdout
     --no-wall-time     omit wall_time_ms (bit-stable output)
+    --no-artifact-cache  disable the in-process artifact cache (shared
+                       decoded traces, replay plans, warm checkpoints);
+                       output is byte-identical either way — the trace
+                       CI job diffs the two to prove it
 
 ATTACK OPTIONS:
     --grid <NAME>      grid to run: headline (default), geometry, noise, full
@@ -163,6 +167,10 @@ TRACE OPTIONS (see docs/TRACE_FORMAT.md for the .sit wire format):
            [--predictor P]       predictor preset (default tage)
            [--full]              replay the whole trace, no sampling
            [--budget N]          cycle budget (default 30000000)
+           [--no-artifact-cache] rebuild the replay plan and warm machines
+                                 from scratch instead of using the in-process
+                                 artifact cache (identical output, for
+                                 differential testing)
     info <FILE>                  decode and summarize a trace
     example [--out FILE]         write the docs/TRACE_FORMAT.md worked-example
                                  fixture (default traces/example.sit)
@@ -431,6 +439,7 @@ struct GridArgs {
     print: bool,
     wall_time: bool,
     no_checkpoint: bool,
+    no_artifact_cache: bool,
     batch: Option<usize>,
 }
 
@@ -455,9 +464,11 @@ fn parse_grid_args(
         print: false,
         wall_time: true,
         no_checkpoint: false,
+        no_artifact_cache: false,
         batch: None,
     };
     let attack_verb = verb == "attack";
+    let sweep_verb = verb == "sweep";
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -487,6 +498,7 @@ fn parse_grid_args(
                 );
             }
             "--no-checkpoint" if attack_verb => args.no_checkpoint = true,
+            "--no-artifact-cache" if sweep_verb => args.no_artifact_cache = true,
             "--batch" if attack_verb => {
                 let n: usize = value("--batch")?
                     .parse()
@@ -562,6 +574,9 @@ fn cmd_sweep(argv: &[String]) -> Result<ExitCode, String> {
         .out
         .clone()
         .unwrap_or_else(|| format!("results/sweep-{}.json", args.grid_name));
+    // The artifact cache only changes wall-clock time, never results
+    // (a CI job diffs cached vs uncached sweeps to prove it).
+    ArtifactCache::global().set_enabled(!args.no_artifact_cache);
     let start = Instant::now();
     let (envelope, stats) = run_sweep(&grid, args.seed, &args.cache.engine(args.threads))?;
     emit_grid_doc(
@@ -635,6 +650,7 @@ fn cmd_scan(argv: &[String]) -> Result<ExitCode, String> {
         print: false,
         wall_time: true,
         no_checkpoint: false,
+        no_artifact_cache: false,
         batch: None,
     };
     let mut it = argv.iter();
@@ -1170,6 +1186,7 @@ fn cmd_trace(argv: &[String]) -> Result<ExitCode, String> {
             let mut predictor = PredictorPreset::Tage;
             let mut full = false;
             let mut budget = 30_000_000u64;
+            let mut no_artifact_cache = false;
             let mut it = rest[1..].iter();
             while let Some(arg) = it.next() {
                 let mut value = |name: &str| {
@@ -1193,20 +1210,22 @@ fn cmd_trace(argv: &[String]) -> Result<ExitCode, String> {
                             .parse()
                             .map_err(|e| format!("--budget: {e}"))?
                     }
+                    "--no-artifact-cache" => no_artifact_cache = true,
                     other => return Err(format!("unknown trace replay option '{other}'")),
                 }
             }
-            let (trace, _) = load_trace(path)?;
+            let (trace, digest) = load_trace(path)?;
             let config = MachineConfig::from_presets(
                 GeometryPreset::KabyLake,
                 NoisePreset::Quiet,
                 predictor,
             );
+            ArtifactCache::global().set_enabled(!no_artifact_cache);
             let start = Instant::now();
             let out = if full {
                 si_trace::replay_full(&trace, &config, scheme.build(), budget)
             } else {
-                si_trace::replay_sampled(&trace, &config, &|| scheme.build(), budget)
+                si_workloads::replay_trace_cached(&trace, digest, scheme, &config, budget)
             }
             .map_err(|e| e.to_string())?;
             println!(

@@ -200,6 +200,20 @@ fn store_stats(state: &ServeState, resp: &mut Responder) {
         .store()
         .map(|s| s.stats(crate::CODE_EPOCH))
         .unwrap_or_default();
+    // In-process artifact cache (decoded traces, replay plans, warm
+    // checkpoints), one entry per namespace in deterministic order.
+    let artifact = si_engine::ArtifactCache::global()
+        .stats()
+        .into_iter()
+        .map(|ns| {
+            obj([
+                ("namespace", Json::from(ns.namespace)),
+                ("entries", Json::from(ns.entries as u64)),
+                ("hits", Json::from(ns.hits)),
+                ("misses", Json::from(ns.misses)),
+            ])
+        })
+        .collect();
     let doc = obj([
         ("schema_version", Json::from(SCHEMA_VERSION)),
         ("doc", Json::from("store-stats")),
@@ -207,6 +221,7 @@ fn store_stats(state: &ServeState, resp: &mut Responder) {
         ("live_bytes", Json::from(stats.live_bytes)),
         ("orphaned_entries", Json::from(stats.orphaned_entries)),
         ("orphaned_bytes", Json::from(stats.orphaned_bytes)),
+        ("artifact_cache", Json::Arr(artifact)),
     ]);
     resp.respond(200, "application/json", doc.to_pretty().as_bytes());
 }

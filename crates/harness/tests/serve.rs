@@ -13,6 +13,7 @@
 use std::sync::atomic::Ordering;
 
 use si_harness::attack::{run_attack_grid, AttackGrid};
+use si_harness::json::{parse, Json};
 use si_harness::scan::{run_scan, ScanJob};
 use si_harness::serve::{start, ServeHandle};
 use si_harness::sweep::{run_sweep, GridSpec};
@@ -136,6 +137,44 @@ fn served_documents_match_offline_output_cold_and_warm() {
         request(&handle.addr, "POST", "/v1/scan", &[], scan_body.as_bytes()).expect("warm scan");
     assert_eq!(header_num(&warm, "x-sia-executed"), 0);
 
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `GET /v1/store/stats` reports the in-process artifact cache's
+/// per-namespace entry/hit/miss counters alongside the unit-store
+/// totals. After a trace sweep the trace-replay namespaces must be
+/// present and populated.
+#[test]
+fn store_stats_report_artifact_cache_namespaces() {
+    let (handle, dir) = daemon("artifact-stats");
+    let body = r#"{"grid": "trace", "filters": ["scheme=dom"], "trials": 1}"#;
+    let resp = request(&handle.addr, "POST", "/v1/sweep", &[], body.as_bytes()).expect("sweep");
+    assert_eq!(resp.status, 200);
+    let stats = request(&handle.addr, "GET", "/v1/store/stats", &[], b"").expect("stats");
+    assert_eq!(stats.status, 200);
+    let doc = parse(&stats.text()).expect("stats parse");
+    let cache = doc
+        .get("artifact_cache")
+        .expect("artifact_cache field present");
+    let Json::Arr(namespaces) = cache else {
+        panic!("artifact_cache is not an array");
+    };
+    let find = |name: &str| {
+        namespaces
+            .iter()
+            .find(|ns| matches!(ns.get("namespace"), Some(Json::Str(s)) if s == name))
+            .unwrap_or_else(|| panic!("namespace '{name}' missing from store stats"))
+    };
+    for name in ["plan", "trace"] {
+        let ns = find(name);
+        let entries = match ns.get("entries") {
+            Some(Json::U64(n)) => *n,
+            Some(Json::I64(n)) => *n as u64,
+            other => panic!("entries not numeric: {other:?}"),
+        };
+        assert!(entries > 0, "namespace '{name}' has no entries");
+    }
     handle.stop();
     let _ = std::fs::remove_dir_all(&dir);
 }

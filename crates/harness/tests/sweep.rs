@@ -57,6 +57,32 @@ fn trace_sweep_is_bit_identical_across_thread_counts() {
     assert_eq!(serial, parallel, "thread count changed trace-sweep output");
 }
 
+/// The artifact cache (decoded traces, replay plans, warm checkpoints,
+/// memoized interval outcomes) must never change sweep output: a
+/// cache-disabled run, the run that populates the cache, and a fully
+/// warm run serialize to the same bytes at any thread count.
+#[test]
+fn trace_sweep_is_identical_with_and_without_artifact_cache() {
+    let grid = GridSpec::named("trace").expect("named grid");
+    let cache = si_engine::ArtifactCache::global();
+    cache.set_enabled(false);
+    let uncached = run_sweep(&grid, 0xD5_2021, &Engine::new(2))
+        .expect("uncached sweep")
+        .0
+        .to_pretty();
+    cache.set_enabled(true);
+    let populating = run_sweep(&grid, 0xD5_2021, &Engine::new(2))
+        .expect("populating sweep")
+        .0
+        .to_pretty();
+    let warm = run_sweep(&grid, 0xD5_2021, &Engine::new(1))
+        .expect("warm sweep")
+        .0
+        .to_pretty();
+    assert_eq!(uncached, populating, "artifact cache changed sweep output");
+    assert_eq!(populating, warm, "warm artifact cache changed sweep output");
+}
+
 /// Different base seeds must reach the noise machinery (jitter cells
 /// draw per-trial noise seeds derived from the base seed).
 #[test]

@@ -324,63 +324,10 @@ impl TraceFile {
     /// checksum mismatch (bit flips), malformed sections — returns a
     /// [`DecodeError`]; corrupt input never panics.
     pub fn decode(bytes: &[u8]) -> Result<TraceFile, DecodeError> {
-        if bytes.len() < HEADER_BYTES {
-            return Err(if bytes.get(..4).is_some_and(|m| m != MAGIC) {
-                DecodeError::BadMagic
-            } else {
-                DecodeError::Truncated
-            });
-        }
-        if bytes[..4] != MAGIC {
-            return Err(DecodeError::BadMagic);
-        }
-        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != VERSION {
-            return Err(DecodeError::BadVersion(version));
-        }
-        let mut head = Reader::new(&bytes[8..HEADER_BYTES]);
-        let payload_len = head.u64_le()? as usize;
-        let expected = head.u64_le()?;
-        let payload = bytes
-            .get(HEADER_BYTES..HEADER_BYTES + payload_len)
-            .ok_or(DecodeError::Truncated)?;
-        if bytes.len() != HEADER_BYTES + payload_len {
-            return Err(DecodeError::Malformed("trailing bytes after payload"));
-        }
-        let actual = fnv1a64(payload);
-        if actual != expected {
-            return Err(DecodeError::ChecksumMismatch { expected, actual });
-        }
+        let payload = TraceFile::checked_payload(bytes)?;
         let mut r = Reader::new(payload);
         // Section 1: program.
-        let entry = r.varint()?;
-        let n_instr = r.varint()?;
-        let mut program = Program::new();
-        program.set_entry(entry);
-        let mut pc = 0u64;
-        for _ in 0..n_instr {
-            let gap = r
-                .varint()?
-                .checked_mul(si_isa::INSTR_BYTES)
-                .and_then(|g| pc.checked_add(g))
-                .ok_or(DecodeError::Malformed("instruction address overflows"))?;
-            pc = gap;
-            let word = r.u64_le()?;
-            let instr = decode_instr(word)
-                .map_err(|_| DecodeError::Malformed("undecodable instruction"))?;
-            program.place(pc, instr);
-            pc += si_isa::INSTR_BYTES;
-        }
-        let n_data = r.varint()?;
-        let mut addr = 0u64;
-        for _ in 0..n_data {
-            addr = addr
-                .checked_add(r.varint()?)
-                .ok_or(DecodeError::Malformed("data address overflows"))?;
-            let byte = r.u8()?;
-            program.write_data(addr, &[byte]);
-            addr += 1;
-        }
+        let program = TraceFile::read_program(&mut r)?;
         // Section 2: branches.
         let n_branches = r.varint()?;
         let mut branches = Vec::new();
@@ -474,6 +421,93 @@ impl TraceFile {
             },
             total_instr,
         })
+    }
+
+    /// Decodes **only the embedded program** (payload section 1),
+    /// skipping the branch, memory-access, and sampling sections
+    /// entirely. The header is still fully validated — including the
+    /// checksum over the whole payload — so a corrupt file fails here
+    /// exactly as it would in [`TraceFile::decode`].
+    ///
+    /// This is the cheap path for callers that need the program but not
+    /// the streams (kernel-program extraction, static analysis): the
+    /// access stream dominates payload size, and none of it is parsed.
+    ///
+    /// # Errors
+    ///
+    /// The same [`DecodeError`]s as [`TraceFile::decode`] for header and
+    /// section-1 problems; malformations in later sections are not
+    /// detected (by design — they are not read).
+    pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
+        let payload = TraceFile::checked_payload(bytes)?;
+        TraceFile::read_program(&mut Reader::new(payload))
+    }
+
+    /// Validates the fixed header (magic, version, payload length,
+    /// FNV-1a-64 checksum) and returns the payload slice.
+    fn checked_payload(bytes: &[u8]) -> Result<&[u8], DecodeError> {
+        if bytes.len() < HEADER_BYTES {
+            return Err(if bytes.get(..4).is_some_and(|m| m != MAGIC) {
+                DecodeError::BadMagic
+            } else {
+                DecodeError::Truncated
+            });
+        }
+        if bytes[..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let mut head = Reader::new(&bytes[8..HEADER_BYTES]);
+        let payload_len = head.u64_le()? as usize;
+        let expected = head.u64_le()?;
+        let payload = bytes
+            .get(HEADER_BYTES..HEADER_BYTES + payload_len)
+            .ok_or(DecodeError::Truncated)?;
+        if bytes.len() != HEADER_BYTES + payload_len {
+            return Err(DecodeError::Malformed("trailing bytes after payload"));
+        }
+        let actual = fnv1a64(payload);
+        if actual != expected {
+            return Err(DecodeError::ChecksumMismatch { expected, actual });
+        }
+        Ok(payload)
+    }
+
+    /// Parses payload section 1 (the program) from `r`, leaving the
+    /// reader positioned at section 2.
+    fn read_program(r: &mut Reader<'_>) -> Result<Program, DecodeError> {
+        let entry = r.varint()?;
+        let n_instr = r.varint()?;
+        let mut program = Program::new();
+        program.set_entry(entry);
+        let mut pc = 0u64;
+        for _ in 0..n_instr {
+            let gap = r
+                .varint()?
+                .checked_mul(si_isa::INSTR_BYTES)
+                .and_then(|g| pc.checked_add(g))
+                .ok_or(DecodeError::Malformed("instruction address overflows"))?;
+            pc = gap;
+            let word = r.u64_le()?;
+            let instr = decode_instr(word)
+                .map_err(|_| DecodeError::Malformed("undecodable instruction"))?;
+            program.place(pc, instr);
+            pc += si_isa::INSTR_BYTES;
+        }
+        let n_data = r.varint()?;
+        let mut addr = 0u64;
+        for _ in 0..n_data {
+            addr = addr
+                .checked_add(r.varint()?)
+                .ok_or(DecodeError::Malformed("data address overflows"))?;
+            let byte = r.u8()?;
+            program.write_data(addr, &[byte]);
+            addr += 1;
+        }
+        Ok(program)
     }
 
     /// FNV-1a-64 digest of the encoded file — the content digest the

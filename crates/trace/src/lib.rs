@@ -21,6 +21,13 @@
 //!    sampled replay simulates only representative intervals and
 //!    extrapolates by cluster size, in pure integer arithmetic.
 //!
+//! Sampled replay is internally staged: a scheme-independent
+//! [`ReplayPlan`] (one interpreter fast-forward per trace) feeds
+//! [`replay_planned`] (per-scheme machine warm-up and simulation).
+//! Hot paths build the plan once per trace and share it across schemes,
+//! predictors, and trials; `replay_sampled` is the convenience wrapper
+//! that does both stages in one call.
+//!
 //! Everything is deterministic: the same program yields bit-identical
 //! trace bytes, and replay (full or sampled) yields identical cycle
 //! counts on every run and thread count.
@@ -42,6 +49,7 @@
 
 mod example;
 mod format;
+mod plan;
 mod record;
 mod replay;
 pub mod sampler;
@@ -51,5 +59,6 @@ pub use format::{
     fnv1a64, DecodeError, MemRecord, Representative, Samples, TraceFile, HEADER_BYTES, MAGIC,
     VERSION,
 };
+pub use plan::{replay_planned, PlanInterval, ReplayPlan};
 pub use record::{record, RecordConfig, RecordError};
 pub use replay::{replay_full, replay_sampled, ReplayError, ReplayOutcome};

@@ -24,16 +24,11 @@
 
 use std::fmt;
 
-use si_cpu::{AgentOp, Machine, MachineConfig, SpeculationScheme};
-use si_isa::{InterpError, Interpreter, Reg, NUM_REGS};
+use si_cpu::{Machine, MachineConfig, SpeculationScheme};
+use si_isa::InterpError;
 
 use crate::format::TraceFile;
-
-/// Most recent resolved branches replayed into a sample interval's
-/// fresh predictor. Enough to saturate both predictor organizations'
-/// tables; bounding it keeps per-interval warm-up cost independent of
-/// how deep into the trace the interval sits.
-const TRAIN_WINDOW: usize = 65_536;
+use crate::plan::{replay_planned, ReplayPlan};
 
 /// Result of a replay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,8 +93,11 @@ pub fn replay_full(
 /// by cluster size.
 ///
 /// `scheme_factory` is called once per interval — each interval gets a
-/// fresh machine and a fresh scheme instance. Intervals are processed
-/// in ascending order so the interpreter fast-forwards in one pass.
+/// fresh machine and a fresh scheme instance. Internally this is
+/// [`ReplayPlan::build`] followed by [`replay_planned`]; callers that
+/// replay the same trace repeatedly should build (or cache) the plan
+/// once and call [`replay_planned`] directly, skipping the interpreter
+/// fast-forward on every call after the first.
 /// Falls back to a full replay when the trace carries no sampling plan.
 ///
 /// `max_cycles` bounds each *interval's* simulation, not the total.
@@ -109,110 +107,11 @@ pub fn replay_sampled(
     scheme_factory: &dyn Fn() -> Box<dyn SpeculationScheme>,
     max_cycles: u64,
 ) -> Result<ReplayOutcome, ReplayError> {
-    let samples = &trace.samples;
-    if samples.reps.is_empty() {
+    if trace.samples.reps.is_empty() {
         return replay_full(trace, config, scheme_factory(), max_cycles);
     }
-    let mut interp = Interpreter::new(&trace.program);
-    let mut est_cycles = 0u64;
-    let mut simulated_instr = 0u64;
-    let mut intervals_run = 0u64;
-    // Data lines touched and branches resolved during fast-forward, in
-    // program order — the warm-up feed for each interval's fresh machine.
-    let mut touched_lines: Vec<u64> = Vec::new();
-    let mut branch_hist: Vec<(u64, bool, u64)> = Vec::new();
-    for rep in &samples.reps {
-        let start_instr = rep.interval * samples.interval_len;
-        while interp.retired() < start_instr && !interp.halted() {
-            let pc = interp.pc();
-            let (_, ev) = interp.step_event().map_err(ReplayError::Interp)?;
-            if let Some(m) = ev.mem {
-                touched_lines.push(m.addr & !63);
-            }
-            if let Some(taken) = ev.branch_taken {
-                branch_hist.push((pc, taken, interp.pc()));
-            }
-        }
-        if interp.halted() && interp.retired() < start_instr {
-            // Sampling plan points past the end of execution; the
-            // decoder bounds rep indices, so this only happens for a
-            // trace whose recorded totals are internally inconsistent.
-            break;
-        }
-        let remaining = trace.total_instr.saturating_sub(start_instr);
-        let target = samples.interval_len.min(remaining);
-        if target == 0 {
-            continue;
-        }
-
-        // Fresh machine with architectural state injected at the
-        // interval boundary; microarchitectural state starts cold.
-        let mut sub = trace.program.clone();
-        sub.set_entry(interp.pc());
-        let mut m = Machine::new(config.clone());
-        m.load_program_with_scheme(0, &sub, scheme_factory());
-        for i in 1..NUM_REGS {
-            let r = Reg::new(i as u8).expect("register index in range");
-            m.core_mut(0).set_reg(r, interp.reg(r));
-        }
-        for (addr, byte) in interp.mem_snapshot() {
-            m.memory_mut().write_u8(addr, byte);
-        }
-        // Functional warm-up: replay the pre-interval working set into
-        // the cache hierarchy, oldest-first so LRU leaves the machine
-        // holding what the full run would hold, then touch the code
-        // lines (the frontend of the real run has them resident).
-        for line in dedup_keep_last(&touched_lines) {
-            m.run_op(AgentOp::Access {
-                core: 0,
-                addr: line,
-            });
-        }
-        let mut code_lines: Vec<u64> = trace.program.iter().map(|(pc, _)| pc & !63).collect();
-        code_lines.dedup();
-        for line in code_lines {
-            m.run_op(AgentOp::FetchAccess {
-                core: 0,
-                addr: line,
-            });
-        }
-        // Predictor warm-up: re-train on the most recent resolved
-        // branches (bounded so huge traces stay cheap to sample).
-        let skip = branch_hist.len().saturating_sub(TRAIN_WINDOW);
-        for &(pc, taken, target) in &branch_hist[skip..] {
-            m.core_mut(0).train_branch(pc, taken, target);
-        }
-        while !m.core(0).halted() && m.core(0).stats().retired < target {
-            if m.cycle() >= max_cycles {
-                return Err(ReplayError::Timeout {
-                    cycle_limit: max_cycles,
-                });
-            }
-            m.advance(max_cycles);
-        }
-        let stats = m.core(0).stats();
-        est_cycles += stats.cycles * rep.cluster_size;
-        simulated_instr += stats.retired;
-        intervals_run += 1;
-    }
-    Ok(ReplayOutcome {
-        cycles: est_cycles,
-        simulated_instr,
-        intervals_run,
-    })
-}
-
-/// Deduplicates line addresses keeping each line's **last** occurrence,
-/// preserving relative order — so warming oldest-first ends with the
-/// most recently used lines, matching what LRU would retain.
-fn dedup_keep_last(lines: &[u64]) -> Vec<u64> {
-    let mut last_pos = std::collections::BTreeMap::new();
-    for (i, &l) in lines.iter().enumerate() {
-        last_pos.insert(l, i);
-    }
-    let mut ordered: Vec<(usize, u64)> = last_pos.into_iter().map(|(l, i)| (i, l)).collect();
-    ordered.sort_unstable();
-    ordered.into_iter().map(|(_, l)| l).collect()
+    let plan = ReplayPlan::build(trace)?;
+    replay_planned(&plan, config, scheme_factory, max_cycles)
 }
 
 #[cfg(test)]

@@ -25,8 +25,10 @@
 //! mis-measured.
 
 pub mod gadgets;
+pub mod replay_cache;
 pub mod traces;
 
+pub use replay_cache::replay_trace_cached;
 pub use traces::SampleTrace;
 
 use rand::rngs::StdRng;
@@ -127,8 +129,9 @@ impl WorkloadKind {
             WorkloadKind::CacheThrash => cache_thrash(scale),
             WorkloadKind::Mixed => mixed(scale, seed),
             // Trace workloads carry their own program; scale and seed
-            // were fixed at record time.
-            WorkloadKind::Trace(t) => t.decode().program,
+            // were fixed at record time. Program-only decode — the
+            // branch/memory/sampling sections are never parsed here.
+            WorkloadKind::Trace(t) => (*t.program_shared()).clone(),
         }
     }
 }
@@ -480,8 +483,11 @@ pub fn run(
 }
 
 /// Runs a committed sample trace under one scheme: weighted sampled
-/// replay of the trace's representative intervals
-/// ([`si_trace::replay_sampled`]). The checksum verification of kernel
+/// replay of the trace's representative intervals, through the
+/// process-wide artifact cache ([`replay_trace_cached`]) — the decoded
+/// trace, its replay plan, and per-interval warm checkpoints are shared
+/// across calls, with results identical to uncached
+/// [`si_trace::replay_sampled`]. The checksum verification of kernel
 /// runs does not apply — a sampled replay never computes the full
 /// result; architectural correctness was verified against the
 /// interpreter when the trace was recorded.
@@ -490,17 +496,18 @@ fn run_trace(
     scheme: SchemeKind,
     config: &MachineConfig,
 ) -> Result<Measurement, WorkloadError> {
-    let trace = t.decode();
-    let factory = || scheme.build();
-    let out = si_trace::replay_sampled(&trace, config, &factory, BUDGET).map_err(|e| match e {
-        si_trace::ReplayError::Timeout { cycle_limit } => WorkloadError::Timeout(cycle_limit),
-        // A fast-forward fault means the embedded program and streams
-        // disagree — surface it as a checksum-style correctness error.
-        si_trace::ReplayError::Interp(_) => WorkloadError::ChecksumMismatch {
-            got: 0,
-            expected: 1,
+    let trace = t.decode_shared();
+    let out = replay_trace_cached(&trace, t.content_digest(), scheme, config, BUDGET).map_err(
+        |e| match e {
+            si_trace::ReplayError::Timeout { cycle_limit } => WorkloadError::Timeout(cycle_limit),
+            // A fast-forward fault means the embedded program and streams
+            // disagree — surface it as a checksum-style correctness error.
+            si_trace::ReplayError::Interp(_) => WorkloadError::ChecksumMismatch {
+                got: 0,
+                expected: 1,
+            },
         },
-    })?;
+    )?;
     Ok(Measurement {
         cycles: out.cycles,
         retired: trace.total_instr,

@@ -6,6 +6,10 @@
 //! time, so trace workloads need no filesystem access at run time and
 //! the harness can fold the exact bytes' digest into engine cache keys.
 
+use std::sync::Arc;
+
+use si_engine::ArtifactCache;
+use si_isa::Program;
 use si_trace::{fnv1a64, TraceFile};
 
 /// The committed sample traces, each recorded from a branchy kernel
@@ -70,6 +74,43 @@ impl SampleTrace {
     pub fn decode(self) -> TraceFile {
         TraceFile::decode(self.bytes())
             .unwrap_or_else(|e| panic!("committed fixture {} is invalid: {e}", self.label()))
+    }
+
+    /// Decodes the embedded trace through the process-wide artifact
+    /// cache (namespace `trace`, keyed by content digest): the first
+    /// caller pays the decode, everyone else shares the `Arc`. With the
+    /// cache disabled this decodes privately — same value either way.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`SampleTrace::decode`].
+    pub fn decode_shared(self) -> Arc<TraceFile> {
+        ArtifactCache::global().get_or_build(
+            "trace",
+            &format!("{:016x}", self.content_digest()),
+            || self.decode(),
+        )
+    }
+
+    /// The trace's embedded program without decoding the stream
+    /// sections (namespace `program`): `TraceFile::decode_program`
+    /// validates the full payload checksum but parses only the program.
+    /// Callers that need just the program (e.g. static gadget scans)
+    /// skip the branch/memory/sampling decode entirely.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`SampleTrace::decode`].
+    pub fn program_shared(self) -> Arc<Program> {
+        ArtifactCache::global().get_or_build(
+            "program",
+            &format!("{:016x}", self.content_digest()),
+            || {
+                TraceFile::decode_program(self.bytes()).unwrap_or_else(|e| {
+                    panic!("committed fixture {} is invalid: {e}", self.label())
+                })
+            },
+        )
     }
 }
 
